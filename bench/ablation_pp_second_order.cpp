@@ -1,0 +1,117 @@
+// Ablation (Eq. (7)): contribution of the second-order PP correction V(n).
+//
+// The PP approximated step adds V(n) on top of the first-order operators
+// "to lower the error to a greater extent". This harness quantifies that:
+// for a fixed snapshot and a controlled perturbation size, it reports the
+// relative MTTKRP approximation error with and without V(n), and the
+// end-to-end PP convergence with each setting.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "parpp/core/gram.hpp"
+#include "parpp/core/pp_als.hpp"
+#include "parpp/core/pp_engine.hpp"
+#include "parpp/data/collinearity.hpp"
+#include "parpp/tensor/mttkrp_naive.hpp"
+#include "parpp/tensor/reconstruct.hpp"
+#include "parpp/util/timer.hpp"
+
+using namespace parpp;
+
+namespace {
+
+/// Error measured around a *near-converged* snapshot: V(n) is derived from
+/// the ALS fixed-point structure, so (as in the PP regime of Algorithm 2)
+/// the snapshot must satisfy the normal equations approximately.
+double approx_error(const tensor::DenseTensor& t, index_t rank, double delta,
+                    bool second_order, std::uint64_t seed) {
+  core::CpOptions warm;
+  warm.rank = rank;
+  warm.max_sweeps = 15;
+  warm.tol = 0.0;
+  warm.seed = seed;
+  auto a_p = core::cp_als(t, warm).factors;
+  auto factors = a_p;
+  Rng rng(seed + 1);
+  for (auto& f : factors) {
+    la::Matrix noise(f.rows(), f.cols());
+    noise.fill_normal(rng);
+    f.axpy(delta, noise);
+  }
+  // Build operators at the snapshot a_p: PpOperators reads the *current*
+  // values of the vector it binds to, so bind to a_p.
+  core::PpOperators ops(t, a_p);
+  ops.build();
+  const auto grams = core::all_grams(factors);
+  core::PpApprox approx(ops, factors, a_p, grams);
+  approx.set_second_order(second_order);
+  double err = 0.0;
+  for (int n = 0; n < t.order(); ++n) {
+    const la::Matrix want = tensor::mttkrp_krp(t, factors, n);
+    err = std::max(err, approx.mttkrp_approx(n).max_abs_diff(want) /
+                            want.frobenius_norm());
+  }
+  return err;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const index_t s = args.get_long("--size", 32);
+  const index_t rank = args.get_long("--rank", 12);
+
+  bench::print_header(
+      "Ablation — second-order PP correction V(n), Eq. (7)",
+      "Ma & Solomonik, IPDPS 2021, Sec. II-D (error control of PP)");
+
+  std::printf("MTTKRP approximation error vs perturbation size (order-4, "
+              "s=%lld, R=%lld):\n\n",
+              static_cast<long long>(s), static_cast<long long>(rank));
+  std::printf("%12s %16s %16s %10s\n", "||dA||/||A||", "err (1st order)",
+              "err (1st+2nd)", "gain");
+  // Low-rank-plus-noise tensor so the warm-started snapshot is meaningful.
+  const std::vector<index_t> shape{s, s, s, s};
+  tensor::DenseTensor t = tensor::reconstruct(
+      core::init_factors(shape, rank, 51));
+  {
+    Rng rng(51);
+    const double scale = 1e-3 * t.frobenius_norm() /
+                         std::sqrt(static_cast<double>(t.size()));
+    for (index_t i = 0; i < t.size(); ++i) t[i] += scale * rng.normal();
+  }
+  for (double delta : {0.08, 0.04, 0.02, 0.01, 0.005}) {
+    const double e1 = approx_error(t, rank, delta, false, 52);
+    const double e2 = approx_error(t, rank, delta, true, 52);
+    std::printf("%12.3f %16.3e %16.3e %9.2fx\n", delta, e1, e2, e1 / e2);
+  }
+
+  std::printf("\nEnd-to-end PP convergence with and without V(n) "
+              "(collinear order-3 tensor):\n\n");
+  const auto gen =
+      data::make_collinear_tensor({2 * s, 2 * s, 2 * s}, rank, 0.6, 0.8, 53,
+                                  1e-3);
+  for (bool second : {true, false}) {
+    core::CpOptions opt;
+    opt.rank = rank;
+    opt.max_sweeps = 150;
+    opt.tol = 1e-6;
+    core::PpOptions pp;
+    pp.pp_tol = 0.2;
+    pp.second_order = second;
+    WallTimer timer;
+    const auto r = core::pp_cp_als(gen.tensor, opt, pp);
+    std::printf("  V(n) %-3s: fitness %.6f in %3d sweeps (%d PP-approx), "
+                "%.2fs\n",
+                second ? "on" : "off", r.fitness, r.sweeps, r.num_pp_approx,
+                timer.seconds());
+  }
+
+  std::printf(
+      "\nExpected shape: the error gain of V(n) grows quadratically as the\n"
+      "perturbation shrinks relative to the first-order-only error, and\n"
+      "disabling it costs accuracy/extra sweeps end to end.\n");
+  return 0;
+}

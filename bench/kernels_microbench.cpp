@@ -1,0 +1,123 @@
+// Google-benchmark microbenchmarks for the compute kernels underlying all
+// of the paper-reproduction harnesses: GEMM, first-level TTM, batched mTTV,
+// tensor transpose, Gram, and the SPD solve.
+//
+// These quantify the compute/bandwidth character the paper's breakdown
+// relies on (TTM compute-bound, mTTV bandwidth-bound).
+#include <benchmark/benchmark.h>
+
+#include "parpp/core/gram.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/la/spd_solve.hpp"
+#include "parpp/tensor/mttv.hpp"
+#include "parpp/tensor/transpose.hpp"
+#include "parpp/tensor/ttm.hpp"
+#include "parpp/util/rng.hpp"
+
+using namespace parpp;
+
+namespace {
+
+la::Matrix rand_matrix(index_t r, index_t c, std::uint64_t seed) {
+  la::Matrix m(r, c);
+  Rng rng(seed);
+  m.fill_uniform(rng);
+  return m;
+}
+
+tensor::DenseTensor rand_tensor(std::vector<index_t> shape,
+                                std::uint64_t seed) {
+  tensor::DenseTensor t(std::move(shape));
+  Rng rng(seed);
+  t.fill_uniform(rng);
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = rand_matrix(n, n, 1);
+  const auto b = rand_matrix(n, n, 2);
+  for (auto _ : state) {
+    auto c = la::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TtmFirstMode(benchmark::State& state) {
+  const index_t s = state.range(0);
+  const auto t = rand_tensor({s, s, s}, 3);
+  const auto a = rand_matrix(s, 32, 4);
+  for (auto _ : state) {
+    auto out = tensor::ttm_first(t, 0, a);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * s * s * s * 32);
+}
+BENCHMARK(BM_TtmFirstMode)->Arg(48)->Arg(96);
+
+void BM_TtmMiddleMode(benchmark::State& state) {
+  const index_t s = state.range(0);
+  const auto t = rand_tensor({s, s, s}, 5);
+  const auto a = rand_matrix(s, 32, 6);
+  for (auto _ : state) {
+    auto out = tensor::ttm_first(t, 1, a);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * s * s * s * 32);
+}
+BENCHMARK(BM_TtmMiddleMode)->Arg(48)->Arg(96);
+
+void BM_Mttv(benchmark::State& state) {
+  const index_t s = state.range(0);
+  const auto k = rand_tensor({s, s, 32}, 7);
+  const auto a = rand_matrix(s, 32, 8);
+  for (auto _ : state) {
+    auto out = tensor::mttv(k, 1, a);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * s * s * 32);
+}
+BENCHMARK(BM_Mttv)->Arg(128)->Arg(256);
+
+void BM_Transpose(benchmark::State& state) {
+  const index_t s = state.range(0);
+  const auto t = rand_tensor({s, s, s}, 9);
+  const std::vector<int> perm{2, 0, 1};
+  for (auto _ : state) {
+    auto out = tensor::transpose(t, perm);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s * s * s);
+}
+BENCHMARK(BM_Transpose)->Arg(64)->Arg(128);
+
+void BM_Gram(benchmark::State& state) {
+  const index_t s = state.range(0);
+  const auto a = rand_matrix(s, 64, 10);
+  for (auto _ : state) {
+    auto g = la::gram(a);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s * 64 * 64);
+}
+BENCHMARK(BM_Gram)->Arg(1024)->Arg(8192);
+
+void BM_SolveGram(benchmark::State& state) {
+  const index_t r = state.range(0);
+  la::Matrix g = la::matmul(rand_matrix(r, r, 11), rand_matrix(r, r, 11),
+                            la::Trans::kYes, la::Trans::kNo);
+  for (index_t i = 0; i < r; ++i) g(i, i) += static_cast<double>(r);
+  const auto m = rand_matrix(512, r, 12);
+  for (auto _ : state) {
+    auto x = la::solve_gram(g, m);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 512 * r * r);
+}
+BENCHMARK(BM_SolveGram)->Arg(32)->Arg(96);
+
+}  // namespace
+
+BENCHMARK_MAIN();

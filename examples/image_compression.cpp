@@ -1,0 +1,77 @@
+// Example: CP compression of image-stack tensors (COIL-like and
+// hyperspectral time-lapse), the paper's Fig. 5e/5f workloads.
+//
+// Order-4 tensors from imaging pipelines compress extremely well at small
+// CP rank because poses / frames are smooth deformations of each other.
+// This example decomposes both synthetic datasets and reports the
+// per-pixel RMS error of the rank-R reconstruction.
+//
+//   ./image_compression [--rank 20]
+#include <cmath>
+#include <cstdio>
+
+#include "parpp/core/pp_als.hpp"
+#include "parpp/data/coil.hpp"
+#include "parpp/data/hyperspectral.hpp"
+#include "parpp/util/timer.hpp"
+
+using namespace parpp;
+
+namespace {
+
+void compress(const char* label, const tensor::DenseTensor& t, index_t rank) {
+  std::printf("\n%s: shape", label);
+  double dense = 1.0, cp = 0.0;
+  for (index_t e : t.shape()) {
+    std::printf(" %lld", static_cast<long long>(e));
+    dense *= static_cast<double>(e);
+    cp += static_cast<double>(e) * static_cast<double>(rank);
+  }
+  std::printf(", rank %lld\n", static_cast<long long>(rank));
+
+  core::CpOptions opt;
+  opt.rank = rank;
+  opt.max_sweeps = 120;
+  opt.tol = 1e-6;
+  core::PpOptions pp;
+  pp.pp_tol = 0.1;
+  WallTimer timer;
+  const core::CpResult r = core::pp_cp_als(t, opt, pp);
+
+  // Per-pixel RMS error of the reconstruction, from the relative residual.
+  const double rms_signal = t.frobenius_norm() / std::sqrt(dense);
+  std::printf(
+      "  fitness %.5f | per-pixel RMS error %.3e (signal RMS %.3e)\n"
+      "  %d sweeps (%d ALS, %d PP-init, %d PP-approx) in %.2fs | "
+      "compression %.0fx\n",
+      r.fitness, r.residual * rms_signal, rms_signal, r.sweeps,
+      r.num_als_sweeps, r.num_pp_init, r.num_pp_approx, timer.seconds(),
+      dense / cp);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  index_t rank = 20;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--rank") rank = std::atol(argv[i + 1]);
+  }
+
+  data::CoilOptions coil;
+  coil.height = 32;
+  coil.width = 32;
+  coil.objects = 6;
+  coil.poses = 20;
+  compress("COIL-like object/pose stack", data::make_coil_tensor(coil), rank);
+
+  data::HyperspectralOptions hs;
+  hs.height = 48;
+  hs.width = 64;
+  compress("Time-lapse hyperspectral scene",
+           data::make_hyperspectral_tensor(hs), 2 * rank + 10);
+
+  std::printf(
+      "\nBoth tensors mirror the paper's imaging workloads: highly\n"
+      "compressible, with PP taking over most sweeps once ALS settles.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Example: running the distributed Algorithm 3/4 drivers on the simulated
+// message-passing runtime.
+//
+// Shows the public parallel API end to end: grid construction, the three
+// engine configurations (DT, MSDT, PP), wall-clock and modeled
+// communication cost per sweep, and the exactness guarantee (any grid
+// reproduces the sequential trajectory).
+//
+//   ./parallel_scaling [--size 48] [--rank 16] [--procs 8]
+#include <cstdio>
+
+#include "parpp/core/cp_als.hpp"
+#include "parpp/mpsim/grid.hpp"
+#include "parpp/par/par_pp.hpp"
+#include "parpp/tensor/reconstruct.hpp"
+
+using namespace parpp;
+
+int main(int argc, char** argv) {
+  index_t size = 48, rank = 16;
+  int procs = 8;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--size") size = std::atol(argv[i + 1]);
+    if (flag == "--rank") rank = std::atol(argv[i + 1]);
+    if (flag == "--procs") procs = std::atoi(argv[i + 1]);
+  }
+
+  const std::vector<index_t> shape{size, size, size};
+  const auto truth = core::init_factors(shape, rank, 21);
+  const tensor::DenseTensor t = tensor::reconstruct(truth);
+
+  // Sequential reference.
+  core::CpOptions base;
+  base.rank = rank;
+  base.max_sweeps = 25;
+  base.tol = 1e-7;
+  const core::CpResult seq = core::cp_als(t, base);
+  std::printf("sequential DT:    fitness %.8f in %d sweeps\n", seq.fitness,
+              seq.sweeps);
+
+  const auto dims = mpsim::ProcessorGrid::balanced_dims(procs, 3);
+  std::printf("processor grid:   %dx%dx%d (%d simulated ranks)\n\n", dims[0],
+              dims[1], dims[2], procs);
+
+  par::ParOptions popt;
+  popt.base = base;
+  popt.grid_dims = dims;
+  for (core::EngineKind kind : {core::EngineKind::kDt, core::EngineKind::kMsdt}) {
+    popt.local_engine = kind;
+    const par::ParResult r = par::par_cp_als(t, procs, popt);
+    std::printf(
+        "parallel %-5s  fitness %.8f | %.4fs/sweep | comm: %.0f msgs, "
+        "%.3e words per rank\n",
+        core::engine_kind_name(kind), r.fitness, r.mean_sweep_seconds,
+        r.comm_cost.total().messages, r.comm_cost.total().words_horizontal);
+  }
+
+  par::ParPpOptions ppopt;
+  ppopt.par = popt;
+  ppopt.pp.pp_tol = 0.1;
+  const par::ParResult r = par::par_pp_cp_als(t, procs, ppopt);
+  std::printf(
+      "parallel PP     fitness %.8f | %.4fs/sweep | sweeps: %d ALS + %d "
+      "init + %d approx\n",
+      r.fitness, r.mean_sweep_seconds, r.num_als_sweeps, r.num_pp_init,
+      r.num_pp_approx);
+
+  std::printf(
+      "\nAll parallel variants reproduce the sequential fitness: the\n"
+      "distribution is exact (deterministic initialization + the same\n"
+      "update order), only cost changes with the grid.\n");
+  return 0;
+}

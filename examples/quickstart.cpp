@@ -1,0 +1,71 @@
+// Quickstart: decompose a synthetic low-rank tensor with CP-ALS.
+//
+// Demonstrates the three MTTKRP engines (naive, dimension tree, multi-sweep
+// dimension tree) and the pairwise-perturbation driver on the same problem,
+// printing fitness and per-kernel time for each.
+//
+//   ./quickstart [--size 64] [--rank 8]
+#include <cstdio>
+
+#include "parpp/core/cp_als.hpp"
+#include "parpp/core/pp_als.hpp"
+#include "parpp/tensor/reconstruct.hpp"
+#include "parpp/util/timer.hpp"
+
+using namespace parpp;
+
+int main(int argc, char** argv) {
+  index_t size = 64, rank = 8;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--size") size = std::atol(argv[i + 1]);
+    if (flag == "--rank") rank = std::atol(argv[i + 1]);
+  }
+
+  std::printf("parpp quickstart: CP decomposition of a %lld^3 rank-%lld "
+              "tensor\n\n",
+              static_cast<long long>(size), static_cast<long long>(rank));
+
+  // 1. Build a tensor with known CP structure: T = [[A1, A2, A3]].
+  const std::vector<index_t> shape{size, size, size};
+  const auto truth = core::init_factors(shape, rank, /*seed=*/7);
+  const tensor::DenseTensor t = tensor::reconstruct(truth);
+  std::printf("tensor norm: %.4f\n\n", t.frobenius_norm());
+
+  // 2. Decompose with each engine.
+  core::CpOptions options;
+  options.rank = rank;
+  options.max_sweeps = 100;
+  options.tol = 1e-8;
+
+  for (core::EngineKind kind :
+       {core::EngineKind::kNaive, core::EngineKind::kDt,
+        core::EngineKind::kMsdt}) {
+    options.engine = kind;
+    WallTimer timer;
+    const core::CpResult result = core::cp_als(t, options);
+    std::printf("%-6s engine: fitness %.8f after %3d sweeps in %.3fs  [%s]\n",
+                core::engine_kind_name(kind), result.fitness, result.sweeps,
+                timer.seconds(), result.profile.summary().c_str());
+  }
+
+  // 3. Pairwise perturbation accelerates the convergence tail.
+  {
+    core::PpOptions pp;
+    pp.pp_tol = 0.1;
+    WallTimer timer;
+    const core::CpResult result = core::pp_cp_als(t, options, pp);
+    std::printf("%-6s driver: fitness %.8f after %3d sweeps in %.3fs  "
+                "(ALS %d / PP-init %d / PP-approx %d)\n",
+                "PP", result.fitness, result.sweeps, timer.seconds(),
+                result.num_als_sweeps, result.num_pp_init,
+                result.num_pp_approx);
+  }
+
+  std::printf("\nAll engines recover the planted rank-%lld structure; DT and "
+              "MSDT produce\nidentical sweeps with fewer flops, and PP "
+              "replaces late-stage sweeps with\ncheap perturbative "
+              "corrections.\n",
+              static_cast<long long>(rank));
+  return 0;
+}

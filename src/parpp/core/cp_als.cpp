@@ -1,0 +1,78 @@
+#include "parpp/core/cp_als.hpp"
+
+#include <cmath>
+
+#include "parpp/core/fitness.hpp"
+#include "parpp/core/gram.hpp"
+#include "parpp/core/solve_update.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/util/timer.hpp"
+
+namespace parpp::core {
+
+std::vector<la::Matrix> init_factors(const std::vector<index_t>& shape,
+                                     index_t rank, std::uint64_t seed) {
+  Rng root(seed);
+  std::vector<la::Matrix> factors;
+  factors.reserve(shape.size());
+  for (std::size_t m = 0; m < shape.size(); ++m) {
+    Rng rng = root.split(m + 1);
+    la::Matrix a(shape[m], rank);
+    a.fill_uniform(rng);
+    factors.push_back(std::move(a));
+  }
+  return factors;
+}
+
+CpResult cp_als(const tensor::DenseTensor& t, const CpOptions& options) {
+  const int n = t.order();
+  PARPP_CHECK(n >= 2, "cp_als: tensor order must be >= 2");
+  PARPP_CHECK(options.rank >= 1, "cp_als: rank must be positive");
+
+  CpResult result;
+  Profile profile;
+  result.factors = init_factors(t.shape(), options.rank, options.seed);
+  auto& factors = result.factors;
+  std::vector<la::Matrix> grams = all_grams(factors, &profile);
+
+  auto engine =
+      make_engine(options.engine, t, factors, &profile, options.engine_options);
+
+  const double t_sq = t.squared_norm();
+  WallTimer timer;
+  double fit = 0.0, fit_old = -1.0;
+  int sweep = 0;
+  while (sweep < options.max_sweeps &&
+         std::abs(fit - fit_old) > options.tol) {
+    la::Matrix gamma_last, m_last;
+    for (int i = 0; i < n; ++i) {
+      la::Matrix gamma = gamma_chain(grams, i, &profile);
+      la::Matrix m = engine->mttkrp(i);
+      factors[static_cast<std::size_t>(i)] =
+          update_factor(gamma, m, &profile);
+      engine->notify_update(i);
+      grams[static_cast<std::size_t>(i)] =
+          la::gram(factors[static_cast<std::size_t>(i)], &profile);
+      if (i == n - 1) {
+        gamma_last = std::move(gamma);
+        m_last = std::move(m);
+      }
+    }
+    ++sweep;
+    fit_old = fit;
+    result.residual = relative_residual(
+        t_sq, gamma_last, grams[static_cast<std::size_t>(n - 1)], m_last,
+        factors[static_cast<std::size_t>(n - 1)]);
+    fit = fitness_from_residual(result.residual);
+    if (options.record_history)
+      result.history.push_back({timer.seconds(), fit, "als"});
+  }
+
+  result.fitness = fit;
+  result.sweeps = sweep;
+  result.num_als_sweeps = sweep;
+  result.profile = profile;
+  return result;
+}
+
+}  // namespace parpp::core

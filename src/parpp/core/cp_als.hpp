@@ -1,0 +1,57 @@
+// Sequential CP-ALS driver (Algorithm 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parpp/core/mttkrp_engine.hpp"
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+#include "parpp/util/profile.hpp"
+
+namespace parpp::core {
+
+struct CpOptions {
+  index_t rank = 16;
+  int max_sweeps = 300;
+  /// Stop when |fitness(t) - fitness(t-1)| < tol (paper's stopping
+  /// criterion Delta on the relative residual).
+  double tol = 1e-5;
+  std::uint64_t seed = 42;
+  EngineKind engine = EngineKind::kDt;
+  EngineOptions engine_options = {};
+  /// Record (time, fitness, phase) after every sweep.
+  bool record_history = true;
+};
+
+struct SweepRecord {
+  double seconds;       ///< elapsed wall time since the run started
+  double fitness;       ///< 1 - relative residual (approximate in PP sweeps)
+  std::string phase;    ///< "als", "pp-init" or "pp-approx"
+};
+
+struct CpResult {
+  std::vector<la::Matrix> factors;
+  double residual = 1.0;
+  double fitness = 0.0;
+  int sweeps = 0;  ///< total sweeps of any kind
+  std::vector<SweepRecord> history;
+  Profile profile;
+
+  // PP statistics (zero for plain ALS): counts match Tables III/IV.
+  int num_als_sweeps = 0;
+  int num_pp_init = 0;
+  int num_pp_approx = 0;
+};
+
+/// Uniform-[0,1) factor initialization (Algorithm 1 line 2), deterministic
+/// in (seed, mode).
+[[nodiscard]] std::vector<la::Matrix> init_factors(
+    const std::vector<index_t>& shape, index_t rank, std::uint64_t seed);
+
+/// Runs CP-ALS with the selected MTTKRP engine until the fitness change
+/// falls below `tol` or `max_sweeps` is reached.
+[[nodiscard]] CpResult cp_als(const tensor::DenseTensor& t,
+                              const CpOptions& options);
+
+}  // namespace parpp::core

@@ -1,0 +1,318 @@
+#include "parpp/core/dim_tree.hpp"
+
+#include <algorithm>
+
+#include "parpp/core/msdt.hpp"
+#include "parpp/tensor/mttkrp_naive.hpp"
+#include "parpp/tensor/mttv.hpp"
+#include "parpp/tensor/transpose.hpp"
+#include "parpp/tensor/ttm.hpp"
+
+namespace parpp::core {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNaive: return "naive";
+    case EngineKind::kDt: return "DT";
+    case EngineKind::kMsdt: return "MSDT";
+  }
+  return "?";
+}
+
+TreeEngineBase::TreeEngineBase(const tensor::DenseTensor& t,
+                               const std::vector<la::Matrix>& factors,
+                               Profile* profile, const EngineOptions& options,
+                               bool copy_default)
+    : t_(&t),
+      factors_(&factors),
+      profile_(profile),
+      n_(t.order()),
+      max_cached_modes_(options.max_cached_modes),
+      versions_(static_cast<std::size_t>(t.order()), 0),
+      use_transposed_copy_(
+          options.use_transposed_copy == TransposedCopy::kAuto
+              ? copy_default
+              : options.use_transposed_copy == TransposedCopy::kOn) {
+  PARPP_CHECK(static_cast<int>(factors.size()) == n_,
+              "engine: factor count mismatch");
+  for (int m = 0; m < n_; ++m) {
+    PARPP_CHECK(factors[static_cast<std::size_t>(m)].rows() == t.extent(m),
+                "engine: factor ", m, " rows mismatch");
+  }
+  identity_order_.resize(static_cast<std::size_t>(n_));
+  for (int m = 0; m < n_; ++m) identity_order_[static_cast<std::size_t>(m)] = m;
+
+  if (use_transposed_copy_ && n_ >= 3) {
+    // Rotation by h = ceil(N/2): copy modes (h, h+1, ..., N-1, 0, ..., h-1).
+    // Together with the original this places modes {0, N-1, h, h-1} at a
+    // boundary position of some copy — all N modes for N in {3, 4}.
+    const int h = (n_ + 1) / 2;
+    rotated_order_.reserve(static_cast<std::size_t>(n_));
+    for (int m = 0; m < n_; ++m) rotated_order_.push_back((h + m) % n_);
+    rotated_ = std::make_unique<tensor::DenseTensor>(
+        tensor::transpose(t, rotated_order_));
+  }
+}
+
+void TreeEngineBase::notify_update(int mode) {
+  PARPP_CHECK(mode >= 0 && mode < n_, "notify_update: bad mode");
+  ++versions_[static_cast<std::size_t>(mode)];
+  // Opportunistically drop stale nodes to bound auxiliary memory.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (!node_current(*it->second))
+      it = cache_.erase(it);
+    else
+      ++it;
+  }
+}
+
+bool TreeEngineBase::node_current(const detail::TreeNode& node) const {
+  for (const auto& [mode, ver] : node.deps) {
+    if (versions_[static_cast<std::size_t>(mode)] != ver) return false;
+  }
+  return true;
+}
+
+index_t TreeEngineBase::cached_elements() const {
+  index_t total = 0;
+  for (const auto& [key, node] : cache_) total += node->data.size();
+  return total;
+}
+
+detail::NodePtr TreeEngineBase::find_current_superset(
+    const std::vector<int>& subset) const {
+  detail::NodePtr best;
+  for (const auto& [key, node] : cache_) {
+    if (!node_current(*node)) continue;
+    bool covers = true;
+    for (int m : subset) {
+      if (std::find(node->modes.begin(), node->modes.end(), m) ==
+          node->modes.end()) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers && (!best || node->modes.size() < best->modes.size()))
+      best = node;
+  }
+  return best;
+}
+
+detail::NodePtr TreeEngineBase::cache_lookup(const RangeKey& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  if (!node_current(*it->second)) {
+    cache_.erase(it);
+    return nullptr;
+  }
+  return it->second;
+}
+
+void TreeEngineBase::cache_store(const RangeKey& key, detail::NodePtr node) {
+  if (cacheable(key.second)) cache_[key] = std::move(node);
+}
+
+std::vector<int> TreeEngineBase::range_modes(const RangeKey& key) const {
+  std::vector<int> modes;
+  modes.reserve(static_cast<std::size_t>(key.second));
+  for (int i = 0; i < key.second; ++i) modes.push_back((key.first + i) % n_);
+  return modes;
+}
+
+std::pair<const tensor::DenseTensor*, const std::vector<int>*>
+TreeEngineBase::pick_copy(int ttm_mode) const {
+  if (rotated_) {
+    // Position of ttm_mode in the rotated order.
+    const auto it =
+        std::find(rotated_order_.begin(), rotated_order_.end(), ttm_mode);
+    const int rpos = static_cast<int>(it - rotated_order_.begin());
+    const bool orig_boundary = ttm_mode == 0 || ttm_mode == n_ - 1;
+    const bool rot_boundary = rpos == 0 || rpos == n_ - 1;
+    if (!orig_boundary && rot_boundary) return {rotated_.get(), &rotated_order_};
+  }
+  return {t_, &identity_order_};
+}
+
+detail::NodePtr TreeEngineBase::build_from_raw(const RangeKey& key) {
+  auto modes_keep = range_modes(key);
+  std::vector<bool> keep(static_cast<std::size_t>(n_), false);
+  for (int m : modes_keep) keep[static_cast<std::size_t>(m)] = true;
+
+  std::vector<int> contract;
+  for (int m = 0; m < n_; ++m)
+    if (!keep[static_cast<std::size_t>(m)]) contract.push_back(m);
+  PARPP_ASSERT(!contract.empty(), "build_from_raw: nothing to contract");
+
+  // Choose the TTM mode: prefer boundary modes of the raw layout (single
+  // large GEMM); otherwise any copy that puts the mode on a boundary.
+  int ttm_mode = contract.back();
+  if (std::find(contract.begin(), contract.end(), n_ - 1) != contract.end())
+    ttm_mode = n_ - 1;
+  else if (std::find(contract.begin(), contract.end(), 0) != contract.end())
+    ttm_mode = 0;
+
+  const auto [src, order] = pick_copy(ttm_mode);
+  const auto uorder = *order;
+  const int pos =
+      static_cast<int>(std::find(uorder.begin(), uorder.end(), ttm_mode) -
+                       uorder.begin());
+
+  auto node = std::make_shared<detail::TreeNode>();
+  node->data = tensor::ttm_first(
+      *src, pos, (*factors_)[static_cast<std::size_t>(ttm_mode)], &profile());
+  ++ttm_count_;
+  node->modes = uorder;
+  node->modes.erase(node->modes.begin() + pos);
+  node->deps.emplace_back(ttm_mode, version(ttm_mode));
+
+  // Remaining contractions by mTTV, largest mode index first (determinism;
+  // cost is order-independent for equidimensional tensors).
+  std::vector<int> rest;
+  for (int m : contract)
+    if (m != ttm_mode) rest.push_back(m);
+  std::sort(rest.rbegin(), rest.rend());
+  for (int m : rest) {
+    const auto it = std::find(node->modes.begin(), node->modes.end(), m);
+    PARPP_ASSERT(it != node->modes.end(), "contract mode not in node");
+    const int p = static_cast<int>(it - node->modes.begin());
+    node->data = tensor::mttv(node->data, p,
+                              (*factors_)[static_cast<std::size_t>(m)],
+                              &profile());
+    ++mttv_count_;
+    node->modes.erase(node->modes.begin() + p);
+    node->deps.emplace_back(m, version(m));
+  }
+  return node;
+}
+
+detail::NodePtr TreeEngineBase::build_from_parent(
+    const detail::NodePtr& parent, const RangeKey& key) {
+  auto modes_keep = range_modes(key);
+  std::vector<int> contract;
+  for (int m : parent->modes) {
+    if (std::find(modes_keep.begin(), modes_keep.end(), m) == modes_keep.end())
+      contract.push_back(m);
+  }
+  PARPP_ASSERT(!contract.empty(), "build_from_parent: nothing to contract");
+  std::sort(contract.rbegin(), contract.rend());
+
+  auto node = std::make_shared<detail::TreeNode>();
+  node->modes = parent->modes;
+  node->deps = parent->deps;
+  const tensor::DenseTensor* cur = &parent->data;
+  tensor::DenseTensor tmp;
+  for (int m : contract) {
+    const auto it = std::find(node->modes.begin(), node->modes.end(), m);
+    PARPP_ASSERT(it != node->modes.end(), "contract mode not in parent");
+    const int p = static_cast<int>(it - node->modes.begin());
+    tmp = tensor::mttv(*cur, p, (*factors_)[static_cast<std::size_t>(m)],
+                       &profile());
+    ++mttv_count_;
+    cur = &tmp;
+    node->modes.erase(node->modes.begin() + p);
+    node->deps.emplace_back(m, version(m));
+  }
+  node->data = std::move(tmp);
+  return node;
+}
+
+la::Matrix TreeEngineBase::leaf_matrix(const detail::TreeNode& node) const {
+  PARPP_CHECK(node.modes.size() == 1, "leaf_matrix: node is not a leaf");
+  PARPP_CHECK(node.data.order() == 2, "leaf_matrix: unexpected node shape");
+  la::Matrix m(node.data.extent(0), node.data.extent(1));
+  std::copy(node.data.data(), node.data.data() + node.data.size(), m.data());
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// DtEngine
+
+detail::NodePtr DtEngine::ensure_contiguous(int lo, int len) {
+  const int n = order();
+  PARPP_ASSERT(len >= 1 && len < n, "ensure_contiguous: bad range");
+  const RangeKey key{lo, len};
+  if (auto hit = cache_lookup(key)) return hit;
+
+  // Find the parent on the fixed binary-split descent from [0, n).
+  int plo = 0, plen = n;
+  while (true) {
+    const int left_len = (plen + 1) / 2;
+    int clo, clen;
+    if (lo >= plo && lo + len <= plo + left_len) {
+      clo = plo;
+      clen = left_len;
+    } else {
+      clo = plo + left_len;
+      clen = plen - left_len;
+    }
+    if (clo == lo && clen == len) break;  // (plo, plen) is the parent chain
+    plo = clo;
+    plen = clen;
+    PARPP_ASSERT(plen >= len, "descent failed");
+  }
+
+  detail::NodePtr node;
+  if (plen == n) {
+    node = build_from_raw(key);
+  } else {
+    const auto parent = ensure_contiguous(plo, plen);
+    node = build_from_parent(parent, key);
+  }
+  cache_store(key, node);
+  return node;
+}
+
+la::Matrix DtEngine::mttkrp(int mode) {
+  PARPP_CHECK(mode >= 0 && mode < order(), "mttkrp: bad mode");
+  if (order() == 1) {
+    // Degenerate: M(0) is the tensor itself replicated over rank columns.
+    la::Matrix m(factors()[0].rows(), factors()[0].cols());
+    return m;
+  }
+  const auto leaf = ensure_contiguous(mode, 1);
+  return leaf_matrix(*leaf);
+}
+
+// ---------------------------------------------------------------------------
+// NaiveEngine
+
+namespace {
+
+class NaiveEngine final : public MttkrpEngine {
+ public:
+  NaiveEngine(const tensor::DenseTensor& t,
+              const std::vector<la::Matrix>& factors, Profile* profile)
+      : t_(&t), factors_(&factors), profile_(profile) {}
+
+  [[nodiscard]] la::Matrix mttkrp(int mode) override {
+    return tensor::mttkrp_krp(*t_, *factors_, mode, profile_);
+  }
+  void notify_update(int) override {}
+  [[nodiscard]] std::string_view name() const override { return "naive"; }
+
+ private:
+  const tensor::DenseTensor* t_;
+  const std::vector<la::Matrix>* factors_;
+  Profile* profile_;
+};
+
+}  // namespace
+
+std::unique_ptr<MttkrpEngine> make_engine(EngineKind kind,
+                                          const tensor::DenseTensor& t,
+                                          const std::vector<la::Matrix>& factors,
+                                          Profile* profile,
+                                          const EngineOptions& options) {
+  switch (kind) {
+    case EngineKind::kNaive:
+      return std::make_unique<NaiveEngine>(t, factors, profile);
+    case EngineKind::kDt:
+      return std::make_unique<DtEngine>(t, factors, profile, options);
+    case EngineKind::kMsdt:
+      return std::make_unique<MsdtEngine>(t, factors, profile, options);
+  }
+  PARPP_CHECK(false, "make_engine: unknown kind");
+  return nullptr;
+}
+
+}  // namespace parpp::core

@@ -1,0 +1,147 @@
+// Version-stamped dimension-tree node cache and the standard DT engine.
+//
+// Both the standard dimension tree (Sec. II-C) and the multi-sweep tree
+// (Sec. III) materialize intermediates
+//
+//   M(S) = T contracted with A(j) for every mode j outside S,
+//
+// stored with the rank mode last. Here every cached node records the
+// *version* of each factor contracted into it; a node is reusable iff all
+// recorded versions are current. This makes caching semantically exact —
+// the engines differ only in which node chains they walk, and the paper's
+// amortization (2 TTMs/sweep for DT, N TTMs per N-1 sweeps for MSDT) falls
+// out of the ALS update order.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "parpp/core/mttkrp_engine.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+
+namespace parpp::core {
+
+namespace detail {
+
+struct TreeNode {
+  tensor::DenseTensor data;  ///< extents follow `modes`, rank mode last
+  std::vector<int> modes;    ///< storage order of remaining tensor modes
+  std::vector<std::pair<int, std::uint64_t>> deps;  ///< (mode, version used)
+};
+
+using NodePtr = std::shared_ptr<const TreeNode>;
+
+}  // namespace detail
+
+/// Shared implementation for tree-based engines: factor versioning, the
+/// node cache, and the two build primitives (from the raw tensor via one
+/// TTM + mTTVs, and from a parent node via mTTVs).
+class TreeEngineBase : public MttkrpEngine {
+ public:
+  /// `copy_default` is the engine's kAuto resolution for the stored
+  /// transposed copy (true for MSDT, false for DT).
+  TreeEngineBase(const tensor::DenseTensor& t,
+                 const std::vector<la::Matrix>& factors, Profile* profile,
+                 const EngineOptions& options, bool copy_default = false);
+
+  void notify_update(int mode) override;
+
+  [[nodiscard]] long ttm_count() const override { return ttm_count_; }
+  [[nodiscard]] long mttv_count() const override { return mttv_count_; }
+
+  /// Number of live cached nodes (diagnostic; ablation benches watch this).
+  [[nodiscard]] std::size_t cached_nodes() const { return cache_.size(); }
+  /// Total elements held by cached nodes (auxiliary memory proxy).
+  [[nodiscard]] index_t cached_elements() const;
+
+  /// Smallest cached, version-current node whose mode set contains `subset`
+  /// (modes sorted ascending), or null. The pairwise-perturbation
+  /// initialization uses this to amortize first-level intermediates from
+  /// the preceding regular sweep (paper footnote 1).
+  [[nodiscard]] detail::NodePtr find_current_superset(
+      const std::vector<int>& subset) const;
+
+ protected:
+  [[nodiscard]] int order() const { return n_; }
+  [[nodiscard]] const std::vector<la::Matrix>& factors() const {
+    return *factors_;
+  }
+  [[nodiscard]] std::uint64_t version(int mode) const {
+    return versions_[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] bool node_current(const detail::TreeNode& node) const;
+
+  /// Cyclic mode range key: modes {start, start+1, ..., start+len-1 mod N}.
+  using RangeKey = std::pair<int, int>;
+
+  /// Cache lookup; null if absent or stale (stale entries are erased).
+  [[nodiscard]] detail::NodePtr cache_lookup(const RangeKey& key);
+  void cache_store(const RangeKey& key, detail::NodePtr node);
+
+  /// Builds the node covering cyclic range `key` directly from the raw
+  /// tensor: one first-level TTM on a chosen mode of the complement, then
+  /// mTTVs for the rest.
+  [[nodiscard]] detail::NodePtr build_from_raw(const RangeKey& key);
+
+  /// Builds a child covering `key` from `parent` by contracting every
+  /// parent mode outside the range.
+  [[nodiscard]] detail::NodePtr build_from_parent(const detail::NodePtr& parent,
+                                                  const RangeKey& key);
+
+  /// Extracts the leaf (single-mode node) as the MTTKRP result matrix.
+  [[nodiscard]] la::Matrix leaf_matrix(const detail::TreeNode& node) const;
+
+  /// True if the range (cyclically) contains `mode`.
+  [[nodiscard]] bool range_contains(const RangeKey& key, int mode) const {
+    return ((mode - key.first) % n_ + n_) % n_ < key.second;
+  }
+  /// Modes of a cyclic range in cyclic order.
+  [[nodiscard]] std::vector<int> range_modes(const RangeKey& key) const;
+
+  /// Whether a node of `len` modes may be cached (level-combining option).
+  [[nodiscard]] bool cacheable(int len) const {
+    return max_cached_modes_ <= 0 || len <= max_cached_modes_;
+  }
+
+  Profile& profile() const {
+    return profile_ ? *profile_ : Profile::thread_default();
+  }
+
+ private:
+  const tensor::DenseTensor* t_;
+  const std::vector<la::Matrix>* factors_;
+  Profile* profile_;
+  int n_;
+  int max_cached_modes_;
+  std::vector<std::uint64_t> versions_;
+  std::map<RangeKey, detail::NodePtr> cache_;
+  long ttm_count_ = 0;
+  long mttv_count_ = 0;
+
+  // Optional rotated copy of T (modes rotated by ceil(N/2)) so first-level
+  // TTMs on mid modes hit a boundary position of some copy.
+  bool use_transposed_copy_;
+  std::unique_ptr<tensor::DenseTensor> rotated_;
+  std::vector<int> rotated_order_;
+
+  /// Picks the (tensor, mode order) copy to contract `ttm_mode` on.
+  [[nodiscard]] std::pair<const tensor::DenseTensor*, const std::vector<int>*>
+  pick_copy(int ttm_mode) const;
+  std::vector<int> identity_order_;
+};
+
+/// Standard binary dimension tree engine: every leaf is reached by the
+/// fixed contiguous-split descent from [0, N).
+class DtEngine final : public TreeEngineBase {
+ public:
+  using TreeEngineBase::TreeEngineBase;
+
+  [[nodiscard]] la::Matrix mttkrp(int mode) override;
+  [[nodiscard]] std::string_view name() const override { return "DT"; }
+
+ private:
+  [[nodiscard]] detail::NodePtr ensure_contiguous(int lo, int len);
+};
+
+}  // namespace parpp::core

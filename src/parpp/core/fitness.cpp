@@ -1,0 +1,22 @@
+#include "parpp/core/fitness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parpp/util/common.hpp"
+
+namespace parpp::core {
+
+double relative_residual(double t_sq_norm, const la::Matrix& gamma,
+                         const la::Matrix& gram_last, const la::Matrix& m_last,
+                         const la::Matrix& a_last) {
+  PARPP_CHECK(t_sq_norm >= 0.0, "relative_residual: negative norm");
+  // <Γ, S> = ||T~||_F^2 ; <M, A> = <T, T~>.
+  const double model_sq = gamma.dot(gram_last);
+  const double cross = m_last.dot(a_last);
+  const double num_sq = std::max(0.0, t_sq_norm + model_sq - 2.0 * cross);
+  if (t_sq_norm == 0.0) return 0.0;
+  return std::sqrt(num_sq) / std::sqrt(t_sq_norm);
+}
+
+}  // namespace parpp::core

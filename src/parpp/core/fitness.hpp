@@ -1,0 +1,27 @@
+// Relative residual and fitness via the amortized formula, Eq. (3).
+#pragma once
+
+#include "parpp/la/matrix.hpp"
+
+namespace parpp::core {
+
+/// Relative residual r = ||T - T~||_F / ||T||_F computed from quantities
+/// already amortized by the sweep (Eq. (3) of the paper, with the
+/// square-norm reading of the numerator):
+///
+///   r = sqrt( ||T||_F^2 + <Γ(N), A(N)^T A(N)> - 2 <M(N), A(N)> ) / ||T||_F
+///
+/// `m_last` must be the MTTKRP of the last-updated mode evaluated at the
+/// factor values used in that update, `a_last` the updated factor, `gamma`
+/// and `gram_last` the matching Γ(N) and S(N). The argument of the sqrt is
+/// clamped at zero against round-off.
+[[nodiscard]] double relative_residual(double t_sq_norm,
+                                       const la::Matrix& gamma,
+                                       const la::Matrix& gram_last,
+                                       const la::Matrix& m_last,
+                                       const la::Matrix& a_last);
+
+/// fitness = 1 - r.
+[[nodiscard]] inline double fitness_from_residual(double r) { return 1.0 - r; }
+
+}  // namespace parpp::core

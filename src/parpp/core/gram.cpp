@@ -1,0 +1,31 @@
+#include "parpp/core/gram.hpp"
+
+#include "parpp/la/gemm.hpp"
+
+namespace parpp::core {
+
+la::Matrix gamma_chain(const std::vector<la::Matrix>& grams, int skip,
+                       Profile* profile) {
+  PARPP_CHECK(!grams.empty(), "gamma_chain: no grams");
+  const index_t r = grams[0].rows();
+  ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                   Kernel::kHadamard,
+                   static_cast<double>(grams.size()) * r * r);
+  la::Matrix gamma(r, r);
+  gamma.fill(1.0);
+  for (int i = 0; i < static_cast<int>(grams.size()); ++i) {
+    if (i == skip) continue;
+    gamma.hadamard_inplace(grams[static_cast<std::size_t>(i)]);
+  }
+  return gamma;
+}
+
+std::vector<la::Matrix> all_grams(const std::vector<la::Matrix>& factors,
+                                  Profile* profile) {
+  std::vector<la::Matrix> grams;
+  grams.reserve(factors.size());
+  for (const auto& f : factors) grams.push_back(la::gram(f, profile));
+  return grams;
+}
+
+}  // namespace parpp::core

@@ -1,0 +1,21 @@
+// Gram matrices and Hadamard chains (Eq. (1)).
+#pragma once
+
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/util/profile.hpp"
+
+namespace parpp::core {
+
+/// Γ(n) = S(1) * ... * S(n-1) * S(n+1) * ... * S(N) — the Hadamard chain of
+/// all Gram matrices except `skip` (pass skip = -1 for the full chain).
+/// Charged to Kernel::kHadamard.
+[[nodiscard]] la::Matrix gamma_chain(const std::vector<la::Matrix>& grams,
+                                     int skip, Profile* profile = nullptr);
+
+/// Recompute every Gram matrix S(i) = A(i)^T A(i).
+[[nodiscard]] std::vector<la::Matrix> all_grams(
+    const std::vector<la::Matrix>& factors, Profile* profile = nullptr);
+
+}  // namespace parpp::core

@@ -1,0 +1,72 @@
+// MTTKRP engine interface and factory.
+//
+// Engines compute M(n) = T_(n) P(n) for the ALS driver, each with its own
+// amortization strategy. Drivers call `mttkrp(mode)` in ALS order and
+// `notify_update(mode)` immediately after overwriting A(mode); engines use
+// version stamps to decide which cached intermediates are still valid, so
+// they remain *semantically exact* even if called out of order — the
+// claimed flop savings simply rely on the standard sweep order.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+#include "parpp/util/profile.hpp"
+
+namespace parpp::core {
+
+class MttkrpEngine {
+ public:
+  virtual ~MttkrpEngine() = default;
+
+  /// MTTKRP of `mode` at the current factor values.
+  [[nodiscard]] virtual la::Matrix mttkrp(int mode) = 0;
+
+  /// Must be called after factors[mode] changes.
+  virtual void notify_update(int mode) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Diagnostic counters: first-level TTM and mTTV kernel invocations since
+  /// construction — tests assert the paper's per-sweep contraction counts.
+  [[nodiscard]] virtual long ttm_count() const { return 0; }
+  [[nodiscard]] virtual long mttv_count() const { return 0; }
+};
+
+enum class EngineKind {
+  kNaive,  ///< KRP + GEMM per mode; no amortization (reference)
+  kDt,     ///< standard binary dimension tree (Sec. II-C)
+  kMsdt,   ///< multi-sweep dimension tree (Sec. III)
+};
+
+[[nodiscard]] const char* engine_kind_name(EngineKind kind);
+
+enum class TransposedCopy {
+  kAuto,  ///< on for MSDT (the paper's configuration), off for DT
+  kOn,
+  kOff,
+};
+
+struct EngineOptions {
+  /// Keep a rotated copy of the input tensor so every first-level TTM hits
+  /// a boundary mode of some copy (Sec. IV, transpose avoidance). Only
+  /// MSDT rotates its first-level contractions through interior modes, so
+  /// kAuto enables the copy there and skips it for DT.
+  TransposedCopy use_transposed_copy = TransposedCopy::kAuto;
+  /// Level-combining ablation: intermediates covering more than this many
+  /// tensor modes are recomputed instead of cached (<=0 means cache all).
+  /// Trades flops for auxiliary memory as analyzed in Sec. IV.
+  int max_cached_modes = 0;
+};
+
+/// Creates an engine bound to `t` and `factors`; both must outlive the
+/// engine. `profile` may be null (thread-default profile is charged).
+[[nodiscard]] std::unique_ptr<MttkrpEngine> make_engine(
+    EngineKind kind, const tensor::DenseTensor& t,
+    const std::vector<la::Matrix>& factors, Profile* profile = nullptr,
+    const EngineOptions& options = {});
+
+}  // namespace parpp::core

@@ -1,0 +1,101 @@
+#include "parpp/core/nncp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parpp/core/fitness.hpp"
+#include "parpp/core/gram.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/util/timer.hpp"
+
+namespace parpp::core {
+
+namespace {
+
+/// One HALS pass over the columns of A given M = MTTKRP and Γ.
+/// A(:,r) <- max(eps_floor, A(:,r) + (M(:,r) - A Γ(:,r)) / Γ(r,r)).
+void hals_update(la::Matrix& a, const la::Matrix& m, const la::Matrix& gamma,
+                 double eps_floor, Profile& profile) {
+  const index_t s = a.rows(), r = a.cols();
+  ScopedProfile sp(profile, Kernel::kSolve,
+                   2.0 * static_cast<double>(s) * r * r);
+  for (index_t j = 0; j < r; ++j) {
+    const double gjj = std::max(gamma(j, j), eps_floor);
+#pragma omp parallel for schedule(static) if (s > 4096)
+    for (index_t i = 0; i < s; ++i) {
+      // (A Γ)(i, j) via the row-dot; columns update sequentially so later
+      // columns see earlier updates (Gauss-Seidel — the HALS property).
+      double agij = 0.0;
+      const double* arow = a.row(i);
+      for (index_t k = 0; k < r; ++k) agij += arow[k] * gamma(k, j);
+      const double v = a(i, j) + (m(i, j) - agij) / gjj;
+      a(i, j) = std::max(v, 0.0);
+    }
+  }
+  // Keep columns away from exact zero so Γ stays nonsingular.
+  for (index_t j = 0; j < r; ++j) {
+    double col = 0.0;
+    for (index_t i = 0; i < s; ++i) col += a(i, j) * a(i, j);
+    if (col == 0.0) {
+      for (index_t i = 0; i < s; ++i) a(i, j) = eps_floor;
+    }
+  }
+}
+
+}  // namespace
+
+CpResult nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
+                   const NncpOptions& nn_options) {
+  const int n = t.order();
+  PARPP_CHECK(n >= 2, "nncp_hals: tensor order must be >= 2");
+  PARPP_CHECK(nn_options.inner_iterations >= 1,
+              "nncp_hals: need at least one inner iteration");
+
+  CpResult result;
+  Profile profile;
+  result.factors = init_factors(t.shape(), options.rank, options.seed);
+  auto& factors = result.factors;
+  std::vector<la::Matrix> grams = all_grams(factors, &profile);
+  auto engine =
+      make_engine(nn_options.engine, t, factors, &profile,
+                  options.engine_options);
+
+  const double t_sq = t.squared_norm();
+  WallTimer timer;
+  double fit = 0.0, fit_old = -1.0;
+  int sweep = 0;
+  while (sweep < options.max_sweeps && std::abs(fit - fit_old) > options.tol) {
+    la::Matrix gamma_last, m_last;
+    for (int i = 0; i < n; ++i) {
+      la::Matrix gamma = gamma_chain(grams, i, &profile);
+      la::Matrix m = engine->mttkrp(i);
+      for (int pass = 0; pass < nn_options.inner_iterations; ++pass) {
+        hals_update(factors[static_cast<std::size_t>(i)], m, gamma,
+                    nn_options.epsilon, profile);
+      }
+      engine->notify_update(i);
+      grams[static_cast<std::size_t>(i)] =
+          la::gram(factors[static_cast<std::size_t>(i)], &profile);
+      if (i == n - 1) {
+        gamma_last = std::move(gamma);
+        m_last = std::move(m);
+      }
+    }
+    ++sweep;
+    fit_old = fit;
+    result.residual = relative_residual(
+        t_sq, gamma_last, grams[static_cast<std::size_t>(n - 1)], m_last,
+        factors[static_cast<std::size_t>(n - 1)]);
+    fit = fitness_from_residual(result.residual);
+    if (options.record_history)
+      result.history.push_back({timer.seconds(), fit, "nncp"});
+  }
+
+  result.fitness = fit;
+  result.sweeps = sweep;
+  result.num_als_sweeps = sweep;
+  result.profile = profile;
+  return result;
+}
+
+}  // namespace parpp::core

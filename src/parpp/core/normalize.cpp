@@ -1,0 +1,57 @@
+#include "parpp/core/normalize.hpp"
+
+#include <cmath>
+
+namespace parpp::core {
+
+std::vector<double> column_norms(const la::Matrix& a) {
+  std::vector<double> norms(static_cast<std::size_t>(a.cols()), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    for (index_t j = 0; j < a.cols(); ++j)
+      norms[static_cast<std::size_t>(j)] += row[j] * row[j];
+  }
+  for (double& n : norms) n = std::sqrt(n);
+  return norms;
+}
+
+std::vector<double> normalize_columns(std::vector<la::Matrix>& factors) {
+  PARPP_CHECK(!factors.empty(), "normalize_columns: no factors");
+  const index_t r = factors[0].cols();
+  std::vector<double> lambda(static_cast<std::size_t>(r), 1.0);
+  for (auto& a : factors) {
+    PARPP_CHECK(a.cols() == r, "normalize_columns: rank mismatch");
+    const auto norms = column_norms(a);
+    for (index_t j = 0; j < r; ++j) {
+      const double n = norms[static_cast<std::size_t>(j)];
+      lambda[static_cast<std::size_t>(j)] *= n;
+      if (n > 0.0) {
+        const double inv = 1.0 / n;
+        for (index_t i = 0; i < a.rows(); ++i) a(i, j) *= inv;
+      }
+    }
+  }
+  // A zero column in any mode zeroes the component's weight.
+  for (index_t j = 0; j < r; ++j) {
+    for (const auto& a : factors) {
+      double col = 0.0;
+      for (index_t i = 0; i < a.rows(); ++i) col += a(i, j) * a(i, j);
+      if (col == 0.0) lambda[static_cast<std::size_t>(j)] = 0.0;
+    }
+  }
+  return lambda;
+}
+
+void absorb_weights(std::vector<la::Matrix>& factors,
+                    const std::vector<double>& lambda, int mode) {
+  PARPP_CHECK(mode >= 0 && mode < static_cast<int>(factors.size()),
+              "absorb_weights: bad mode");
+  la::Matrix& a = factors[static_cast<std::size_t>(mode)];
+  PARPP_CHECK(static_cast<index_t>(lambda.size()) == a.cols(),
+              "absorb_weights: weight count mismatch");
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j)
+      a(i, j) *= lambda[static_cast<std::size_t>(j)];
+}
+
+}  // namespace parpp::core

@@ -1,0 +1,29 @@
+// Factor normalization utilities.
+//
+// Standard CP practice (Kolda & Bader): keep every factor column at unit
+// norm and carry the magnitudes in a weight vector lambda, which improves
+// the conditioning of the Γ Hadamard chains for long ALS runs and makes
+// factors comparable across modes.
+#pragma once
+
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+
+namespace parpp::core {
+
+/// Scales every column of every factor to unit 2-norm and returns the
+/// per-rank-component weights lambda_r = prod_n ||A(n)(:,r)||. Zero columns
+/// are left untouched and contribute weight 0.
+[[nodiscard]] std::vector<double> normalize_columns(
+    std::vector<la::Matrix>& factors);
+
+/// Multiplies the weights back into one mode (the usual way to store a
+/// normalized decomposition without a separate lambda).
+void absorb_weights(std::vector<la::Matrix>& factors,
+                    const std::vector<double>& lambda, int mode);
+
+/// Column 2-norms of a matrix.
+[[nodiscard]] std::vector<double> column_norms(const la::Matrix& a);
+
+}  // namespace parpp::core

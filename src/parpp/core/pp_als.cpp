@@ -1,0 +1,174 @@
+#include "parpp/core/pp_als.hpp"
+
+#include <cmath>
+
+#include "parpp/core/dim_tree.hpp"
+#include "parpp/core/fitness.hpp"
+#include "parpp/core/gram.hpp"
+#include "parpp/core/pp_engine.hpp"
+#include "parpp/core/pp_operators.hpp"
+#include "parpp/core/solve_update.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/util/timer.hpp"
+
+namespace parpp::core {
+
+namespace {
+
+/// All factors moved less than eps (relatively) since `reference`?
+bool all_changes_small(const std::vector<la::Matrix>& factors,
+                       const std::vector<la::Matrix>& reference, double eps) {
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    if (relative_change(factors[i], reference[i]) >= eps) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
+                   const PpOptions& pp_options) {
+  const int n = t.order();
+  PARPP_CHECK(n >= 3, "pp_cp_als: order must be >= 3");
+  PARPP_CHECK(pp_options.pp_tol > 0.0 && pp_options.pp_tol < 1.0,
+              "pp_cp_als: pp_tol must be in (0,1)");
+
+  CpResult result;
+  Profile profile;
+  result.factors = init_factors(t.shape(), options.rank, options.seed);
+  auto& factors = result.factors;
+  std::vector<la::Matrix> grams = all_grams(factors, &profile);
+
+  EngineOptions eopt = options.engine_options;
+  auto engine = make_engine(pp_options.regular_engine, t, factors, &profile,
+                            eopt);
+  auto* tree_engine = dynamic_cast<TreeEngineBase*>(engine.get());
+  PpOperators ops(t, factors, &profile);
+
+  const double t_sq = t.squared_norm();
+  WallTimer timer;
+
+  // dA across the latest regular sweep; seeded with A itself so the PP
+  // branch is skipped until at least one regular sweep ran (Algorithm 2
+  // line 2: dA(i) <- A(i)).
+  std::vector<la::Matrix> prev_sweep(factors.size());
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    prev_sweep[i] = la::Matrix(factors[i].rows(), factors[i].cols());
+  }
+
+  double fit = 0.0, fit_old = -1.0;
+  int total_sweeps = 0;
+  while (total_sweeps < options.max_sweeps &&
+         std::abs(fit - fit_old) > options.tol) {
+    // ---- PP phase (lines 5-18) --------------------------------------
+    if (all_changes_small(factors, prev_sweep, pp_options.pp_tol)) {
+      const std::vector<la::Matrix> a_p = factors;  // snapshot
+      ops.build(tree_engine);
+      ++result.num_pp_init;
+      ++total_sweeps;
+      if (options.record_history)
+        result.history.push_back({timer.seconds(), fit, "pp-init"});
+
+      PpApprox approx(ops, factors, a_p, grams, &profile);
+      approx.set_second_order(pp_options.second_order);
+
+      int pp_sweeps = 0;
+      double pp_fit = fit, pp_fit_old = fit - 1.0;
+      // Divergence guard: the PP model can break down when Γ is
+      // rank-deficient (e.g. CP rank above a mode extent); abort the phase
+      // if the approximate fitness drops materially and let exact ALS
+      // sweeps repair the factors.
+      const double fit_floor = fit - 10.0 * std::max(options.tol, 1e-6);
+      while (all_changes_small(factors, a_p, pp_options.pp_tol) &&
+             std::abs(pp_fit - pp_fit_old) > options.tol &&
+             pp_fit >= fit_floor &&
+             pp_sweeps < pp_options.max_pp_sweeps_per_phase &&
+             total_sweeps < options.max_sweeps) {
+        la::Matrix gamma_last, m_last;
+        for (int j = 0; j < n; ++j) {
+          la::Matrix gamma = gamma_chain(grams, j, &profile);
+          la::Matrix m = approx.mttkrp_approx(j);
+          factors[static_cast<std::size_t>(j)] =
+              update_factor(gamma, m, &profile);
+          engine->notify_update(j);
+          grams[static_cast<std::size_t>(j)] =
+              la::gram(factors[static_cast<std::size_t>(j)], &profile);
+          approx.refresh_mode(j);
+          if (j == n - 1) {
+            gamma_last = std::move(gamma);
+            m_last = std::move(m);
+          }
+        }
+        ++pp_sweeps;
+        ++result.num_pp_approx;
+        ++total_sweeps;
+        // Fitness from the approximated MTTKRP — cheap and close to exact
+        // while the PP condition holds; also the inner stopping criterion
+        // (the paper stops on the fitness difference of neighbouring
+        // sweeps, which must apply inside the PP phase too or a converged
+        // run would spin until max_sweeps).
+        const double r_approx = relative_residual(
+            t_sq, gamma_last, grams[static_cast<std::size_t>(n - 1)], m_last,
+            factors[static_cast<std::size_t>(n - 1)]);
+        pp_fit_old = pp_fit;
+        pp_fit = fitness_from_residual(r_approx);
+        if (options.record_history && pp_options.record_pp_sweeps) {
+          result.history.push_back({timer.seconds(), pp_fit, "pp-approx"});
+        }
+      }
+      // Carry the PP-phase progress into the outer stopping comparison;
+      // otherwise the next regular sweep is compared against a fitness
+      // from before the whole phase and the loop re-initializes forever.
+      // A diverged phase (fitness below the entry floor) instead resets
+      // the comparison so the driver keeps doing exact sweeps.
+      if (pp_sweeps > 0) fit = std::max(pp_fit, fit_floor);
+    }
+
+    if (total_sweeps >= options.max_sweeps) break;
+
+    // ---- Regular sweep (line 19) ------------------------------------
+    prev_sweep = factors;
+    la::Matrix gamma_last, m_last;
+    for (int i = 0; i < n; ++i) {
+      la::Matrix gamma = gamma_chain(grams, i, &profile);
+      la::Matrix m = engine->mttkrp(i);
+      factors[static_cast<std::size_t>(i)] = update_factor(gamma, m, &profile);
+      engine->notify_update(i);
+      grams[static_cast<std::size_t>(i)] =
+          la::gram(factors[static_cast<std::size_t>(i)], &profile);
+      if (i == n - 1) {
+        gamma_last = std::move(gamma);
+        m_last = std::move(m);
+      }
+    }
+    ++result.num_als_sweeps;
+    ++total_sweeps;
+
+    fit_old = fit;
+    result.residual = relative_residual(
+        t_sq, gamma_last, grams[static_cast<std::size_t>(n - 1)], m_last,
+        factors[static_cast<std::size_t>(n - 1)]);
+    fit = fitness_from_residual(result.residual);
+    if (options.record_history)
+      result.history.push_back({timer.seconds(), fit, "als"});
+  }
+
+  // The loop may exit mid-PP-phase (max_sweeps); the stored residual would
+  // then predate the last factor updates. Recompute it exactly with one
+  // fresh MTTKRP of the last mode (no factor update).
+  {
+    const la::Matrix gamma = gamma_chain(grams, n - 1, &profile);
+    const la::Matrix m = engine->mttkrp(n - 1);
+    result.residual = relative_residual(
+        t_sq, gamma, grams[static_cast<std::size_t>(n - 1)], m,
+        factors[static_cast<std::size_t>(n - 1)]);
+    fit = fitness_from_residual(result.residual);
+  }
+
+  result.fitness = fit;
+  result.sweeps = total_sweeps;
+  result.profile = profile;
+  return result;
+}
+
+}  // namespace parpp::core

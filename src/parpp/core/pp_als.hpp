@@ -1,0 +1,30 @@
+// Sequential PP-CP-ALS driver (Algorithm 2).
+#pragma once
+
+#include "parpp/core/cp_als.hpp"
+
+namespace parpp::core {
+
+struct PpOptions {
+  /// PP tolerance epsilon: the approximated step runs while every factor's
+  /// relative change since the snapshot stays below it.
+  double pp_tol = 0.1;
+  /// Engine used for the regular ALS sweeps (the paper pairs PP with MSDT).
+  EngineKind regular_engine = EngineKind::kMsdt;
+  /// Record (approximate) fitness after each PP-approximated sweep too.
+  bool record_pp_sweeps = true;
+  /// Disable the second-order V(n) correction (ablation).
+  bool second_order = true;
+  /// Cap on consecutive PP-approximated sweeps inside one PP phase,
+  /// guarding against a stalled inner loop (generous by default).
+  int max_pp_sweeps_per_phase = 500;
+};
+
+/// Runs PP-CP-ALS: regular sweeps until the factors move slowly, then PP
+/// initialization + approximated sweeps, falling back to regular sweeps
+/// whenever the perturbation grows past pp_tol (Algorithm 2).
+[[nodiscard]] CpResult pp_cp_als(const tensor::DenseTensor& t,
+                                 const CpOptions& options,
+                                 const PpOptions& pp_options = {});
+
+}  // namespace parpp::core

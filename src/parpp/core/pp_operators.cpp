@@ -1,0 +1,149 @@
+#include "parpp/core/pp_operators.hpp"
+
+#include <algorithm>
+
+#include "parpp/tensor/mttv.hpp"
+#include "parpp/tensor/ttm.hpp"
+
+namespace parpp::core {
+
+PpOperators::PpOperators(const tensor::DenseTensor& t,
+                         const std::vector<la::Matrix>& factors,
+                         Profile* profile)
+    : t_(&t), factors_(&factors), profile_(profile), n_(t.order()) {
+  PARPP_CHECK(n_ >= 3, "pairwise perturbation requires order >= 3");
+  PARPP_CHECK(static_cast<int>(factors.size()) == n_,
+              "PpOperators: factor count mismatch");
+}
+
+int PpOperators::root_exclusion_for(int i, int j) const {
+  for (int c : {0, n_ - 1, n_ - 2}) {
+    if (c != i && c != j) return c;
+  }
+  PARPP_CHECK(false, "no admissible root exclusion for pair (", i, ",", j, ")");
+  return -1;
+}
+
+const PpOperators::Node& PpOperators::ensure_set(int c,
+                                                 const std::vector<int>& set,
+                                                 const TreeEngineBase* donor) {
+  auto it = memo_.find(set);
+  if (it != memo_.end()) return it->second;
+
+  Profile& prof = profile_ ? *profile_ : Profile::thread_default();
+
+  // Donor lookup: an exactly-matching current intermediate from the regular
+  // sweep's cache can be adopted wholesale.
+  if (donor) {
+    if (auto d = donor->find_current_superset(set);
+        d && d->modes.size() == set.size()) {
+      Node node;
+      node.data = d->data;  // copy; donor cache stays valid
+      node.modes = d->modes;
+      return memo_.emplace(set, std::move(node)).first->second;
+    }
+  }
+
+  const std::vector<int> full = [&] {
+    std::vector<int> f;
+    for (int m = 0; m < n_; ++m)
+      if (m != c) f.push_back(m);
+    return f;
+  }();
+
+  if (set == full) {
+    // First-level intermediate: one TTM on mode c.
+    Node node;
+    node.data = tensor::ttm_first(
+        *t_, c, (*factors_)[static_cast<std::size_t>(c)], &prof);
+    ++last_build_ttms_;
+    node.modes = full;
+    return memo_.emplace(set, std::move(node)).first->second;
+  }
+
+  // Parent on the canonical chain removes elements of full \ set in
+  // descending order, so the parent re-adds the smallest missing element.
+  std::vector<int> missing;
+  std::set_difference(full.begin(), full.end(), set.begin(), set.end(),
+                      std::back_inserter(missing));
+  PARPP_ASSERT(!missing.empty(), "ensure_set: set not below root");
+  const int q = missing.front();
+  std::vector<int> parent_set = set;
+  parent_set.insert(
+      std::upper_bound(parent_set.begin(), parent_set.end(), q), q);
+  const Node& parent = ensure_set(c, parent_set, donor);
+
+  const auto pit = std::find(parent.modes.begin(), parent.modes.end(), q);
+  PARPP_ASSERT(pit != parent.modes.end(), "parent missing contract mode");
+  const int pos = static_cast<int>(pit - parent.modes.begin());
+
+  Node node;
+  node.data = tensor::mttv(parent.data, pos,
+                           (*factors_)[static_cast<std::size_t>(q)], &prof);
+  node.modes = parent.modes;
+  node.modes.erase(node.modes.begin() + pos);
+  return memo_.emplace(set, std::move(node)).first->second;
+}
+
+void PpOperators::build(const TreeEngineBase* donor) {
+  memo_.clear();
+  pairs_.clear();
+  mp_.assign(static_cast<std::size_t>(n_), la::Matrix());
+  last_build_ttms_ = 0;
+
+  // Pair operators.
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      const int c = root_exclusion_for(i, j);
+      const Node& node = ensure_set(c, {i, j}, donor);
+      PairOp op;
+      op.data = node.data;
+      op.modes = node.modes;
+      pairs_.emplace(std::make_pair(i, j), std::move(op));
+    }
+  }
+
+  built_ = true;  // pair operators are complete; leaves draw on them
+
+  // Leaves M_p(n): contract the partner mode out of an existing pair.
+  Profile& prof = profile_ ? *profile_ : Profile::thread_default();
+  for (int m = 0; m < n_; ++m) {
+    const int partner = m == 0 ? 1 : 0;
+    const auto& op = pair_op(std::min(m, partner), std::max(m, partner));
+    const auto pit = std::find(op.modes.begin(), op.modes.end(), partner);
+    const int pos = static_cast<int>(pit - op.modes.begin());
+    tensor::DenseTensor leaf = tensor::mttv(
+        op.data, pos, (*factors_)[static_cast<std::size_t>(partner)], &prof);
+    la::Matrix mp(leaf.extent(0), leaf.extent(1));
+    std::copy(leaf.data(), leaf.data() + leaf.size(), mp.data());
+    mp_[static_cast<std::size_t>(m)] = std::move(mp);
+  }
+
+  // Keep only the pair operators and leaves; drop larger intermediates.
+  memo_.clear();
+}
+
+const PpOperators::PairOp& PpOperators::pair_op(int i, int j) const {
+  PARPP_CHECK(built_, "pair_op: operators not built");
+  PARPP_CHECK(i < j, "pair_op: require i < j");
+  return pairs_.at(std::make_pair(i, j));
+}
+
+PpOperators::PairOp& PpOperators::mutable_pair_op(int i, int j) {
+  PARPP_CHECK(built_, "mutable_pair_op: operators not built");
+  PARPP_CHECK(i < j, "mutable_pair_op: require i < j");
+  return pairs_.at(std::make_pair(i, j));
+}
+
+const la::Matrix& PpOperators::mttkrp_p(int n) const {
+  PARPP_CHECK(built_, "mttkrp_p: operators not built");
+  return mp_[static_cast<std::size_t>(n)];
+}
+
+index_t PpOperators::operator_elements() const {
+  index_t total = 0;
+  for (const auto& [key, op] : pairs_) total += op.data.size();
+  return total;
+}
+
+}  // namespace parpp::core

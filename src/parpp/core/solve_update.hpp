@@ -1,0 +1,20 @@
+// ALS factor update step: A(n) <- M(n) Γ(n)†.
+#pragma once
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/util/profile.hpp"
+
+namespace parpp::core {
+
+/// Solves the normal equations of one ALS subproblem (Algorithm 1 line 8).
+/// Thin named wrapper over la::solve_gram so drivers read like the paper.
+[[nodiscard]] la::Matrix update_factor(const la::Matrix& gamma,
+                                       const la::Matrix& mttkrp,
+                                       Profile* profile = nullptr);
+
+/// Relative factor change ||A_new - A_old||_F / ||A_new||_F, the quantity
+/// compared against the PP tolerance in Algorithm 2.
+[[nodiscard]] double relative_change(const la::Matrix& a_new,
+                                     const la::Matrix& a_old);
+
+}  // namespace parpp::core

@@ -1,0 +1,79 @@
+#include "parpp/data/chemistry.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "parpp/util/rng.hpp"
+
+namespace parpp::data {
+
+tensor::DenseTensor make_density_fitting_tensor(
+    const ChemistryOptions& options) {
+  const index_t e_n = options.naux, p_n = options.norb;
+  PARPP_CHECK(e_n > 0 && p_n > 0 && options.terms > 0,
+              "make_density_fitting_tensor: bad sizes");
+  tensor::DenseTensor d({e_n, p_n, p_n});
+  Rng rng(options.seed);
+
+  // Per-term ingredients: a Gaussian orbital profile phi_k centred on the
+  // chain, an auxiliary envelope g_k (smooth oscillation with random phase),
+  // and weight w_k = decay^k.
+  std::vector<std::vector<double>> phi(
+      static_cast<std::size_t>(options.terms));
+  std::vector<std::vector<double>> g(static_cast<std::size_t>(options.terms));
+  std::vector<double> w(static_cast<std::size_t>(options.terms));
+  for (index_t k = 0; k < options.terms; ++k) {
+    const auto uk = static_cast<std::size_t>(k);
+    w[uk] = std::pow(options.decay, static_cast<double>(k));
+    const double centre = rng.uniform() * static_cast<double>(p_n);
+    const double width = 1.5 + 6.0 * rng.uniform();
+    phi[uk].resize(static_cast<std::size_t>(p_n));
+    for (index_t p = 0; p < p_n; ++p) {
+      const double x = (static_cast<double>(p) - centre) / width;
+      phi[uk][static_cast<std::size_t>(p)] = std::exp(-0.5 * x * x);
+    }
+    const double freq = 0.5 + 3.0 * rng.uniform();
+    const double phase = rng.uniform() * 6.28318530717958647692;
+    const double env_c = rng.uniform() * static_cast<double>(e_n);
+    const double env_w = 0.15 * static_cast<double>(e_n) * (0.5 + rng.uniform());
+    g[uk].resize(static_cast<std::size_t>(e_n));
+    for (index_t e = 0; e < e_n; ++e) {
+      const double y = (static_cast<double>(e) - env_c) / env_w;
+      g[uk][static_cast<std::size_t>(e)] =
+          std::exp(-0.5 * y * y) *
+          std::cos(freq * static_cast<double>(e) / static_cast<double>(e_n) *
+                       6.28318530717958647692 +
+                   phase);
+    }
+  }
+
+  // D(e,p,q) = sum_k w_k g_k(e) phi_k(p) phi_k(q): build the orbital-pair
+  // image per term once, then rank-1 update over e (O(K (p^2 + e p^2))).
+  std::vector<double> pair(static_cast<std::size_t>(p_n * p_n));
+  for (index_t k = 0; k < options.terms; ++k) {
+    const auto uk = static_cast<std::size_t>(k);
+    for (index_t p = 0; p < p_n; ++p)
+      for (index_t q = 0; q < p_n; ++q)
+        pair[static_cast<std::size_t>(p * p_n + q)] =
+            phi[uk][static_cast<std::size_t>(p)] *
+            phi[uk][static_cast<std::size_t>(q)];
+#pragma omp parallel for schedule(static)
+    for (index_t e = 0; e < e_n; ++e) {
+      const double scale = w[uk] * g[uk][static_cast<std::size_t>(e)];
+      if (scale == 0.0) continue;
+      double* slab = d.data() + e * p_n * p_n;
+      for (index_t x = 0; x < p_n * p_n; ++x)
+        slab[x] += scale * pair[static_cast<std::size_t>(x)];
+    }
+  }
+
+  if (options.noise > 0.0) {
+    const double scale = options.noise * d.frobenius_norm() /
+                         std::sqrt(static_cast<double>(d.size()));
+    Rng nrng = rng.split(999);
+    for (index_t i = 0; i < d.size(); ++i) d[i] += scale * nrng.normal();
+  }
+  return d;
+}
+
+}  // namespace parpp::data

@@ -1,0 +1,32 @@
+// Synthetic density-fitting (Cholesky-factor) tensor.
+//
+// Substitutes for the PySCF-generated order-3 tensor D(e, p, q) of the
+// paper (Sec. V-A, tensor 2): the Cholesky factor of the two-electron
+// integral tensor of a water chain. What the Fig. 5b-d experiments need is
+// an order-3 tensor with (a) strong but slowly-decaying low-rank structure
+// (so CP-ALS takes many sweeps and PP pays off) and (b) localized
+// orbital-pair structure. We synthesize D as a sum of K separable terms
+// with exponentially decaying weights, Gaussian orbital profiles placed on
+// a 1-D chain, and smooth auxiliary-basis envelopes, plus a small noise
+// floor.
+#pragma once
+
+#include "parpp/tensor/dense_tensor.hpp"
+
+namespace parpp::data {
+
+struct ChemistryOptions {
+  index_t naux = 600;      ///< auxiliary (Cholesky) dimension E
+  index_t norb = 120;      ///< orbital dimension (two modes)
+  index_t terms = 160;     ///< separable terms K
+  double decay = 0.965;    ///< weight decay w_k = decay^k
+  double noise = 1e-4;     ///< relative iid noise floor
+  std::uint64_t seed = 7;
+};
+
+/// Order-3 tensor of shape (naux, norb, norb), symmetric in the orbital
+/// modes up to noise.
+[[nodiscard]] tensor::DenseTensor make_density_fitting_tensor(
+    const ChemistryOptions& options);
+
+}  // namespace parpp::data

@@ -1,0 +1,63 @@
+#include "parpp/data/coil.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "parpp/util/rng.hpp"
+
+namespace parpp::data {
+
+tensor::DenseTensor make_coil_tensor(const CoilOptions& options) {
+  const index_t h = options.height, w = options.width, c_n = options.channels;
+  const index_t n_img = options.objects * options.poses;
+  tensor::DenseTensor t({h, w, c_n, n_img});
+  Rng root(options.seed);
+  constexpr double two_pi = 6.28318530717958647692;
+
+  struct Pattern {
+    double fx, fy, phase, amp;
+    double rgb[3];
+  };
+
+#pragma omp parallel for schedule(dynamic)
+  for (index_t obj = 0; obj < options.objects; ++obj) {
+    Rng rng = root.split(static_cast<std::uint64_t>(obj) + 1);
+    std::vector<Pattern> pats(
+        static_cast<std::size_t>(options.patterns_per_object));
+    for (auto& p : pats) {
+      p.fx = 1.0 + 3.0 * rng.uniform();
+      p.fy = 1.0 + 3.0 * rng.uniform();
+      p.phase = two_pi * rng.uniform();
+      p.amp = 0.3 + rng.uniform();
+      for (double& ch : p.rgb) ch = 0.2 + 0.8 * rng.uniform();
+    }
+    for (index_t pose = 0; pose < options.poses; ++pose) {
+      const double theta =
+          two_pi * static_cast<double>(pose) / static_cast<double>(options.poses);
+      const index_t img = obj * options.poses + pose;
+      for (index_t y = 0; y < h; ++y) {
+        const double yy = static_cast<double>(y) / static_cast<double>(h);
+        for (index_t x = 0; x < w; ++x) {
+          const double xx = static_cast<double>(x) / static_cast<double>(w);
+          double base = 0.0;
+          double colour[3] = {0.0, 0.0, 0.0};
+          for (const auto& p : pats) {
+            // Pose rotates the pattern phase — smooth view-angle sweep.
+            const double v = p.amp * std::sin(two_pi * (p.fx * xx + p.fy * yy) +
+                                              p.phase + theta);
+            base += v;
+            for (int ch = 0; ch < 3; ++ch) colour[ch] += v * p.rgb[ch];
+          }
+          (void)base;
+          for (index_t ch = 0; ch < c_n; ++ch) {
+            const double val = colour[ch % 3];
+            t[((y * w + x) * c_n + ch) * n_img + img] = val;
+          }
+        }
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace parpp::data

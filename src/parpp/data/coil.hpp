@@ -1,0 +1,28 @@
+// Synthetic COIL-like multi-object image tensor.
+//
+// Substitutes for COIL-100 (128 x 128 x 3 x 7200: objects x poses). The
+// Fig. 5e experiment needs an order-4 tensor with two image modes, a tiny
+// colour mode, and one long mode of images that are smooth functions of an
+// object identity and a pose angle — strongly compressible at small CP
+// rank. Each object is a random mixture of 2-D Gabor-like patterns whose
+// phases rotate with the pose, imitating the view-angle sweep of COIL.
+#pragma once
+
+#include "parpp/tensor/dense_tensor.hpp"
+
+namespace parpp::data {
+
+struct CoilOptions {
+  index_t height = 48;
+  index_t width = 48;
+  index_t channels = 3;
+  index_t objects = 20;
+  index_t poses = 30;  ///< images per object; image mode = objects * poses
+  int patterns_per_object = 6;
+  std::uint64_t seed = 11;
+};
+
+/// Order-4 tensor (height, width, channels, objects * poses).
+[[nodiscard]] tensor::DenseTensor make_coil_tensor(const CoilOptions& options);
+
+}  // namespace parpp::data

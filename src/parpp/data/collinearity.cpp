@@ -1,0 +1,78 @@
+#include "parpp/data/collinearity.hpp"
+
+#include <cmath>
+
+#include "parpp/la/eig_jacobi.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/tensor/reconstruct.hpp"
+
+namespace parpp::data {
+
+namespace {
+
+/// Gram-Schmidt orthonormalization of random Gaussian columns.
+la::Matrix random_orthonormal(index_t s, index_t rank, Rng& rng) {
+  PARPP_CHECK(s >= rank, "random_orthonormal: need s >= rank");
+  la::Matrix q(s, rank);
+  q.fill_normal(rng);
+  for (index_t j = 0; j < rank; ++j) {
+    for (index_t k = 0; k < j; ++k) {
+      double dot = 0.0;
+      for (index_t i = 0; i < s; ++i) dot += q(i, j) * q(i, k);
+      for (index_t i = 0; i < s; ++i) q(i, j) -= dot * q(i, k);
+    }
+    double norm = 0.0;
+    for (index_t i = 0; i < s; ++i) norm += q(i, j) * q(i, j);
+    norm = std::sqrt(norm);
+    PARPP_CHECK(norm > 1e-12, "random_orthonormal: degenerate column");
+    for (index_t i = 0; i < s; ++i) q(i, j) /= norm;
+  }
+  return q;
+}
+
+}  // namespace
+
+la::Matrix collinear_factor(index_t s, index_t rank, double c, Rng& rng) {
+  PARPP_CHECK(c >= 0.0 && c < 1.0, "collinearity must be in [0,1)");
+  la::Matrix q = random_orthonormal(s, rank, rng);
+  // K = (1-c) I + c 1 1^T has eigenvalues (1-c) [multiplicity R-1] and
+  // 1 + (R-1)c [eigenvector 1/sqrt(R)]; build K^{1/2} in closed form:
+  // K^{1/2} = sqrt(1-c) (I - P) + sqrt(1+(R-1)c) P with P = 1 1^T / R.
+  const double a = std::sqrt(1.0 - c);
+  const double b = std::sqrt(1.0 + (static_cast<double>(rank) - 1.0) * c);
+  la::Matrix k_half(rank, rank);
+  for (index_t i = 0; i < rank; ++i) {
+    for (index_t j = 0; j < rank; ++j) {
+      const double p = 1.0 / static_cast<double>(rank);
+      k_half(i, j) = (i == j ? a * (1.0 - p) : -a * p) + b * p;
+    }
+  }
+  return la::matmul(q, k_half);
+}
+
+CollinearTensor make_collinear_tensor(const std::vector<index_t>& shape,
+                                      index_t rank, double c_lo, double c_hi,
+                                      std::uint64_t seed, double noise) {
+  PARPP_CHECK(!shape.empty(), "make_collinear_tensor: empty shape");
+  PARPP_CHECK(noise >= 0.0, "make_collinear_tensor: negative noise");
+  Rng root(seed);
+  CollinearTensor out;
+  out.collinearity = root.uniform(c_lo, c_hi);
+  out.factors.reserve(shape.size());
+  for (std::size_t m = 0; m < shape.size(); ++m) {
+    Rng rng = root.split(m + 101);
+    out.factors.push_back(
+        collinear_factor(shape[m], rank, out.collinearity, rng));
+  }
+  out.tensor = tensor::reconstruct(out.factors);
+  if (noise > 0.0) {
+    const double scale = noise * out.tensor.frobenius_norm() /
+                         std::sqrt(static_cast<double>(out.tensor.size()));
+    Rng nrng = root.split(4242);
+    for (index_t i = 0; i < out.tensor.size(); ++i)
+      out.tensor[i] += scale * nrng.normal();
+  }
+  return out;
+}
+
+}  // namespace parpp::data

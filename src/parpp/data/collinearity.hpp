@@ -1,0 +1,34 @@
+// Synthetic tensors with prescribed factor-column collinearity
+// (Battaglino et al. construction, used for paper Fig. 4 / Fig. 5a).
+#pragma once
+
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+
+namespace parpp::data {
+
+/// Ground-truth factors plus the assembled tensor.
+struct CollinearTensor {
+  tensor::DenseTensor tensor;
+  std::vector<la::Matrix> factors;
+  double collinearity;
+};
+
+/// A single factor matrix A in R^{s x R} whose columns all satisfy
+/// <a_i, a_j> / (|a_i| |a_j|) = c for i != j: A = Q K^{1/2} with Q having
+/// orthonormal columns and K = (1-c) I + c 1 1^T.
+[[nodiscard]] la::Matrix collinear_factor(index_t s, index_t rank, double c,
+                                          Rng& rng);
+
+/// Order-N tensor (shape `shape`) assembled from per-mode collinear factors
+/// with collinearity drawn uniformly from [c_lo, c_hi). `noise` adds iid
+/// Gaussian entries at the given fraction of the RMS tensor magnitude;
+/// noise = 0 keeps the tensor exactly rank R. A small noise floor emulates
+/// the slow convergence tail the paper's large instances exhibit.
+[[nodiscard]] CollinearTensor make_collinear_tensor(
+    const std::vector<index_t>& shape, index_t rank, double c_lo, double c_hi,
+    std::uint64_t seed, double noise = 0.0);
+
+}  // namespace parpp::data

@@ -1,0 +1,73 @@
+#include "parpp/data/hyperspectral.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "parpp/util/rng.hpp"
+
+namespace parpp::data {
+
+tensor::DenseTensor make_hyperspectral_tensor(
+    const HyperspectralOptions& options) {
+  const index_t h = options.height, w = options.width;
+  const index_t b_n = options.bands, f_n = options.frames;
+  tensor::DenseTensor t({h, w, b_n, f_n});
+  Rng rng(options.seed);
+
+  struct Material {
+    double cx, cy, sx, sy;                 // spatial Gaussian footprint
+    std::vector<double> spectrum;          // smooth radiance curve
+    std::vector<double> illumination;      // per-frame scale
+  };
+  std::vector<Material> mats(static_cast<std::size_t>(options.materials));
+  for (auto& m : mats) {
+    m.cx = rng.uniform();
+    m.cy = rng.uniform();
+    m.sx = 0.08 + 0.25 * rng.uniform();
+    m.sy = 0.08 + 0.25 * rng.uniform();
+    // Spectrum: sum of two smooth bumps over the band axis.
+    const double p1 = rng.uniform(), p2 = rng.uniform();
+    const double w1 = 0.1 + 0.3 * rng.uniform(), w2 = 0.1 + 0.3 * rng.uniform();
+    const double a1 = 0.4 + rng.uniform(), a2 = 0.4 + rng.uniform();
+    m.spectrum.resize(static_cast<std::size_t>(b_n));
+    for (index_t b = 0; b < b_n; ++b) {
+      const double x = static_cast<double>(b) / static_cast<double>(b_n - 1);
+      const double d1 = (x - p1) / w1, d2 = (x - p2) / w2;
+      m.spectrum[static_cast<std::size_t>(b)] =
+          a1 * std::exp(-0.5 * d1 * d1) + a2 * std::exp(-0.5 * d2 * d2);
+    }
+    // Illumination: slow drift across the time-lapse plus small jitter.
+    const double drift = -0.5 + rng.uniform();
+    m.illumination.resize(static_cast<std::size_t>(f_n));
+    for (index_t f = 0; f < f_n; ++f) {
+      const double x = static_cast<double>(f) /
+                       static_cast<double>(std::max<index_t>(f_n - 1, 1));
+      m.illumination[static_cast<std::size_t>(f)] =
+          1.0 + drift * x + 0.05 * rng.normal();
+    }
+  }
+
+#pragma omp parallel for schedule(static)
+  for (index_t y = 0; y < h; ++y) {
+    const double yy = static_cast<double>(y) / static_cast<double>(h);
+    for (index_t x = 0; x < w; ++x) {
+      const double xx = static_cast<double>(x) / static_cast<double>(w);
+      for (const auto& m : mats) {
+        const double dx = (xx - m.cx) / m.sx, dy = (yy - m.cy) / m.sy;
+        const double footprint = std::exp(-0.5 * (dx * dx + dy * dy));
+        if (footprint < 1e-6) continue;
+        double* cell = t.data() + ((y * w + x) * b_n) * f_n;
+        for (index_t b = 0; b < b_n; ++b) {
+          const double sb = footprint * m.spectrum[static_cast<std::size_t>(b)];
+          for (index_t f = 0; f < f_n; ++f) {
+            cell[b * f_n + f] +=
+                sb * m.illumination[static_cast<std::size_t>(f)];
+          }
+        }
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace parpp::data

@@ -1,0 +1,29 @@
+// Synthetic time-lapse hyperspectral radiance tensor.
+//
+// Substitutes for the "Souto wood pile" dataset (1024 x 1344 x 33 x 9:
+// space x space x wavelength x time). Fig. 5f needs an order-4 tensor with
+// two large, spatially smooth modes, a small spectral mode with smooth
+// per-material radiance curves, and a short time mode with slow
+// illumination drift. We synthesize a scene as a mixture of spatial
+// Gaussian blobs ("materials"), each with a smooth spectrum and a per-frame
+// illumination scale.
+#pragma once
+
+#include "parpp/tensor/dense_tensor.hpp"
+
+namespace parpp::data {
+
+struct HyperspectralOptions {
+  index_t height = 160;
+  index_t width = 200;
+  index_t bands = 33;
+  index_t frames = 9;
+  int materials = 12;
+  std::uint64_t seed = 13;
+};
+
+/// Order-4 tensor (height, width, bands, frames).
+[[nodiscard]] tensor::DenseTensor make_hyperspectral_tensor(
+    const HyperspectralOptions& options);
+
+}  // namespace parpp::data

@@ -1,0 +1,66 @@
+#include "parpp/la/cholesky.hpp"
+
+#include <cmath>
+
+namespace parpp::la {
+
+bool cholesky_lower(Matrix& l) {
+  PARPP_CHECK(l.rows() == l.cols(), "cholesky: matrix must be square");
+  const index_t n = l.rows();
+  for (index_t j = 0; j < n; ++j) {
+    double d = l(j, j);
+    for (index_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double djj = std::sqrt(d);
+    l(j, j) = djj;
+    const double inv = 1.0 / djj;
+#pragma omp parallel for schedule(static) if (n - j > 256)
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = l(i, j);
+      for (index_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s * inv;
+    }
+    for (index_t i = j + 1; i < n; ++i) l(j, i) = 0.0;
+  }
+  return true;
+}
+
+void forward_subst(const Matrix& l, double* b, index_t nrhs) {
+  const index_t n = l.rows();
+  for (index_t i = 0; i < n; ++i) {
+    double* bi = b + i * nrhs;
+    for (index_t k = 0; k < i; ++k) {
+      const double lik = l(i, k);
+      if (lik == 0.0) continue;
+      const double* bk = b + k * nrhs;
+      for (index_t j = 0; j < nrhs; ++j) bi[j] -= lik * bk[j];
+    }
+    const double inv = 1.0 / l(i, i);
+    for (index_t j = 0; j < nrhs; ++j) bi[j] *= inv;
+  }
+}
+
+void backward_subst(const Matrix& l, double* b, index_t nrhs) {
+  const index_t n = l.rows();
+  for (index_t i = n - 1; i >= 0; --i) {
+    double* bi = b + i * nrhs;
+    for (index_t k = i + 1; k < n; ++k) {
+      const double lki = l(k, i);  // (L^T)(i,k)
+      if (lki == 0.0) continue;
+      const double* bk = b + k * nrhs;
+      for (index_t j = 0; j < nrhs; ++j) bi[j] -= lki * bk[j];
+    }
+    const double inv = 1.0 / l(i, i);
+    for (index_t j = 0; j < nrhs; ++j) bi[j] *= inv;
+  }
+}
+
+Matrix cholesky_solve(const Matrix& l, const Matrix& b) {
+  PARPP_CHECK(l.rows() == b.rows(), "cholesky_solve: shape mismatch");
+  Matrix x = b;
+  forward_subst(l, x.data(), x.cols());
+  backward_subst(l, x.data(), x.cols());
+  return x;
+}
+
+}  // namespace parpp::la

@@ -1,0 +1,23 @@
+// Cholesky factorization and triangular solves for SPD systems.
+#pragma once
+
+#include "parpp/la/matrix.hpp"
+
+namespace parpp::la {
+
+/// Attempts the in-place lower Cholesky factorization of a symmetric matrix.
+/// On success `l` holds L with zero strict upper triangle and returns true;
+/// returns false if a non-positive pivot is met (matrix not PD).
+[[nodiscard]] bool cholesky_lower(Matrix& l);
+
+/// Solve L y = b in-place (forward substitution), b is n x nrhs row-major.
+void forward_subst(const Matrix& l, double* b, index_t nrhs);
+
+/// Solve L^T x = b in-place (backward substitution).
+void backward_subst(const Matrix& l, double* b, index_t nrhs);
+
+/// Solve (L L^T) X = B for X, where `l` is a lower Cholesky factor and B is
+/// n x nrhs. Returns X.
+[[nodiscard]] Matrix cholesky_solve(const Matrix& l, const Matrix& b);
+
+}  // namespace parpp::la

@@ -1,0 +1,67 @@
+#include "parpp/la/eig_jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace parpp::la {
+
+SymmetricEig eig_symmetric(const Matrix& a, int max_sweeps) {
+  PARPP_CHECK(a.rows() == a.cols(), "eig_symmetric: matrix must be square");
+  const index_t n = a.rows();
+  Matrix m = a;
+  Matrix v = identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (index_t p = 0; p < n; ++p)
+      for (index_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    if (off < 1e-28 * std::max(1.0, m.frobenius_norm())) break;
+
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m(p, p), aqq = m(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply rotation J(p,q,theta) on both sides of M and to V columns.
+        for (index_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p), mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k), mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::sort(perm.begin(), perm.end(),
+            [&](index_t i, index_t j) { return m(i, i) < m(j, j); });
+
+  SymmetricEig out;
+  out.eigenvalues.resize(static_cast<std::size_t>(n));
+  out.eigenvectors = Matrix(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    out.eigenvalues[static_cast<std::size_t>(j)] = m(perm[j], perm[j]);
+    for (index_t i = 0; i < n; ++i) out.eigenvectors(i, j) = v(i, perm[j]);
+  }
+  return out;
+}
+
+}  // namespace parpp::la

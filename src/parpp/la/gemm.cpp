@@ -1,0 +1,132 @@
+#include "parpp/la/gemm.hpp"
+
+#include <algorithm>
+
+namespace parpp::la {
+
+namespace {
+
+// Cache-block sizes tuned for ~32 KiB L1 / 1 MiB L2 per core; not critical,
+// the library only needs a consistent compute-bound GEMM.
+constexpr index_t kBlockM = 64;
+constexpr index_t kBlockN = 128;
+constexpr index_t kBlockK = 256;
+
+inline double elem(const double* p, index_t ld, Trans t, index_t i, index_t j) {
+  return t == Trans::kNo ? p[i * ld + j] : p[j * ld + i];
+}
+
+// Inner kernel on one (mb x nb x kb) block for the no-transpose-A case:
+// accumulates C[i,:] += A[i,l] * Brow(l,:) with the j-loop vectorizable.
+inline void block_kernel(index_t mb, index_t nb, index_t kb, double alpha,
+                         const double* a, index_t lda, Trans ta,
+                         const double* b, index_t ldb, Trans tb, double* c,
+                         index_t ldc) {
+  for (index_t i = 0; i < mb; ++i) {
+    double* crow = c + i * ldc;
+    for (index_t l = 0; l < kb; ++l) {
+      const double av = alpha * elem(a, lda, ta, i, l);
+      if (av == 0.0) continue;
+      if (tb == Trans::kNo) {
+        const double* brow = b + l * ldb;
+        for (index_t j = 0; j < nb; ++j) crow[j] += av * brow[j];
+      } else {
+        const double* bcol = b + l;  // op(B)(l,j) = B(j,l)
+        for (index_t j = 0; j < nb; ++j) crow[j] += av * bcol[j * ldb];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_raw(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
+              double alpha, const double* a, index_t lda, const double* b,
+              index_t ldb, double beta, double* c, index_t ldc) {
+  PARPP_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  if (m == 0 || n == 0) return;
+
+  if (beta != 1.0) {
+    for (index_t i = 0; i < m; ++i) {
+      double* crow = c + i * ldc;
+      if (beta == 0.0)
+        std::fill(crow, crow + n, 0.0);
+      else
+        for (index_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (k == 0 || alpha == 0.0) return;
+
+  // Parallelize over M blocks; each thread owns disjoint C rows.
+#pragma omp parallel for schedule(static) if (m * n * k > (index_t{1} << 16))
+  for (index_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const index_t mb = std::min(kBlockM, m - i0);
+    for (index_t l0 = 0; l0 < k; l0 += kBlockK) {
+      const index_t kb = std::min(kBlockK, k - l0);
+      for (index_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const index_t nb = std::min(kBlockN, n - j0);
+        const double* ablk = trans_a == Trans::kNo ? a + i0 * lda + l0
+                                                   : a + l0 * lda + i0;
+        const double* bblk = trans_b == Trans::kNo ? b + l0 * ldb + j0
+                                                   : b + j0 * ldb + l0;
+        block_kernel(mb, nb, kb, alpha, ablk, lda, trans_a, bblk, ldb, trans_b,
+                     c + i0 * ldc + j0, ldc);
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a, Trans trans_b) {
+  const index_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const index_t ka = trans_a == Trans::kNo ? a.cols() : a.rows();
+  const index_t kb = trans_b == Trans::kNo ? b.rows() : b.cols();
+  const index_t n = trans_b == Trans::kNo ? b.cols() : b.rows();
+  PARPP_CHECK(ka == kb, "matmul: inner dimension mismatch ", ka, " vs ", kb);
+  Matrix c(m, n);
+  gemm_raw(trans_a, trans_b, m, n, ka, 1.0, a.data(), a.cols(), b.data(),
+           b.cols(), 0.0, c.data(), c.cols());
+  return c;
+}
+
+Matrix gram(const Matrix& a, Profile* profile) {
+  const index_t n = a.cols();
+  const index_t m = a.rows();
+  Matrix s(n, n);
+  {
+    ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                     Kernel::kOther,
+                     static_cast<double>(m) * n * n);
+    // Upper triangle via dot products over contiguous columns of A^T view;
+    // A is row-major so we accumulate row-by-row to stay streaming.
+#pragma omp parallel for schedule(static) if (m * n * n > (index_t{1} << 16))
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t l = j; l < n; ++l) s(j, l) = 0.0;
+    }
+    // Serial accumulation over rows, parallel over output pairs per chunk.
+    // For typical shapes (m >> n == R <= a few hundred) this is fast enough.
+#pragma omp parallel
+    {
+      Matrix local(n, n);
+#pragma omp for schedule(static) nowait
+      for (index_t i = 0; i < m; ++i) {
+        const double* row = a.row(i);
+        for (index_t j = 0; j < n; ++j) {
+          const double v = row[j];
+          if (v == 0.0) continue;
+          double* lrow = local.row(j);
+          for (index_t l = j; l < n; ++l) lrow[l] += v * row[l];
+        }
+      }
+#pragma omp critical
+      {
+        for (index_t j = 0; j < n; ++j)
+          for (index_t l = j; l < n; ++l) s(j, l) += local(j, l);
+      }
+    }
+    for (index_t j = 0; j < n; ++j)
+      for (index_t l = 0; l < j; ++l) s(j, l) = s(l, j);
+  }
+  return s;
+}
+
+}  // namespace parpp::la

@@ -1,0 +1,91 @@
+#include "parpp/la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parpp::la {
+
+Matrix::Matrix(index_t rows, index_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), 0.0) {
+  PARPP_CHECK(rows >= 0 && cols >= 0, "matrix dims must be non-negative, got ",
+              rows, "x", cols);
+}
+
+Matrix::Matrix(index_t rows, index_t cols, std::initializer_list<double> values)
+    : Matrix(rows, cols) {
+  PARPP_CHECK(static_cast<index_t>(values.size()) == rows * cols,
+              "initializer size ", values.size(), " != ", rows * cols);
+  std::copy(values.begin(), values.end(), data_.begin());
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::fill_uniform(Rng& rng) {
+  for (auto& x : data_) x = rng.uniform();
+}
+
+void Matrix::fill_normal(Rng& rng) {
+  for (auto& x : data_) x = rng.normal();
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::dot(const Matrix& other) const {
+  PARPP_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "dot: shape mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) s += data_[i] * other.data_[i];
+  return s;
+}
+
+void Matrix::axpy(double alpha, const Matrix& other) {
+  PARPP_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "axpy: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::scale(double alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+void Matrix::hadamard_inplace(const Matrix& other) {
+  PARPP_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "hadamard: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  PARPP_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  return m;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.hadamard_inplace(b);
+  return c;
+}
+
+Matrix identity(index_t n) {
+  Matrix m(n, n);
+  for (index_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+}  // namespace parpp::la

@@ -1,0 +1,20 @@
+// SPD solve with pseudo-inverse fallback — the ALS factor update kernel.
+#pragma once
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/util/profile.hpp"
+
+namespace parpp::la {
+
+/// Computes X = M * G† where G is symmetric positive (semi-)definite R x R
+/// and M is s x R — the CP-ALS update A(n) = M(n) Γ(n)† (Algorithm 1 line 8).
+///
+/// Fast path: Cholesky of G and s independent two-triangular solves
+/// (parallel over rows of M). If G is not numerically PD, falls back to a
+/// Jacobi eigendecomposition pseudo-inverse with relative cutoff `rcond`.
+/// Work is charged to Kernel::kSolve in `profile`.
+[[nodiscard]] Matrix solve_gram(const Matrix& g, const Matrix& m,
+                                Profile* profile = nullptr,
+                                double rcond = 1e-12);
+
+}  // namespace parpp::la

@@ -1,0 +1,193 @@
+#include "parpp/mpsim/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace parpp::mpsim {
+
+namespace detail {
+
+Group::Group(int size_in)
+    : size(size_in),
+      barrier(std::make_unique<std::barrier<>>(size_in)),
+      src(static_cast<std::size_t>(size_in), nullptr),
+      dst(static_cast<std::size_t>(size_in), nullptr),
+      split_keys(static_cast<std::size_t>(size_in), {0, 0}) {
+  PARPP_CHECK(size_in >= 1, "communicator group must have >= 1 rank");
+}
+
+}  // namespace detail
+
+Comm::Comm(std::shared_ptr<detail::Group> group, int rank, CostCounter* cost,
+           Profile* profile)
+    : group_(std::move(group)), rank_(rank), cost_(cost), profile_(profile) {}
+
+void Comm::barrier() const {
+  if (group_ && group_->size > 1) group_->barrier->arrive_and_wait();
+}
+
+void Comm::allreduce_sum(double* data, index_t count) const {
+  if (size() <= 1) return;
+  ScopedProfile sp(profile_ ? *profile_ : Profile::thread_default(),
+                   Kernel::kComm);
+  if (cost_) cost_->charge(Collective::kAllReduce, size(), static_cast<double>(count));
+
+  auto& g = *group_;
+  g.src[static_cast<std::size_t>(rank_)] = data;
+  barrier();
+  // Each rank sums its own slice from everyone into a private buffer, then
+  // publishes the slice; a final gather pass assembles the full result.
+  const int p = size();
+  const index_t chunk = (count + p - 1) / p;
+  const index_t lo = std::min<index_t>(count, rank_ * chunk);
+  const index_t hi = std::min<index_t>(count, lo + chunk);
+  std::vector<double> slice(static_cast<std::size_t>(hi - lo), 0.0);
+  for (int r = 0; r < p; ++r) {
+    const double* s = g.src[static_cast<std::size_t>(r)];
+    for (index_t i = lo; i < hi; ++i)
+      slice[static_cast<std::size_t>(i - lo)] += s[i];
+  }
+  barrier();  // all reads of src complete
+  g.src[static_cast<std::size_t>(rank_)] = slice.data();
+  g.dst[static_cast<std::size_t>(rank_)] = data;
+  barrier();
+  // Everyone copies every slice into their own buffer.
+  for (int r = 0; r < p; ++r) {
+    const index_t rlo = std::min<index_t>(count, r * chunk);
+    const index_t rhi = std::min<index_t>(count, rlo + chunk);
+    std::memcpy(data + rlo, g.src[static_cast<std::size_t>(r)],
+                static_cast<std::size_t>(rhi - rlo) * sizeof(double));
+  }
+  barrier();  // slices stay alive until all ranks finished copying
+}
+
+void Comm::allgather(const double* in, index_t local_count, double* out) const {
+  if (size() <= 1) {
+    if (out != in) std::memcpy(out, in, static_cast<std::size_t>(local_count) * sizeof(double));
+    return;
+  }
+  ScopedProfile sp(profile_ ? *profile_ : Profile::thread_default(),
+                   Kernel::kComm);
+  if (cost_)
+    cost_->charge(Collective::kAllGather, size(),
+                  static_cast<double>(local_count) * size());
+  auto& g = *group_;
+  g.src[static_cast<std::size_t>(rank_)] = in;
+  barrier();
+  for (int r = 0; r < size(); ++r) {
+    const double* s = g.src[static_cast<std::size_t>(r)];
+    if (out + r * local_count != s)
+      std::memcpy(out + r * local_count, s,
+                  static_cast<std::size_t>(local_count) * sizeof(double));
+  }
+  barrier();
+}
+
+void Comm::reduce_scatter_sum(const double* in, index_t total_count,
+                              double* out) const {
+  const int p = size();
+  PARPP_CHECK(total_count % p == 0,
+              "reduce_scatter: count must divide by ranks (use padding)");
+  const index_t chunk = total_count / p;
+  if (p == 1) {
+    if (out != in) std::memcpy(out, in, static_cast<std::size_t>(chunk) * sizeof(double));
+    return;
+  }
+  ScopedProfile sp(profile_ ? *profile_ : Profile::thread_default(),
+                   Kernel::kComm);
+  if (cost_)
+    cost_->charge(Collective::kReduceScatter, p,
+                  static_cast<double>(total_count));
+  auto& g = *group_;
+  g.src[static_cast<std::size_t>(rank_)] = in;
+  barrier();
+  const index_t lo = rank_ * chunk;
+  std::fill(out, out + chunk, 0.0);
+  for (int r = 0; r < p; ++r) {
+    const double* s = g.src[static_cast<std::size_t>(r)] + lo;
+    for (index_t i = 0; i < chunk; ++i) out[i] += s[i];
+  }
+  barrier();
+}
+
+void Comm::bcast(double* data, index_t count, int root) const {
+  if (size() <= 1) return;
+  ScopedProfile sp(profile_ ? *profile_ : Profile::thread_default(),
+                   Kernel::kComm);
+  if (cost_)
+    cost_->charge(Collective::kBcast, size(), static_cast<double>(count));
+  auto& g = *group_;
+  if (rank_ == root) g.src[static_cast<std::size_t>(root)] = data;
+  barrier();
+  if (rank_ != root)
+    std::memcpy(data, g.src[static_cast<std::size_t>(root)],
+                static_cast<std::size_t>(count) * sizeof(double));
+  barrier();
+}
+
+void Comm::alltoall(const double* in, index_t count_per_pair, double* out) const {
+  const int p = size();
+  if (p == 1) {
+    if (out != in)
+      std::memcpy(out, in, static_cast<std::size_t>(count_per_pair) * sizeof(double));
+    return;
+  }
+  ScopedProfile sp(profile_ ? *profile_ : Profile::thread_default(),
+                   Kernel::kComm);
+  if (cost_)
+    cost_->charge(Collective::kAllToAll, p,
+                  static_cast<double>(count_per_pair) * p);
+  auto& g = *group_;
+  g.src[static_cast<std::size_t>(rank_)] = in;
+  barrier();
+  for (int r = 0; r < p; ++r) {
+    // Receive chunk destined to me (index rank_) from rank r.
+    std::memcpy(out + r * count_per_pair,
+                g.src[static_cast<std::size_t>(r)] + rank_ * count_per_pair,
+                static_cast<std::size_t>(count_per_pair) * sizeof(double));
+  }
+  barrier();
+}
+
+Comm Comm::split(int color, int key) const {
+  if (!group_ || group_->size == 1) {
+    return Comm(std::make_shared<detail::Group>(1), 0, cost_, profile_);
+  }
+  auto& g = *group_;
+  g.split_keys[static_cast<std::size_t>(rank_)] = {color, key};
+  barrier();
+  // One designated rank per color builds the child group.
+  bool lowest_of_color = true;
+  int my_child_size = 0;
+  for (int r = 0; r < g.size; ++r) {
+    if (g.split_keys[static_cast<std::size_t>(r)].first == color) {
+      ++my_child_size;
+      if (r < rank_) lowest_of_color = false;
+    }
+  }
+  if (lowest_of_color) {
+    std::lock_guard<std::mutex> lk(g.split_mutex);
+    g.split_children[color] = std::make_shared<detail::Group>(my_child_size);
+  }
+  barrier();
+  std::shared_ptr<detail::Group> child;
+  {
+    std::lock_guard<std::mutex> lk(g.split_mutex);
+    child = g.split_children.at(color);
+  }
+  // Child rank: order members by (key, parent rank).
+  int child_rank = 0;
+  const auto mine = g.split_keys[static_cast<std::size_t>(rank_)];
+  for (int r = 0; r < g.size; ++r) {
+    if (r == rank_) continue;
+    const auto other = g.split_keys[static_cast<std::size_t>(r)];
+    if (other.first != color) continue;
+    if (other.second < mine.second ||
+        (other.second == mine.second && r < rank_))
+      ++child_rank;
+  }
+  barrier();  // ensure map reads finish before any later split reuses it
+  return Comm(child, child_rank, cost_, profile_);
+}
+
+}  // namespace parpp::mpsim

@@ -1,0 +1,89 @@
+// Communicator abstraction over the thread-rank simulator.
+//
+// Substitutes for MPI (see DESIGN.md): each rank is a std::thread; the
+// collectives below exchange data through shared staging pointers guarded by
+// a group barrier, and additionally charge the BSP alpha-beta model costs
+// that a fully-connected network implementation would incur (Sec. II-E).
+#pragma once
+
+#include <barrier>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "parpp/mpsim/cost.hpp"
+#include "parpp/util/common.hpp"
+#include "parpp/util/profile.hpp"
+
+namespace parpp::mpsim {
+
+namespace detail {
+
+/// Shared state for one communicator group. All member ranks hold the same
+/// Group through shared_ptr; staging slots are indexed by group rank.
+struct Group {
+  explicit Group(int size);
+
+  int size;
+  std::unique_ptr<std::barrier<>> barrier;
+  std::vector<const double*> src;  ///< publish slots (one per rank)
+  std::vector<double*> dst;        ///< destination slots where needed
+
+  // split() coordination: rank 0 per color creates the child group.
+  std::mutex split_mutex;
+  std::map<int, std::shared_ptr<Group>> split_children;
+  std::vector<std::pair<int, int>> split_keys;  ///< (color, key) per rank
+  std::uint64_t split_generation = 0;
+};
+
+}  // namespace detail
+
+/// Handle a rank uses to talk to its group. Cheap to copy.
+class Comm {
+ public:
+  Comm() = default;
+  Comm(std::shared_ptr<detail::Group> group, int rank, CostCounter* cost,
+       Profile* profile);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return group_ ? group_->size : 1; }
+
+  void barrier() const;
+
+  /// All ranks contribute `count` words at `data`; on return every rank's
+  /// buffer holds the element-wise sum. In place.
+  void allreduce_sum(double* data, index_t count) const;
+
+  /// Gathers `local_count` words from each rank into `out` (size
+  /// local_count * size) in rank order. `in` may alias `out + rank*count`.
+  void allgather(const double* in, index_t local_count, double* out) const;
+
+  /// Element-wise sums the full `total_count`-word buffers across ranks and
+  /// leaves chunk `rank` (of size total_count / size, which must divide) in
+  /// `out`.
+  void reduce_scatter_sum(const double* in, index_t total_count,
+                          double* out) const;
+
+  /// Broadcast `count` words from `root` to all ranks. In place.
+  void bcast(double* data, index_t count, int root) const;
+
+  /// Personalized all-to-all: rank r sends chunk q of `in` to rank q, which
+  /// stores it at chunk r of `out`. Chunk size = count_per_pair words.
+  void alltoall(const double* in, index_t count_per_pair, double* out) const;
+
+  /// Collective split: every member must call with some (color, key); ranks
+  /// sharing a color form a child communicator ordered by (key, old rank).
+  [[nodiscard]] Comm split(int color, int key) const;
+
+  [[nodiscard]] CostCounter* cost() const { return cost_; }
+  [[nodiscard]] Profile* profile() const { return profile_; }
+
+ private:
+  std::shared_ptr<detail::Group> group_;
+  int rank_ = 0;
+  CostCounter* cost_ = nullptr;
+  Profile* profile_ = nullptr;
+};
+
+}  // namespace parpp::mpsim

@@ -1,0 +1,76 @@
+#include "parpp/mpsim/cost.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+
+namespace parpp::mpsim {
+
+namespace {
+std::atomic<bool> g_network_enabled{false};
+CostParams g_network_params;
+}  // namespace
+
+void NetworkModel::enable(const CostParams& params) {
+  g_network_params = params;
+  g_network_enabled.store(true, std::memory_order_release);
+}
+
+void NetworkModel::disable() {
+  g_network_enabled.store(false, std::memory_order_release);
+}
+
+bool NetworkModel::enabled() {
+  return g_network_enabled.load(std::memory_order_acquire);
+}
+
+void NetworkModel::delay(double msgs, double words) {
+  if (!enabled()) return;
+  const double seconds =
+      msgs * g_network_params.alpha + words * g_network_params.beta;
+  if (seconds <= 0.0) return;
+  // Spin on the steady clock: sleep_for granularity (~50us) would distort
+  // the microsecond-scale latencies being modeled.
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() - start < budget) {
+  }
+}
+
+const char* collective_name(Collective c) {
+  switch (c) {
+    case Collective::kAllGather: return "All-Gather";
+    case Collective::kReduceScatter: return "Reduce-Scatter";
+    case Collective::kAllReduce: return "All-Reduce";
+    case Collective::kBcast: return "Bcast";
+    case Collective::kAllToAll: return "All-to-All";
+    case Collective::kCount: break;
+  }
+  return "?";
+}
+
+void CostCounter::charge(Collective c, int procs, double words) {
+  if (procs <= 1) return;
+  const double logp = std::log2(static_cast<double>(procs));
+  double msgs = logp, moved = words;
+  if (c == Collective::kAllReduce) {
+    msgs = 2.0 * logp;
+    moved = 2.0 * words;
+  }
+  total_.add_collective(msgs, moved);
+  per_class_[static_cast<int>(c)].add_collective(msgs, moved);
+  NetworkModel::delay(msgs, moved);
+}
+
+void CostCounter::clear() {
+  total_ = CostTally{};
+  for (auto& t : per_class_) t = CostTally{};
+}
+
+void CostCounter::accumulate(const CostCounter& other) {
+  total_.accumulate(other.total_);
+  for (int i = 0; i < static_cast<int>(Collective::kCount); ++i)
+    per_class_[i].accumulate(other.per_class_[i]);
+}
+
+}  // namespace parpp::mpsim

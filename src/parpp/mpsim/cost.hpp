@@ -1,0 +1,56 @@
+// Per-rank communication cost accounting for the simulator.
+#pragma once
+
+#include "parpp/util/cost_model.hpp"
+
+namespace parpp::mpsim {
+
+/// Classes of collectives whose alpha/beta charges are tracked separately so
+/// benches can attribute communication to algorithm phases.
+enum class Collective : int {
+  kAllGather = 0,
+  kReduceScatter,
+  kAllReduce,
+  kBcast,
+  kAllToAll,
+  kCount
+};
+
+[[nodiscard]] const char* collective_name(Collective c);
+
+/// Optional network-delay injection: when enabled, every collective spins
+/// for the alpha-beta modeled time of the messages/words it charged. This
+/// lets the thread-rank simulator reproduce communication-bound *wall
+/// clock* behaviour (e.g. Table II) that shared-memory copies would
+/// otherwise hide. Global, process-wide; off by default (tests measure
+/// pure algorithm behaviour).
+class NetworkModel {
+ public:
+  static void enable(const CostParams& params);
+  static void disable();
+  [[nodiscard]] static bool enabled();
+  /// Spin for msgs * alpha + words * beta seconds if enabled.
+  static void delay(double msgs, double words);
+};
+
+/// Accumulates the BSP model charges (Sec. II-E) per rank. `charge` applies
+/// the paper's costs: All-Gather / Reduce-Scatter log(P) alpha + n beta,
+/// All-Reduce 2 log(P) alpha + 2 n beta, Bcast log(P) alpha + n beta,
+/// All-to-All log(P) alpha + n beta (simplified). No charge when P == 1.
+class CostCounter {
+ public:
+  void charge(Collective c, int procs, double words);
+
+  [[nodiscard]] const CostTally& total() const { return total_; }
+  [[nodiscard]] const CostTally& by_class(Collective c) const {
+    return per_class_[static_cast<int>(c)];
+  }
+  void clear();
+  void accumulate(const CostCounter& other);
+
+ private:
+  CostTally total_;
+  CostTally per_class_[static_cast<int>(Collective::kCount)];
+};
+
+}  // namespace parpp::mpsim

@@ -1,0 +1,74 @@
+#include "parpp/mpsim/grid.hpp"
+
+#include <algorithm>
+
+namespace parpp::mpsim {
+
+ProcessorGrid::ProcessorGrid(Comm world, std::vector<int> dims)
+    : world_(std::move(world)), dims_(std::move(dims)) {
+  int total = 1;
+  for (int d : dims_) {
+    PARPP_CHECK(d >= 1, "grid dims must be positive");
+    total *= d;
+  }
+  PARPP_CHECK(total == world_.size(), "grid volume ", total,
+              " != communicator size ", world_.size());
+  coords_ = coords_of(world_.rank());
+
+  slice_comms_.reserve(dims_.size());
+  for (int mode = 0; mode < order(); ++mode) {
+    // Color = my coordinate on `mode`; key = flattened remaining coords so
+    // in-group ranks are ordered consistently across the grid.
+    int key = 0;
+    for (int m = 0; m < order(); ++m) {
+      if (m == mode) continue;
+      key = key * dim(m) + coord(m);
+    }
+    slice_comms_.push_back(world_.split(coord(mode), key));
+  }
+}
+
+std::vector<int> ProcessorGrid::coords_of(int rank) const {
+  std::vector<int> c(dims_.size());
+  for (int m = order() - 1; m >= 0; --m) {
+    c[static_cast<std::size_t>(m)] = rank % dim(m);
+    rank /= dim(m);
+  }
+  return c;
+}
+
+int ProcessorGrid::rank_of(const std::vector<int>& coords) const {
+  PARPP_CHECK(static_cast<int>(coords.size()) == order(),
+              "rank_of: coord order mismatch");
+  int r = 0;
+  for (int m = 0; m < order(); ++m) {
+    PARPP_ASSERT(coords[static_cast<std::size_t>(m)] >= 0 &&
+                     coords[static_cast<std::size_t>(m)] < dim(m),
+                 "rank_of: coordinate out of range");
+    r = r * dim(m) + coords[static_cast<std::size_t>(m)];
+  }
+  return r;
+}
+
+std::vector<int> ProcessorGrid::balanced_dims(int nprocs, int order) {
+  PARPP_CHECK(nprocs >= 1 && order >= 1, "balanced_dims: bad arguments");
+  std::vector<int> dims(static_cast<std::size_t>(order), 1);
+  // Peel prime factors largest-first onto the currently smallest dim.
+  std::vector<int> primes;
+  int n = nprocs;
+  for (int f = 2; f * f <= n; ++f)
+    while (n % f == 0) {
+      primes.push_back(f);
+      n /= f;
+    }
+  if (n > 1) primes.push_back(n);
+  std::sort(primes.rbegin(), primes.rend());
+  for (int p : primes) {
+    auto it = std::min_element(dims.begin(), dims.end());
+    *it *= p;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+}  // namespace parpp::mpsim

@@ -1,0 +1,61 @@
+// N-dimensional logical processor grid (paper Sec. II-A / Algorithm 3).
+#pragma once
+
+#include <vector>
+
+#include "parpp/mpsim/comm.hpp"
+#include "parpp/util/common.hpp"
+
+namespace parpp::mpsim {
+
+/// Maps world ranks to coordinates on an order-N grid I_1 x ... x I_N
+/// (row-major: last grid mode varies fastest) and builds the per-mode
+/// "slice" sub-communicators of Algorithm 3: for mode i, the group of all
+/// processors sharing the same i-th coordinate x_i (size P / I_i). The
+/// MTTKRP Reduce-Scatter and factor All-Gather for mode i run inside that
+/// group.
+class ProcessorGrid {
+ public:
+  ProcessorGrid(Comm world, std::vector<int> dims);
+
+  [[nodiscard]] int order() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const std::vector<int>& dims() const { return dims_; }
+  [[nodiscard]] int dim(int mode) const {
+    return dims_[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] int world_size() const { return world_.size(); }
+  [[nodiscard]] int world_rank() const { return world_.rank(); }
+  [[nodiscard]] const Comm& world() const { return world_; }
+
+  /// This rank's grid coordinates.
+  [[nodiscard]] const std::vector<int>& coords() const { return coords_; }
+  [[nodiscard]] int coord(int mode) const {
+    return coords_[static_cast<std::size_t>(mode)];
+  }
+
+  [[nodiscard]] std::vector<int> coords_of(int rank) const;
+  [[nodiscard]] int rank_of(const std::vector<int>& coords) const;
+
+  /// Sub-communicator of ranks sharing this rank's coordinate on `mode`
+  /// (built collectively in the constructor; cheap accessor afterwards).
+  [[nodiscard]] const Comm& slice_comm(int mode) const {
+    return slice_comms_[static_cast<std::size_t>(mode)];
+  }
+  /// Number of ranks in each slice group for `mode` (P / I_mode).
+  [[nodiscard]] int slice_size(int mode) const {
+    return world_.size() / dim(mode);
+  }
+
+  /// Factorizes `nprocs` into `order` near-balanced grid dims (largest
+  /// factors on the largest tensor modes is the caller's concern; this
+  /// returns non-increasing dims).
+  [[nodiscard]] static std::vector<int> balanced_dims(int nprocs, int order);
+
+ private:
+  Comm world_;
+  std::vector<int> dims_;
+  std::vector<int> coords_;
+  std::vector<Comm> slice_comms_;
+};
+
+}  // namespace parpp::mpsim

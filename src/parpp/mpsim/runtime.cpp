@@ -1,0 +1,75 @@
+#include "parpp/mpsim/runtime.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace parpp::mpsim {
+
+CostCounter RunResult::max_cost() const {
+  // Use the rank with the largest total modeled seconds as the critical
+  // path representative.
+  CostCounter best;
+  double best_s = -1.0;
+  const CostParams params;
+  for (const auto& c : costs) {
+    const double s = c.total().seconds(params);
+    if (s > best_s) {
+      best_s = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Profile RunResult::max_profile() const {
+  Profile best;
+  double best_s = -1.0;
+  for (const auto& p : profiles) {
+    if (p.total_seconds() > best_s) {
+      best_s = p.total_seconds();
+      best = p;
+    }
+  }
+  return best;
+}
+
+RunResult run(int nprocs, const std::function<void(Comm&)>& body,
+              const RunOptions& options) {
+  PARPP_CHECK(nprocs >= 1, "run: need at least one rank");
+  RunResult result;
+  result.costs.resize(static_cast<std::size_t>(nprocs));
+  result.profiles.resize(static_cast<std::size_t>(nprocs));
+
+  auto group = std::make_shared<detail::Group>(nprocs);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs));
+
+  for (int r = 0; r < nprocs; ++r) {
+    threads.emplace_back([&, r] {
+      omp_set_num_threads(std::max(1, options.threads_per_rank));
+      Profile::thread_default().clear();
+      // Pass no explicit profile: collectives then charge the thread-local
+      // default, the same sink the kernels use, so per-sweep deltas taken by
+      // drivers see compute and communication together.
+      Comm comm(group, r, &result.costs[static_cast<std::size_t>(r)], nullptr);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      // Kernels that used the thread-local default profile report here.
+      result.profiles[static_cast<std::size_t>(r)].accumulate(
+          Profile::thread_default());
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return result;
+}
+
+}  // namespace parpp::mpsim

@@ -1,0 +1,32 @@
+// Simulator entry point: run an SPMD function over P thread-ranks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "parpp/mpsim/comm.hpp"
+
+namespace parpp::mpsim {
+
+struct RunOptions {
+  /// OpenMP threads each rank may use inside kernels. Default 1 so rank
+  /// wall-times are comparable; raise it for few-rank runs.
+  int threads_per_rank = 1;
+};
+
+/// Result of a simulated run: per-rank cost tallies and kernel profiles.
+struct RunResult {
+  std::vector<CostCounter> costs;
+  std::vector<Profile> profiles;
+
+  [[nodiscard]] CostCounter max_cost() const;       ///< critical-path proxy
+  [[nodiscard]] Profile max_profile() const;        ///< per-category max
+};
+
+/// Runs `body(comm)` on `nprocs` ranks (std::thread each) and returns the
+/// per-rank accounting. Exceptions thrown by any rank are captured and the
+/// first one is rethrown after all ranks join.
+RunResult run(int nprocs, const std::function<void(Comm&)>& body,
+              const RunOptions& options = {});
+
+}  // namespace parpp::mpsim

@@ -1,0 +1,191 @@
+#include "parpp/par/par_cp_als.hpp"
+
+#include <cmath>
+
+#include "parpp/core/fitness.hpp"
+#include "parpp/core/gram.hpp"
+#include "parpp/core/solve_update.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/util/timer.hpp"
+
+namespace parpp::par {
+
+ParCpContext::ParCpContext(mpsim::Comm& comm,
+                           const tensor::DenseTensor& global_t,
+                           const ParOptions& options)
+    : comm_(comm),
+      options_(options),
+      n_(global_t.order()),
+      grid_(comm, options.grid_dims),
+      dist_(grid_, global_t.shape()),
+      local_(dist::extract_local_block(global_t, dist_, grid_.coords())),
+      fd_(grid_, dist_, options.base.rank) {
+  // Deterministic global initialization so any grid reproduces the
+  // sequential run bit-for-bit (each rank generates the same matrices).
+  const auto global_factors = core::init_factors(
+      global_t.shape(), options_.base.rank, options_.base.seed);
+  grams_.resize(static_cast<std::size_t>(n_));
+  for (int m = 0; m < n_; ++m) {
+    fd_.set_q_from_global(m, global_factors[static_cast<std::size_t>(m)]);
+    la::Matrix s = la::gram(fd_.q(m));
+    comm_.allreduce_sum(s.data(), s.size());
+    grams_[static_cast<std::size_t>(m)] = std::move(s);
+    fd_.gather_slice(m);
+  }
+  engine_ = core::make_engine(options_.local_engine, local_, fd_.slices(),
+                              nullptr, options_.engine_options);
+
+  double sq = local_.squared_norm();
+  comm_.allreduce_sum(&sq, 1);
+  t_sq_ = sq;
+}
+
+void ParCpContext::solve_and_propagate(int mode, const la::Matrix& m_q,
+                                       const la::Matrix& gamma) {
+  la::Matrix a_q;
+  if (options_.solve == SolveMode::kDistributedRows) {
+    a_q = core::update_factor(gamma, m_q);
+  } else {
+    // PLANC-style sequential solve: gather all Q rows, solve the full
+    // system redundantly on every rank, keep our rows. Row-independent, so
+    // the result matches the distributed path exactly; only the cost model
+    // differs (extra All-Gather + replicated solve flops).
+    const index_t rows_q = m_q.rows();
+    la::Matrix m_full(rows_q * comm_.size(), m_q.cols());
+    comm_.allgather(m_q.data(), m_q.size(), m_full.data());
+    la::Matrix a_full = core::update_factor(gamma, m_full);
+    a_q = la::Matrix(rows_q, m_q.cols());
+    std::copy(a_full.row(comm_.rank() * rows_q),
+              a_full.row(comm_.rank() * rows_q) + a_q.size(), a_q.data());
+  }
+  fd_.q(mode) = std::move(a_q);
+  la::Matrix s = la::gram(fd_.q(mode));
+  comm_.allreduce_sum(s.data(), s.size());
+  grams_[static_cast<std::size_t>(mode)] = std::move(s);
+  fd_.gather_slice(mode);
+  engine_->notify_update(mode);
+}
+
+void ParCpContext::apply_pp_mttkrp(int mode, const la::Matrix& m_q) {
+  la::Matrix gamma = core::gamma_chain(grams_, mode);
+  if (mode == n_ - 1) {
+    gamma_last_ = gamma;
+    mq_last_ = m_q;
+  }
+  solve_and_propagate(mode, m_q, gamma);
+}
+
+void ParCpContext::update_mode(int mode) {
+  la::Matrix gamma = core::gamma_chain(grams_, mode);
+  la::Matrix m_local = engine_->mttkrp(mode);
+  la::Matrix m_q = fd_.reduce_scatter(mode, m_local);
+  if (mode == n_ - 1) {
+    gamma_last_ = gamma;
+    mq_last_ = m_q;
+  }
+  solve_and_propagate(mode, m_q, gamma);
+}
+
+double ParCpContext::residual() {
+  PARPP_CHECK(!mq_last_.empty(), "residual: no completed sweep");
+  // <M(N), A(N)> — Q rows are disjoint across ranks, so a scalar All-Reduce
+  // completes the inner product; <Γ, S> is replicated.
+  double cross = mq_last_.dot(fd_.q(n_ - 1));
+  comm_.allreduce_sum(&cross, 1);
+  const double model_sq =
+      gamma_last_.dot(grams_[static_cast<std::size_t>(n_ - 1)]);
+  const double num_sq = std::max(0.0, t_sq_ + model_sq - 2.0 * cross);
+  return t_sq_ > 0.0 ? std::sqrt(num_sq) / std::sqrt(t_sq_) : 0.0;
+}
+
+double ParCpContext::measure_residual() {
+  const int last = n_ - 1;
+  la::Matrix gamma = core::gamma_chain(grams_, last);
+  la::Matrix m_local = engine_->mttkrp(last);
+  la::Matrix m_q = fd_.reduce_scatter(last, m_local);
+  double cross = m_q.dot(fd_.q(last));
+  comm_.allreduce_sum(&cross, 1);
+  const double model_sq = gamma.dot(grams_[static_cast<std::size_t>(last)]);
+  const double num_sq = std::max(0.0, t_sq_ + model_sq - 2.0 * cross);
+  return t_sq_ > 0.0 ? std::sqrt(num_sq) / std::sqrt(t_sq_) : 0.0;
+}
+
+std::vector<double> ParCpContext::global_sq_norms(
+    const std::vector<la::Matrix>& q_mats) const {
+  std::vector<double> sq(q_mats.size(), 0.0);
+  for (std::size_t i = 0; i < q_mats.size(); ++i) {
+    const double f = q_mats[i].frobenius_norm();
+    sq[i] = f * f;
+  }
+  comm_.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()));
+  return sq;
+}
+
+ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
+                     const ParOptions& options) {
+  ParResult result;
+  std::vector<std::vector<Profile>> sweep_profiles(
+      static_cast<std::size_t>(nprocs));
+
+  mpsim::RunOptions ropt;
+  ropt.threads_per_rank = options.threads_per_rank;
+  auto run_result = mpsim::run(
+      nprocs,
+      [&](mpsim::Comm& comm) {
+        ParCpContext ctx(comm, global_t, options);
+        const int n = ctx.order();
+        WallTimer timer;
+        double fit = 0.0, fit_old = -1.0;
+        int sweep = 0;
+        while (sweep < options.base.max_sweeps &&
+               std::abs(fit - fit_old) > options.base.tol) {
+          const Profile before = Profile::thread_default();
+          for (int i = 0; i < n; ++i) ctx.update_mode(i);
+          ++sweep;
+          fit_old = fit;
+          const double r = ctx.residual();
+          fit = core::fitness_from_residual(r);
+          sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
+              Profile::thread_default().delta_since(before));
+          if (comm.rank() == 0) {
+            if (options.base.record_history)
+              result.history.push_back({timer.seconds(), fit, "als"});
+            result.residual = r;
+            result.fitness = fit;
+            result.sweeps = sweep;
+            result.num_als_sweeps = sweep;
+          }
+        }
+        // Assemble global factors (collective) and let rank 0 keep them.
+        std::vector<la::Matrix> assembled;
+        assembled.reserve(static_cast<std::size_t>(n));
+        for (int m = 0; m < n; ++m) assembled.push_back(ctx.assemble_factor(m));
+        if (comm.rank() == 0) result.factors = std::move(assembled);
+      },
+      ropt);
+
+  // Per-sweep profile of the slowest rank.
+  const std::size_t sweeps = result.sweeps > 0
+                                 ? sweep_profiles[0].size()
+                                 : std::size_t{0};
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    Profile worst;
+    double worst_total = -1.0;
+    for (const auto& per_rank : sweep_profiles) {
+      if (s >= per_rank.size()) continue;
+      if (per_rank[s].total_seconds() > worst_total) {
+        worst_total = per_rank[s].total_seconds();
+        worst = per_rank[s];
+      }
+    }
+    result.sweep_profiles.push_back(worst);
+  }
+  if (!result.history.empty()) {
+    result.mean_sweep_seconds =
+        result.history.back().seconds / static_cast<double>(result.sweeps);
+  }
+  result.comm_cost = run_result.max_cost();
+  return result;
+}
+
+}  // namespace parpp::par

@@ -1,0 +1,108 @@
+// Parallel CP-ALS (Algorithm 3) over the mpsim runtime.
+#pragma once
+
+#include <vector>
+
+#include "parpp/core/cp_als.hpp"
+#include "parpp/dist/dist_tensor.hpp"
+#include "parpp/dist/factor_dist.hpp"
+#include "parpp/mpsim/runtime.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+
+namespace parpp::par {
+
+/// How the R x R normal equations are solved (Sec. II-E discussion).
+enum class SolveMode {
+  kDistributedRows,       ///< our approach: each rank solves its own Q rows
+  kReplicatedSequential,  ///< PLANC-style: gather M, replicated full solve
+};
+
+struct ParOptions {
+  core::CpOptions base;
+  std::vector<int> grid_dims;  ///< product must equal the rank count
+  core::EngineKind local_engine = core::EngineKind::kDt;
+  core::EngineOptions engine_options = {};
+  SolveMode solve = SolveMode::kDistributedRows;
+  int threads_per_rank = 1;
+};
+
+struct ParResult {
+  std::vector<la::Matrix> factors;  ///< assembled global factors
+  double residual = 1.0;
+  double fitness = 0.0;
+  int sweeps = 0;
+  std::vector<core::SweepRecord> history;  ///< rank-0 wall clock
+  /// Per-sweep kernel profile of the slowest rank (Fig. 3c-f breakdown).
+  std::vector<Profile> sweep_profiles;
+  /// Modeled communication cost of the busiest rank.
+  mpsim::CostCounter comm_cost;
+  double mean_sweep_seconds = 0.0;
+  int num_als_sweeps = 0, num_pp_init = 0, num_pp_approx = 0;
+};
+
+/// Per-rank state of Algorithm 3, shared by the plain, PLANC-style and PP
+/// parallel drivers. Constructed inside a rank body.
+class ParCpContext {
+ public:
+  ParCpContext(mpsim::Comm& comm, const tensor::DenseTensor& global_t,
+               const ParOptions& options);
+
+  [[nodiscard]] int order() const { return n_; }
+  [[nodiscard]] const mpsim::ProcessorGrid& grid() const { return grid_; }
+  [[nodiscard]] const tensor::DenseTensor& local_tensor() const {
+    return local_;
+  }
+  [[nodiscard]] dist::FactorDist& factor_dist() { return fd_; }
+  [[nodiscard]] std::vector<la::Matrix>& grams() { return grams_; }
+  [[nodiscard]] core::MttkrpEngine& engine() { return *engine_; }
+  [[nodiscard]] double tensor_sq_norm() const { return t_sq_; }
+
+  /// One regular factor update for `mode` (Algorithm 3 lines 12-18).
+  /// Stores Γ and M internally when mode == N-1 for the residual.
+  void update_mode(int mode);
+
+  /// Relative residual via Eq. (3); collective (one scalar All-Reduce).
+  [[nodiscard]] double residual();
+
+  /// Exact residual at the *current* factors: one fresh local MTTKRP of the
+  /// last mode plus the Eq. (3) reductions, with no factor update.
+  /// Collective.
+  [[nodiscard]] double measure_residual();
+
+  /// Solve + propagate an already-reduced Q-shaped (approximate) MTTKRP for
+  /// `mode` — the tail of a factor update once ~M(n) has been assembled by
+  /// the PP driver (Algorithm 4 lines 9-15).
+  void apply_pp_mttkrp(int mode, const la::Matrix& m_q);
+
+  /// Global squared Frobenius norm of a Q-distributed matrix set, per mode:
+  /// returns {||X||_F^2 for each mode} with one All-Reduce.
+  [[nodiscard]] std::vector<double> global_sq_norms(
+      const std::vector<la::Matrix>& q_mats) const;
+
+  /// Assemble the full factor for `mode` (collective).
+  [[nodiscard]] la::Matrix assemble_factor(int mode) {
+    return fd_.allgather_global(mode);
+  }
+
+ private:
+  void solve_and_propagate(int mode, const la::Matrix& m_q,
+                           const la::Matrix& gamma);
+
+  mpsim::Comm& comm_;
+  ParOptions options_;
+  int n_;
+  mpsim::ProcessorGrid grid_;
+  dist::BlockDist dist_;
+  tensor::DenseTensor local_;
+  dist::FactorDist fd_;
+  std::vector<la::Matrix> grams_;
+  std::unique_ptr<core::MttkrpEngine> engine_;
+  double t_sq_ = 0.0;
+  la::Matrix gamma_last_, mq_last_;
+};
+
+/// Runs Algorithm 3 end to end on `nprocs` simulated ranks.
+[[nodiscard]] ParResult par_cp_als(const tensor::DenseTensor& global_t,
+                                   int nprocs, const ParOptions& options);
+
+}  // namespace parpp::par

@@ -1,0 +1,99 @@
+#include "parpp/par/par_nncp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parpp/core/fitness.hpp"
+#include "parpp/core/gram.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/util/timer.hpp"
+
+namespace parpp::par {
+
+namespace {
+
+/// Row-local HALS pass (see core/nncp.cpp): columns sequentially
+/// (Gauss-Seidel), rows independent — applies directly to the Q-distributed
+/// rows of Algorithm 3.
+void hals_update_rows(la::Matrix& a, const la::Matrix& m,
+                      const la::Matrix& gamma, double eps_floor) {
+  const index_t s = a.rows(), r = a.cols();
+  ScopedProfile sp(Profile::thread_default(), Kernel::kSolve,
+                   2.0 * static_cast<double>(s) * r * r);
+  for (index_t j = 0; j < r; ++j) {
+    const double gjj = std::max(gamma(j, j), eps_floor);
+    for (index_t i = 0; i < s; ++i) {
+      double agij = 0.0;
+      const double* arow = a.row(i);
+      for (index_t k = 0; k < r; ++k) agij += arow[k] * gamma(k, j);
+      a(i, j) = std::max(a(i, j) + (m(i, j) - agij) / gjj, 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+ParResult par_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
+                        const ParNncpOptions& options) {
+  ParResult result;
+  const ParOptions& par = options.par;
+
+  mpsim::RunOptions ropt;
+  ropt.threads_per_rank = par.threads_per_rank;
+  auto run_result = mpsim::run(
+      nprocs,
+      [&](mpsim::Comm& comm) {
+        ParOptions local = par;
+        local.local_engine = options.nn.engine;
+        ParCpContext ctx(comm, global_t, local);
+        const int n = ctx.order();
+        WallTimer timer;
+        double fit = 0.0, fit_old = -1.0;
+        int sweep = 0;
+        while (sweep < par.base.max_sweeps &&
+               std::abs(fit - fit_old) > par.base.tol) {
+          for (int i = 0; i < n; ++i) {
+            // MTTKRP + Reduce-Scatter exactly as Algorithm 3...
+            la::Matrix gamma = core::gamma_chain(ctx.grams(), i);
+            la::Matrix m_local = ctx.engine().mttkrp(i);
+            la::Matrix m_q = ctx.factor_dist().reduce_scatter(i, m_local);
+            // ...but the update is the projected HALS pass on the Q rows
+            // (zero extra communication: rows are independent).
+            la::Matrix& a_q = ctx.factor_dist().q(i);
+            for (int pass = 0; pass < options.nn.inner_iterations; ++pass)
+              hals_update_rows(a_q, m_q, gamma, options.nn.epsilon);
+            // Gram + slice propagation as usual.
+            la::Matrix s = la::gram(a_q);
+            comm.allreduce_sum(s.data(), s.size());
+            ctx.grams()[static_cast<std::size_t>(i)] = std::move(s);
+            ctx.factor_dist().gather_slice(i);
+            ctx.engine().notify_update(i);
+          }
+          ++sweep;
+          fit_old = fit;
+          const double r = ctx.measure_residual();
+          fit = core::fitness_from_residual(r);
+          if (comm.rank() == 0) {
+            result.residual = r;
+            result.fitness = fit;
+            result.sweeps = sweep;
+            result.num_als_sweeps = sweep;
+            if (par.base.record_history)
+              result.history.push_back({timer.seconds(), fit, "nncp"});
+          }
+        }
+        std::vector<la::Matrix> assembled;
+        for (int m = 0; m < n; ++m) assembled.push_back(ctx.assemble_factor(m));
+        if (comm.rank() == 0) result.factors = std::move(assembled);
+      },
+      ropt);
+
+  if (!result.history.empty() && result.sweeps > 0) {
+    result.mean_sweep_seconds =
+        result.history.back().seconds / static_cast<double>(result.sweeps);
+  }
+  result.comm_cost = run_result.max_cost();
+  return result;
+}
+
+}  // namespace parpp::par

@@ -1,0 +1,25 @@
+// Parallel nonnegative CP-ALS (HALS) on the Algorithm 3 framework.
+//
+// PLANC — the paper's baseline — is a *nonnegative* CP code; this driver
+// completes that comparison: the same block distribution, local-tree
+// MTTKRP and collective pattern as Algorithm 3, with the SPD solve
+// replaced by row-local HALS column updates (each Q row updates
+// independently given Γ and its MTTKRP row, so the nonnegative update
+// needs no extra communication).
+#pragma once
+
+#include "parpp/core/nncp.hpp"
+#include "parpp/par/par_cp_als.hpp"
+
+namespace parpp::par {
+
+struct ParNncpOptions {
+  ParOptions par;
+  core::NncpOptions nn;
+};
+
+[[nodiscard]] ParResult par_nncp_hals(const tensor::DenseTensor& global_t,
+                                      int nprocs,
+                                      const ParNncpOptions& options);
+
+}  // namespace parpp::par

@@ -1,0 +1,360 @@
+#include "parpp/par/par_pp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parpp/core/dim_tree.hpp"
+#include "parpp/core/fitness.hpp"
+#include "parpp/core/gram.hpp"
+#include "parpp/core/pp_engine.hpp"
+#include "parpp/core/pp_operators.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/tensor/mttv.hpp"
+#include "parpp/util/timer.hpp"
+
+namespace parpp::par {
+
+namespace {
+
+/// Per-rank PP state layered over the Algorithm 3 context.
+class LocalPp {
+ public:
+  LocalPp(mpsim::Comm& comm, ParCpContext& ctx)
+      : comm_(comm), ctx_(ctx), n_(ctx.order()),
+        ops_(ctx.local_tensor(), ctx.factor_dist().slices()) {}
+
+  /// Algorithm 4 line 2: local PP initialization. The donor is the local
+  /// regular-sweep tree engine (footnote-1 amortization applies per rank).
+  void build() {
+    const auto* donor =
+        dynamic_cast<const core::TreeEngineBase*>(&ctx_.engine());
+    ops_.build(donor);
+    // Snapshot A_p in both layouts; dS starts at zero.
+    a_p_slice_.clear();
+    a_p_q_.clear();
+    d_grams_.assign(static_cast<std::size_t>(n_), la::Matrix());
+    for (int m = 0; m < n_; ++m) {
+      a_p_slice_.push_back(ctx_.factor_dist().slice(m));
+      a_p_q_.push_back(ctx_.factor_dist().q(m));
+      d_grams_[static_cast<std::size_t>(m)] =
+          la::Matrix(ctx_.grams()[static_cast<std::size_t>(m)].rows(),
+                     ctx_.grams()[static_cast<std::size_t>(m)].cols());
+    }
+  }
+
+  /// dS(i) = A(i)^T dA(i) from Q rows + one R^2 All-Reduce.
+  void refresh_dgram(int i) {
+    const auto& q = ctx_.factor_dist().q(i);
+    la::Matrix dq = q;
+    dq.axpy(-1.0, a_p_q_[static_cast<std::size_t>(i)]);
+    la::Matrix ds = la::matmul(q, dq, la::Trans::kYes);
+    comm_.allreduce_sum(ds.data(), ds.size());
+    d_grams_[static_cast<std::size_t>(i)] = std::move(ds);
+  }
+
+  /// Local ~M(n) before reduction: M_p(n)_loc + sum_i U(n,i)_loc
+  /// (Algorithm 4 lines 5-8). The V(n) term is added after the
+  /// Reduce-Scatter by the caller (line 10-11) via second_order_term().
+  [[nodiscard]] la::Matrix local_correction(int n) const {
+    la::Matrix m = ops_.mttkrp_p(n);
+    for (int i = 0; i < n_; ++i) {
+      if (i == n) continue;
+      const auto& op = ops_.pair_op(std::min(n, i), std::max(n, i));
+      const auto it = std::find(op.modes.begin(), op.modes.end(), i);
+      const int pos = static_cast<int>(it - op.modes.begin());
+      la::Matrix d_slice = ctx_.factor_dist().slice(i);
+      d_slice.axpy(-1.0, a_p_slice_[static_cast<std::size_t>(i)]);
+      tensor::DenseTensor u = tensor::mttv(op.data, pos, d_slice);
+      const double* ud = u.data();
+      double* md = m.data();
+      for (index_t x = 0; x < m.size(); ++x) md[x] += ud[x];
+    }
+    return m;
+  }
+
+  /// V(n) = A(n) W with the Hadamard chain of Eq. (7) over global dS / S;
+  /// applied to the Q rows after the Reduce-Scatter.
+  [[nodiscard]] la::Matrix second_order_term(int n) const {
+    const auto& grams = ctx_.grams();
+    const index_t r = grams[0].rows();
+    la::Matrix w(r, r);
+    for (int i = 0; i < n_; ++i) {
+      if (i == n) continue;
+      for (int j = i + 1; j < n_; ++j) {
+        if (j == n) continue;
+        la::Matrix term = la::hadamard(d_grams_[static_cast<std::size_t>(i)],
+                                       d_grams_[static_cast<std::size_t>(j)]);
+        for (int k = 0; k < n_; ++k) {
+          if (k == i || k == j || k == n) continue;
+          term.hadamard_inplace(grams[static_cast<std::size_t>(k)]);
+        }
+        w.axpy(1.0, term);
+      }
+    }
+    return la::matmul(ctx_.factor_dist().q(n), w);
+  }
+
+  /// Relative factor changes ||dA(i)||/||A(i)|| vs the snapshot, global
+  /// (one All-Reduce of 2N scalars).
+  [[nodiscard]] std::vector<double> relative_changes() const {
+    std::vector<double> sq(static_cast<std::size_t>(2 * n_), 0.0);
+    for (int i = 0; i < n_; ++i) {
+      const auto& q = ctx_.factor_dist().q(i);
+      la::Matrix dq = q;
+      dq.axpy(-1.0, a_p_q_[static_cast<std::size_t>(i)]);
+      const double fa = q.frobenius_norm();
+      const double fd = dq.frobenius_norm();
+      sq[static_cast<std::size_t>(i)] = fd * fd;
+      sq[static_cast<std::size_t>(n_ + i)] = fa * fa;
+    }
+    comm_.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()));
+    std::vector<double> rel(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      const double fa = std::sqrt(sq[static_cast<std::size_t>(n_ + i)]);
+      rel[static_cast<std::size_t>(i)] =
+          fa > 0.0 ? std::sqrt(sq[static_cast<std::size_t>(i)]) / fa : 0.0;
+    }
+    return rel;
+  }
+
+  /// One full PP-approximated sweep (Algorithm 4 lines 4-16).
+  void approx_sweep() {
+    for (int j = 0; j < n_; ++j) {
+      la::Matrix m_local = local_correction(j);
+      la::Matrix m_q = ctx_.factor_dist().reduce_scatter(j, m_local);
+      la::Matrix v = second_order_term(j);
+      m_q.axpy(1.0, v);
+      ctx_.apply_pp_mttkrp(j, m_q);
+      refresh_dgram(j);
+    }
+  }
+
+ private:
+  mpsim::Comm& comm_;
+  ParCpContext& ctx_;
+  int n_;
+  core::PpOperators ops_;
+  std::vector<la::Matrix> a_p_slice_, a_p_q_;
+  std::vector<la::Matrix> d_grams_;
+};
+
+bool all_below(const std::vector<double>& rel, double eps) {
+  for (double v : rel)
+    if (v >= eps) return false;
+  return true;
+}
+
+}  // namespace
+
+ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
+                        const ParPpOptions& options) {
+  ParResult result;
+  std::vector<std::vector<Profile>> sweep_profiles(
+      static_cast<std::size_t>(nprocs));
+
+  ParOptions par = options.par;
+  if (par.local_engine == core::EngineKind::kNaive)
+    par.local_engine = core::EngineKind::kMsdt;
+
+  mpsim::RunOptions ropt;
+  ropt.threads_per_rank = par.threads_per_rank;
+  auto run_result = mpsim::run(
+      nprocs,
+      [&](mpsim::Comm& comm) {
+        ParCpContext ctx(comm, global_t, par);
+        const int n = ctx.order();
+        LocalPp pp(comm, ctx);
+        WallTimer timer;
+
+        // dA across the latest regular sweep; seeded large so regular
+        // sweeps run first.
+        std::vector<la::Matrix> prev_q;
+        for (int m = 0; m < n; ++m)
+          prev_q.emplace_back(ctx.factor_dist().q(m).rows(),
+                              ctx.factor_dist().q(m).cols());
+
+        auto sweep_changes = [&] {
+          std::vector<double> sq(static_cast<std::size_t>(2 * n), 0.0);
+          for (int i = 0; i < n; ++i) {
+            const auto& q = ctx.factor_dist().q(i);
+            la::Matrix dq = q;
+            dq.axpy(-1.0, prev_q[static_cast<std::size_t>(i)]);
+            sq[static_cast<std::size_t>(i)] = std::pow(dq.frobenius_norm(), 2);
+            sq[static_cast<std::size_t>(n + i)] =
+                std::pow(q.frobenius_norm(), 2);
+          }
+          comm.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()));
+          std::vector<double> rel(static_cast<std::size_t>(n));
+          for (int i = 0; i < n; ++i) {
+            const double fa = std::sqrt(sq[static_cast<std::size_t>(n + i)]);
+            rel[static_cast<std::size_t>(i)] =
+                fa > 0.0 ? std::sqrt(sq[static_cast<std::size_t>(i)]) / fa
+                         : 0.0;
+          }
+          return rel;
+        };
+
+        double fit = 0.0, fit_old = -1.0;
+        int total = 0;
+        bool have_sweep = false;
+        while (total < par.base.max_sweeps &&
+               std::abs(fit - fit_old) > par.base.tol) {
+          if (have_sweep &&
+              all_below(sweep_changes(), options.pp.pp_tol)) {
+            // ---- PP phase -----------------------------------------
+            const Profile before_init = Profile::thread_default();
+            pp.build();
+            ++total;
+            sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
+                Profile::thread_default().delta_since(before_init));
+            if (comm.rank() == 0) {
+              ++result.num_pp_init;
+              if (par.base.record_history)
+                result.history.push_back({timer.seconds(), fit, "pp-init"});
+            }
+            int pp_sweeps = 0;
+            double pp_fit = fit, pp_fit_old = fit - 1.0;
+            // Divergence guard — see the sequential driver.
+            const double fit_floor =
+                fit - 10.0 * std::max(par.base.tol, 1e-6);
+            while (all_below(pp.relative_changes(), options.pp.pp_tol) &&
+                   std::abs(pp_fit - pp_fit_old) > par.base.tol &&
+                   pp_fit >= fit_floor &&
+                   pp_sweeps < options.pp.max_pp_sweeps_per_phase &&
+                   total < par.base.max_sweeps) {
+              const Profile before = Profile::thread_default();
+              pp.approx_sweep();
+              ++pp_sweeps;
+              ++total;
+              sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
+                  Profile::thread_default().delta_since(before));
+              // Approximate fitness doubles as the inner stopping
+              // criterion (same role as in the sequential driver).
+              const double r = ctx.residual();
+              pp_fit_old = pp_fit;
+              pp_fit = core::fitness_from_residual(r);
+              if (comm.rank() == 0) {
+                ++result.num_pp_approx;
+                if (par.base.record_history) {
+                  result.history.push_back(
+                      {timer.seconds(), pp_fit, "pp-approx"});
+                }
+              }
+            }
+            // Carry PP progress into the outer stopping comparison (see
+            // the sequential driver).
+            if (pp_sweeps > 0) fit = std::max(pp_fit, fit_floor);
+          }
+          if (total >= par.base.max_sweeps) break;
+
+          // ---- Regular sweep ---------------------------------------
+          for (int m = 0; m < n; ++m)
+            prev_q[static_cast<std::size_t>(m)] = ctx.factor_dist().q(m);
+          const Profile before = Profile::thread_default();
+          for (int i = 0; i < n; ++i) ctx.update_mode(i);
+          ++total;
+          have_sweep = true;
+          sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
+              Profile::thread_default().delta_since(before));
+          fit_old = fit;
+          const double r = ctx.residual();
+          fit = core::fitness_from_residual(r);
+          if (comm.rank() == 0) {
+            ++result.num_als_sweeps;
+            result.residual = r;
+            result.fitness = fit;
+            result.sweeps = total;
+            if (par.base.record_history)
+              result.history.push_back({timer.seconds(), fit, "als"});
+          }
+        }
+        // Final exact residual at the current factors (the loop may exit
+        // mid-PP-phase, leaving the stored residual stale).
+        const double r_final = ctx.measure_residual();
+        std::vector<la::Matrix> assembled;
+        for (int m = 0; m < n; ++m) assembled.push_back(ctx.assemble_factor(m));
+        if (comm.rank() == 0) {
+          result.factors = std::move(assembled);
+          result.sweeps = total;
+          result.residual = r_final;
+          result.fitness = core::fitness_from_residual(r_final);
+        }
+      },
+      ropt);
+
+  for (std::size_t s = 0;; ++s) {
+    Profile worst;
+    double worst_total = -1.0;
+    bool any = false;
+    for (const auto& per_rank : sweep_profiles) {
+      if (s >= per_rank.size()) continue;
+      any = true;
+      if (per_rank[s].total_seconds() > worst_total) {
+        worst_total = per_rank[s].total_seconds();
+        worst = per_rank[s];
+      }
+    }
+    if (!any) break;
+    result.sweep_profiles.push_back(worst);
+  }
+  if (!result.history.empty() && result.sweeps > 0) {
+    result.mean_sweep_seconds =
+        result.history.back().seconds / static_cast<double>(result.sweeps);
+  }
+  result.comm_cost = run_result.max_cost();
+  return result;
+}
+
+PpKernelTimings time_pp_kernels(const tensor::DenseTensor& global_t,
+                                int nprocs, const ParPpOptions& options,
+                                int sweeps) {
+  PpKernelTimings out;
+  std::vector<double> init_secs(static_cast<std::size_t>(nprocs), 0.0);
+  std::vector<double> approx_secs(static_cast<std::size_t>(nprocs), 0.0);
+  std::vector<Profile> init_prof(static_cast<std::size_t>(nprocs));
+  std::vector<Profile> approx_prof(static_cast<std::size_t>(nprocs));
+
+  ParOptions par = options.par;
+  mpsim::RunOptions ropt;
+  ropt.threads_per_rank = par.threads_per_rank;
+  auto run_result = mpsim::run(
+      nprocs,
+      [&](mpsim::Comm& comm) {
+        ParCpContext ctx(comm, global_t, par);
+        const int n = ctx.order();
+        // One regular sweep to warm the tree cache (donor amortization).
+        for (int i = 0; i < n; ++i) ctx.update_mode(i);
+
+        LocalPp pp(comm, ctx);
+        const auto r = static_cast<std::size_t>(comm.rank());
+        {
+          WallTimer t;
+          const Profile before = Profile::thread_default();
+          pp.build();
+          comm.barrier();
+          init_secs[r] = t.seconds();
+          init_prof[r] = Profile::thread_default().delta_since(before);
+        }
+        {
+          WallTimer t;
+          const Profile before = Profile::thread_default();
+          for (int s = 0; s < sweeps; ++s) pp.approx_sweep();
+          comm.barrier();
+          approx_secs[r] = t.seconds() / std::max(1, sweeps);
+          approx_prof[r] = Profile::thread_default().delta_since(before);
+        }
+      },
+      ropt);
+
+  for (int r = 0; r < nprocs; ++r) {
+    out.init_seconds = std::max(out.init_seconds, init_secs[static_cast<std::size_t>(r)]);
+    out.approx_sweep_seconds =
+        std::max(out.approx_sweep_seconds, approx_secs[static_cast<std::size_t>(r)]);
+  }
+  out.init_profile = init_prof.empty() ? Profile{} : init_prof[0];
+  out.approx_profile = approx_prof.empty() ? Profile{} : approx_prof[0];
+  out.comm_cost = run_result.max_cost();
+  return out;
+}
+
+}  // namespace parpp::par

@@ -1,0 +1,96 @@
+#include "parpp/tensor/dense_tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parpp::tensor {
+
+std::vector<index_t> row_major_strides(const std::vector<index_t>& shape) {
+  std::vector<index_t> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[static_cast<std::size_t>(i)] =
+        strides[static_cast<std::size_t>(i + 1)] *
+        shape[static_cast<std::size_t>(i + 1)];
+  }
+  return strides;
+}
+
+bool next_index(std::span<const index_t> shape, std::span<index_t> idx) {
+  for (int m = static_cast<int>(shape.size()) - 1; m >= 0; --m) {
+    auto um = static_cast<std::size_t>(m);
+    if (++idx[um] < shape[um]) return true;
+    idx[um] = 0;
+  }
+  return false;
+}
+
+DenseTensor::DenseTensor(std::vector<index_t> shape)
+    : shape_(std::move(shape)), strides_(row_major_strides(shape_)) {
+  size_ = 1;
+  for (index_t s : shape_) {
+    PARPP_CHECK(s >= 0, "tensor extent must be non-negative");
+    size_ *= s;
+  }
+  data_.assign(static_cast<std::size_t>(size_), 0.0);
+}
+
+index_t DenseTensor::linearize(std::span<const index_t> idx) const {
+  PARPP_ASSERT(static_cast<int>(idx.size()) == order(),
+               "linearize: index order mismatch");
+  index_t lin = 0;
+  for (std::size_t m = 0; m < idx.size(); ++m) {
+    PARPP_ASSERT(idx[m] >= 0 && idx[m] < shape_[m], "index out of bounds");
+    lin += idx[m] * strides_[m];
+  }
+  return lin;
+}
+
+void DenseTensor::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void DenseTensor::fill_uniform(Rng& rng) {
+  for (auto& x : data_) x = rng.uniform();
+}
+
+void DenseTensor::fill_normal(Rng& rng) {
+  for (auto& x : data_) x = rng.normal();
+}
+
+double DenseTensor::squared_norm() const {
+  double s = 0.0;
+#pragma omp parallel for reduction(+ : s) schedule(static) \
+    if (size_ > (index_t{1} << 18))
+  for (index_t i = 0; i < size_; ++i) {
+    const double x = data_[static_cast<std::size_t>(i)];
+    s += x * x;
+  }
+  return s;
+}
+
+double DenseTensor::frobenius_norm() const { return std::sqrt(squared_norm()); }
+
+double DenseTensor::max_abs_diff(const DenseTensor& other) const {
+  PARPP_CHECK(shape_ == other.shape_, "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (index_t i = 0; i < size_; ++i)
+    m = std::max(m, std::abs(data_[static_cast<std::size_t>(i)] -
+                             other.data_[static_cast<std::size_t>(i)]));
+  return m;
+}
+
+void DenseTensor::axpy(double alpha, const DenseTensor& other) {
+  PARPP_CHECK(shape_ == other.shape_, "axpy: shape mismatch");
+#pragma omp parallel for schedule(static) if (size_ > (index_t{1} << 18))
+  for (index_t i = 0; i < size_; ++i)
+    data_[static_cast<std::size_t>(i)] +=
+        alpha * other.data_[static_cast<std::size_t>(i)];
+}
+
+index_t DenseTensor::extent_product(int first, int last) const {
+  PARPP_ASSERT(first >= 0 && last <= order() && first <= last,
+               "extent_product: bad range");
+  index_t p = 1;
+  for (int m = first; m < last; ++m) p *= shape_[static_cast<std::size_t>(m)];
+  return p;
+}
+
+}  // namespace parpp::tensor

@@ -1,0 +1,81 @@
+// Dense order-N tensor with row-major (last-mode-fastest) layout.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/util/common.hpp"
+#include "parpp/util/rng.hpp"
+
+namespace parpp::tensor {
+
+/// Dense tensor of doubles. Storage is row-major: the last mode varies
+/// fastest, matching the layout assumptions of the TTM/mTTV kernels
+/// (dimension-tree intermediates carry their rank mode last so corrections
+/// and contractions stream over contiguous memory).
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+  explicit DenseTensor(std::vector<index_t> shape);
+
+  [[nodiscard]] int order() const { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] const std::vector<index_t>& shape() const { return shape_; }
+  [[nodiscard]] index_t extent(int mode) const {
+    PARPP_ASSERT(mode >= 0 && mode < order(), "extent: bad mode ", mode);
+    return shape_[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] index_t size() const { return size_; }
+  [[nodiscard]] const std::vector<index_t>& strides() const { return strides_; }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  [[nodiscard]] double& operator[](index_t linear) {
+    PARPP_ASSERT(linear >= 0 && linear < size_, "linear index out of range");
+    return data_[static_cast<std::size_t>(linear)];
+  }
+  [[nodiscard]] double operator[](index_t linear) const {
+    PARPP_ASSERT(linear >= 0 && linear < size_, "linear index out of range");
+    return data_[static_cast<std::size_t>(linear)];
+  }
+
+  [[nodiscard]] double& at(std::span<const index_t> idx) {
+    return data_[static_cast<std::size_t>(linearize(idx))];
+  }
+  [[nodiscard]] double at(std::span<const index_t> idx) const {
+    return data_[static_cast<std::size_t>(linearize(idx))];
+  }
+
+  [[nodiscard]] index_t linearize(std::span<const index_t> idx) const;
+
+  void fill(double v);
+  void set_zero() { fill(0.0); }
+  void fill_uniform(Rng& rng);
+  void fill_normal(Rng& rng);
+
+  [[nodiscard]] double frobenius_norm() const;
+  [[nodiscard]] double squared_norm() const;
+  [[nodiscard]] double max_abs_diff(const DenseTensor& other) const;
+
+  /// this += alpha * other (same shape).
+  void axpy(double alpha, const DenseTensor& other);
+
+  /// Product of extents over [first, last) — helper for kernel loop bounds.
+  [[nodiscard]] index_t extent_product(int first, int last) const;
+
+ private:
+  std::vector<index_t> shape_;
+  std::vector<index_t> strides_;
+  index_t size_ = 0;
+  std::vector<double> data_;
+};
+
+/// Row-major strides for a shape (last mode has stride 1).
+[[nodiscard]] std::vector<index_t> row_major_strides(
+    const std::vector<index_t>& shape);
+
+/// Advance a multi-index odometer-style; returns false after wrapping.
+bool next_index(std::span<const index_t> shape, std::span<index_t> idx);
+
+}  // namespace parpp::tensor

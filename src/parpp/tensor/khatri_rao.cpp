@@ -1,0 +1,39 @@
+#include "parpp/tensor/khatri_rao.hpp"
+
+namespace parpp::tensor {
+
+la::Matrix khatri_rao(const la::Matrix& a, const la::Matrix& b) {
+  PARPP_CHECK(a.cols() == b.cols(), "khatri_rao: column count mismatch");
+  const index_t i_n = a.rows(), j_n = b.rows(), k_n = a.cols();
+  la::Matrix c(i_n * j_n, k_n);
+#pragma omp parallel for schedule(static) if (i_n * j_n * k_n > (index_t{1} << 16))
+  for (index_t i = 0; i < i_n; ++i) {
+    const double* arow = a.row(i);
+    for (index_t j = 0; j < j_n; ++j) {
+      const double* brow = b.row(j);
+      double* crow = c.row(i * j_n + j);
+      for (index_t k = 0; k < k_n; ++k) crow[k] = arow[k] * brow[k];
+    }
+  }
+  return c;
+}
+
+la::Matrix khatri_rao_all(const std::vector<la::Matrix>& factors, int skip) {
+  PARPP_CHECK(!factors.empty(), "khatri_rao_all: no factors");
+  la::Matrix result;
+  bool started = false;
+  for (int m = 0; m < static_cast<int>(factors.size()); ++m) {
+    if (m == skip) continue;
+    const auto& f = factors[static_cast<std::size_t>(m)];
+    if (!started) {
+      result = f;
+      started = true;
+    } else {
+      result = khatri_rao(result, f);
+    }
+  }
+  PARPP_CHECK(started, "khatri_rao_all: all factors skipped");
+  return result;
+}
+
+}  // namespace parpp::tensor

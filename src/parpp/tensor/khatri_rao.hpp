@@ -1,0 +1,22 @@
+// Khatri-Rao products and the KRP-based MTTKRP reference path.
+#pragma once
+
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+
+namespace parpp::tensor {
+
+/// Column-wise Khatri-Rao product C = A ⊙ B:
+/// C((i*J + j), k) = A(i, k) * B(j, k) for A (I x K), B (J x K).
+[[nodiscard]] la::Matrix khatri_rao(const la::Matrix& a, const la::Matrix& b);
+
+/// Khatri-Rao product of all factors except `skip`, with rows linearized in
+/// row-major order of the remaining modes (leftmost slowest):
+///   W(row(i_1..î_skip..i_N), k) = prod_{m != skip} A(m)(i_m, k).
+/// Pass skip = -1 to include every factor.
+[[nodiscard]] la::Matrix khatri_rao_all(const std::vector<la::Matrix>& factors,
+                                        int skip);
+
+}  // namespace parpp::tensor

@@ -1,0 +1,74 @@
+#include "parpp/tensor/mttkrp_naive.hpp"
+
+#include "parpp/la/gemm.hpp"
+#include "parpp/tensor/khatri_rao.hpp"
+#include "parpp/tensor/transpose.hpp"
+
+namespace parpp::tensor {
+
+la::Matrix mttkrp_elementwise(const DenseTensor& t,
+                              const std::vector<la::Matrix>& factors, int n) {
+  const int order = t.order();
+  PARPP_CHECK(static_cast<int>(factors.size()) == order,
+              "mttkrp: factor count mismatch");
+  PARPP_CHECK(n >= 0 && n < order, "mttkrp: bad mode");
+  const index_t r = factors[0].cols();
+  la::Matrix m(t.extent(n), r);
+
+  std::vector<index_t> idx(static_cast<std::size_t>(order), 0);
+  if (t.size() == 0) return m;
+  index_t lin = 0;
+  do {
+    const double tv = t[lin++];
+    if (tv != 0.0) {
+      double* mrow = m.row(idx[static_cast<std::size_t>(n)]);
+      for (index_t k = 0; k < r; ++k) {
+        double prod = tv;
+        for (int mm = 0; mm < order; ++mm) {
+          if (mm == n) continue;
+          prod *= factors[static_cast<std::size_t>(mm)](
+              idx[static_cast<std::size_t>(mm)], k);
+        }
+        mrow[k] += prod;
+      }
+    }
+  } while (next_index(t.shape(), idx));
+  return m;
+}
+
+la::Matrix unfold(const DenseTensor& t, int n) {
+  const int order = t.order();
+  PARPP_CHECK(n >= 0 && n < order, "unfold: bad mode");
+  // Permute mode n to the front, remaining modes keep increasing order;
+  // the resulting buffer *is* the row-major unfolding.
+  std::vector<int> perm;
+  perm.reserve(static_cast<std::size_t>(order));
+  perm.push_back(n);
+  for (int m = 0; m < order; ++m)
+    if (m != n) perm.push_back(m);
+  DenseTensor moved = transpose(t, perm);
+
+  la::Matrix u(t.extent(n), t.size() / std::max<index_t>(t.extent(n), 1));
+  std::copy(moved.data(), moved.data() + moved.size(), u.data());
+  return u;
+}
+
+la::Matrix mttkrp_krp(const DenseTensor& t,
+                      const std::vector<la::Matrix>& factors, int n,
+                      Profile* profile) {
+  const index_t r = factors[0].cols();
+  la::Matrix w = khatri_rao_all(factors, n);
+  la::Matrix u = unfold(t, n);
+  PARPP_CHECK(u.cols() == w.rows(), "mttkrp_krp: unfolding mismatch");
+  la::Matrix m(u.rows(), r);
+  {
+    ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                     Kernel::kTTM, 2.0 * static_cast<double>(t.size()) * r);
+    la::gemm_raw(la::Trans::kNo, la::Trans::kNo, u.rows(), r, u.cols(), 1.0,
+                 u.data(), u.cols(), w.data(), w.cols(), 0.0, m.data(),
+                 m.cols());
+  }
+  return m;
+}
+
+}  // namespace parpp::tensor

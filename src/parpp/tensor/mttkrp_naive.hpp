@@ -1,0 +1,32 @@
+// Reference MTTKRP implementations (no amortization).
+//
+// Two independent paths are provided so the dimension-tree engines can be
+// validated against implementations with entirely different control flow:
+// an element-wise triple-checked loop and a KRP + GEMM formulation.
+#pragma once
+
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+#include "parpp/util/profile.hpp"
+
+namespace parpp::tensor {
+
+/// Element-wise reference: M(n)(i_n, r) = sum over all other indices of
+/// T(i_1..i_N) * prod_{m != n} A(m)(i_m, r). O(size * N * R) — tests only.
+[[nodiscard]] la::Matrix mttkrp_elementwise(
+    const DenseTensor& t, const std::vector<la::Matrix>& factors, int n);
+
+/// KRP reference: materializes W = KRP of all factors except n and computes
+/// M(n) = T_(n) W via one GEMM on the mode-n unfolding. O(size * R) flops
+/// but O(size) extra memory — usable on mid-size tensors.
+[[nodiscard]] la::Matrix mttkrp_krp(const DenseTensor& t,
+                                    const std::vector<la::Matrix>& factors,
+                                    int n, Profile* profile = nullptr);
+
+/// Mode-n unfolding T_(n) in R^{s_n x K}: column index is the row-major
+/// linearization of the remaining modes in increasing mode order.
+[[nodiscard]] la::Matrix unfold(const DenseTensor& t, int n);
+
+}  // namespace parpp::tensor

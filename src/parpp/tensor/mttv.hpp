@@ -1,0 +1,21 @@
+// Batched multi-TTV: contract one mode of a rank-carrying intermediate.
+#pragma once
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+#include "parpp/util/profile.hpp"
+
+namespace parpp::tensor {
+
+/// Contracts mode `pos` of an intermediate K whose *last* mode is the rank
+/// mode R, against factor A in R^{d_pos x R}, column-matched on r:
+///
+///   out(..., r) = sum_y K(..., y, ..., r) * A(y, r)
+///
+/// This is the batched TTV (mTTV) kernel of dimension trees: one TTV per
+/// rank column, fused. `pos` must not name the trailing rank mode.
+/// Bandwidth-bound by design (paper Sec. IV); charged to Kernel::kMTTV.
+[[nodiscard]] DenseTensor mttv(const DenseTensor& k, int pos,
+                               const la::Matrix& a, Profile* profile = nullptr);
+
+}  // namespace parpp::tensor

@@ -1,0 +1,17 @@
+// Reconstruction of the full tensor from CP factors (small problems only).
+#pragma once
+
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+
+namespace parpp::tensor {
+
+/// Builds [[A(1), ..., A(N)]] = sum_r A(1)(:,r) o ... o A(N)(:,r) as a dense
+/// tensor. O(prod s_i * R) time and O(prod s_i) memory — intended for tests,
+/// examples and exact-residual checks, not for production-scale fitness
+/// (use core::fitness for that).
+[[nodiscard]] DenseTensor reconstruct(const std::vector<la::Matrix>& factors);
+
+}  // namespace parpp::tensor

@@ -1,0 +1,65 @@
+#include "parpp/tensor/transpose.hpp"
+
+#include <algorithm>
+
+namespace parpp::tensor {
+
+bool is_permutation(const std::vector<int>& perm, int n) {
+  if (static_cast<int>(perm.size()) != n) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (int p : perm) {
+    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+DenseTensor transpose(const DenseTensor& in, const std::vector<int>& perm) {
+  const int n = in.order();
+  PARPP_CHECK(is_permutation(perm, n), "transpose: invalid permutation");
+
+  std::vector<index_t> out_shape(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m)
+    out_shape[static_cast<std::size_t>(m)] =
+        in.extent(perm[static_cast<std::size_t>(m)]);
+  DenseTensor out(out_shape);
+  if (in.size() == 0) return out;
+
+  // ostride_for_input[k] = output stride of the output mode that reads input
+  // mode k. Walking the input in order and adding these gives the scatter
+  // offset directly.
+  std::vector<index_t> ostride_for_input(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m)
+    ostride_for_input[static_cast<std::size_t>(perm[static_cast<std::size_t>(m)])] =
+        out.strides()[static_cast<std::size_t>(m)];
+
+  const index_t inner = in.extent(n - 1);       // contiguous in input
+  const index_t outer = in.size() / inner;       // leading block count
+  const index_t inner_ostride = ostride_for_input[static_cast<std::size_t>(n - 1)];
+  const double* src = in.data();
+  double* dst = out.data();
+  const auto& ishape = in.shape();
+
+#pragma omp parallel for schedule(static) if (in.size() > (index_t{1} << 18))
+  for (index_t blk = 0; blk < outer; ++blk) {
+    // Decompose blk into the first n-1 input indices and accumulate the
+    // output offset.
+    index_t rem = blk;
+    index_t obase = 0;
+    for (int m = n - 2; m >= 0; --m) {
+      const index_t e = ishape[static_cast<std::size_t>(m)];
+      const index_t im = rem % e;
+      rem /= e;
+      obase += im * ostride_for_input[static_cast<std::size_t>(m)];
+    }
+    const double* s = src + blk * inner;
+    if (inner_ostride == 1) {
+      std::copy(s, s + inner, dst + obase);
+    } else {
+      for (index_t j = 0; j < inner; ++j) dst[obase + j * inner_ostride] = s[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace parpp::tensor

@@ -1,0 +1,52 @@
+#include "parpp/tensor/ttm.hpp"
+
+#include "parpp/la/gemm.hpp"
+
+namespace parpp::tensor {
+
+DenseTensor ttm_first(const DenseTensor& t, int mode, const la::Matrix& a,
+                      Profile* profile) {
+  const int n = t.order();
+  PARPP_CHECK(mode >= 0 && mode < n, "ttm_first: bad mode ", mode);
+  PARPP_CHECK(a.rows() == t.extent(mode), "ttm_first: A rows ", a.rows(),
+              " != extent ", t.extent(mode));
+  const index_t r = a.cols();
+  const index_t left = t.extent_product(0, mode);
+  const index_t sj = t.extent(mode);
+  const index_t right = t.extent_product(mode + 1, n);
+
+  std::vector<index_t> out_shape;
+  out_shape.reserve(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m)
+    if (m != mode) out_shape.push_back(t.extent(m));
+  out_shape.push_back(r);
+  DenseTensor out(out_shape);
+
+  const double flops = 2.0 * static_cast<double>(t.size()) * r;
+  ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                   Kernel::kTTM, flops);
+
+  // For each leading block l: out_l(right x R) = T_l^T (right x sj) * A.
+  // T_l is the (sj x right) slab at offset l * sj * right.
+  const double* src = t.data();
+  double* dst = out.data();
+  if (right == 1) {
+    // Contracting the trailing mode: out(l, r) = sum_y T(l, y) A(y, r) is a
+    // single (left x sj) * (sj x R) GEMM.
+    la::gemm_raw(la::Trans::kNo, la::Trans::kNo, left, r, sj, 1.0, src, sj,
+                 a.data(), r, 0.0, dst, r);
+  } else if (left == 1) {
+    la::gemm_raw(la::Trans::kYes, la::Trans::kNo, right, r, sj, 1.0, src,
+                 right, a.data(), r, 0.0, dst, r);
+  } else {
+#pragma omp parallel for schedule(static)
+    for (index_t l = 0; l < left; ++l) {
+      la::gemm_raw(la::Trans::kYes, la::Trans::kNo, right, r, sj, 1.0,
+                   src + l * sj * right, right, a.data(), r, 0.0,
+                   dst + l * right * r, r);
+    }
+  }
+  return out;
+}
+
+}  // namespace parpp::tensor

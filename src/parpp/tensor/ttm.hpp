@@ -1,0 +1,24 @@
+// First-level TTM: contract one tensor mode against a factor matrix,
+// appending the rank mode last.
+#pragma once
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+#include "parpp/util/profile.hpp"
+
+namespace parpp::tensor {
+
+/// Contracts mode `mode` of an order-N tensor T (which carries *no* rank
+/// mode) with factor A in R^{s_mode x R}:
+///
+///   out(i_1, .., î_mode, .., i_N, r) = sum_y T(i_1, .., y, .., i_N) A(y, r)
+///
+/// The result has order N: the contracted mode is removed and the rank mode
+/// R is appended last — the canonical layout for dimension-tree
+/// intermediates. Executed as a batch of GEMMs over the leading block index
+/// (one large GEMM when mode == 0). Work is charged to Kernel::kTTM.
+[[nodiscard]] DenseTensor ttm_first(const DenseTensor& t, int mode,
+                                    const la::Matrix& a,
+                                    Profile* profile = nullptr);
+
+}  // namespace parpp::tensor

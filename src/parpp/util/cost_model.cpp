@@ -1,0 +1,57 @@
+#include "parpp/util/cost_model.hpp"
+
+#include <cmath>
+
+namespace parpp {
+
+namespace {
+double ipow(double base, int e) {
+  double r = 1.0;
+  for (int i = 0; i < e; ++i) r *= base;
+  return r;
+}
+}  // namespace
+
+double TableOneModel::dt_seq_flops() const {
+  return 4.0 * ipow(static_cast<double>(s), N) * static_cast<double>(R);
+}
+
+double TableOneModel::msdt_seq_flops() const {
+  return 2.0 * N / (N - 1.0) * ipow(static_cast<double>(s), N) *
+         static_cast<double>(R);
+}
+
+double TableOneModel::pp_init_seq_flops() const { return dt_seq_flops(); }
+
+double TableOneModel::pp_approx_seq_flops() const {
+  const double sd = static_cast<double>(s), Rd = static_cast<double>(R);
+  return 2.0 * N * N * (sd * sd * Rd + Rd * Rd);
+}
+
+double TableOneModel::dt_local_flops() const {
+  return dt_seq_flops() / static_cast<double>(P);
+}
+
+double TableOneModel::msdt_local_flops() const {
+  return msdt_seq_flops() / static_cast<double>(P);
+}
+
+double TableOneModel::pp_approx_local_flops() const {
+  const double sd = static_cast<double>(s), Rd = static_cast<double>(R);
+  const double Pd = static_cast<double>(P);
+  return 2.0 * N * N *
+         (sd * sd * Rd / std::pow(Pd, 2.0 / N) + Rd * Rd / Pd);
+}
+
+double TableOneModel::local_tree_horizontal_words() const {
+  const double sd = static_cast<double>(s), Rd = static_cast<double>(R);
+  const double Pd = static_cast<double>(P);
+  return N * (sd * Rd / std::pow(Pd, 1.0 / N) + Rd * Rd);
+}
+
+double TableOneModel::ref_pp_horizontal_words() const {
+  const double sd = static_cast<double>(s), Rd = static_cast<double>(R);
+  return static_cast<double>(N) * N * sd * Rd / static_cast<double>(P);
+}
+
+}  // namespace parpp

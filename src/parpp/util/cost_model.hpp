@@ -1,0 +1,75 @@
+// BSP alpha-beta-gamma-nu cost model (paper Sec. II-E, Table I).
+//
+// The simulator's collectives charge alpha (per-message latency) and beta
+// (per-word bandwidth) costs; kernels charge gamma (per-flop) and nu
+// (per-word vertical / memory traffic) costs. The closed-form leading-order
+// expressions of Table I are provided so benchmarks can print
+// measured-vs-model comparisons.
+#pragma once
+
+#include "parpp/util/common.hpp"
+
+namespace parpp {
+
+/// Machine parameters of the alpha-beta-gamma-nu model. Defaults are
+/// loosely modeled on a Stampede2 KNL node fabric and are only used for
+/// *relative* modeled-cost reporting, never for correctness.
+struct CostParams {
+  double alpha = 2.0e-6;  ///< seconds per message
+  double beta = 4.0e-9;   ///< seconds per word moved between processors
+  double gamma = 2.5e-11; ///< seconds per flop
+  double nu = 1.0e-9;     ///< seconds per word moved between memory and cache
+};
+
+/// Accumulated model-cost terms for one processor.
+struct CostTally {
+  double messages = 0.0;        ///< number of alpha charges
+  double words_horizontal = 0.0;///< words sent/received (beta)
+  double flops = 0.0;           ///< gamma
+  double words_vertical = 0.0;  ///< nu
+
+  void add_collective(double msgs, double words) {
+    messages += msgs;
+    words_horizontal += words;
+  }
+  void add_compute(double f, double wv) {
+    flops += f;
+    words_vertical += wv;
+  }
+  [[nodiscard]] double seconds(const CostParams& p) const {
+    return messages * p.alpha + words_horizontal * p.beta + flops * p.gamma +
+           words_vertical * p.nu;
+  }
+  void accumulate(const CostTally& o) {
+    messages += o.messages;
+    words_horizontal += o.words_horizontal;
+    flops += o.flops;
+    words_vertical += o.words_vertical;
+  }
+};
+
+/// Closed-form leading-order costs from Table I of the paper, for an
+/// equidimensional order-N tensor (dimension s, rank R) on P processors.
+/// These are returned in *flops* / *words* so benches can compare against
+/// measured tallies.
+struct TableOneModel {
+  int N;        ///< tensor order
+  index_t s;    ///< mode dimension
+  index_t R;    ///< CP rank
+  index_t P;    ///< processor count
+
+  [[nodiscard]] double dt_seq_flops() const;        ///< 4 s^N R
+  [[nodiscard]] double msdt_seq_flops() const;      ///< 2N/(N-1) s^N R
+  [[nodiscard]] double pp_init_seq_flops() const;   ///< 4 s^N R
+  [[nodiscard]] double pp_approx_seq_flops() const; ///< 2 N^2 (s^2 R + R^2)
+  [[nodiscard]] double dt_local_flops() const;
+  [[nodiscard]] double msdt_local_flops() const;
+  [[nodiscard]] double pp_approx_local_flops() const;
+  /// Horizontal words per sweep for the local-tree algorithms:
+  /// N (s R / P^{1/N} + R^2)
+  [[nodiscard]] double local_tree_horizontal_words() const;
+  /// Horizontal words per sweep for PP-approx-ref: N^2 s R / P
+  [[nodiscard]] double ref_pp_horizontal_words() const;
+};
+
+}  // namespace parpp

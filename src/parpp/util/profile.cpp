@@ -1,0 +1,71 @@
+#include "parpp/util/profile.hpp"
+
+#include <sstream>
+
+namespace parpp {
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kTTM: return "TTM";
+    case Kernel::kMTTV: return "mTTV";
+    case Kernel::kHadamard: return "hadamard";
+    case Kernel::kSolve: return "solve";
+    case Kernel::kComm: return "comm";
+    case Kernel::kOther: return "others";
+    case Kernel::kCount: break;
+  }
+  return "?";
+}
+
+double Profile::total_seconds() const {
+  double t = 0.0;
+  for (double s : seconds_) t += s;
+  return t;
+}
+
+double Profile::total_flops() const {
+  double t = 0.0;
+  for (double f : flops_) t += f;
+  return t;
+}
+
+void Profile::clear() {
+  seconds_.fill(0.0);
+  flops_.fill(0.0);
+}
+
+Profile Profile::delta_since(const Profile& earlier) const {
+  Profile d;
+  for (int i = 0; i < static_cast<int>(Kernel::kCount); ++i) {
+    d.seconds_[i] = seconds_[i] - earlier.seconds_[i];
+    d.flops_[i] = flops_[i] - earlier.flops_[i];
+  }
+  return d;
+}
+
+void Profile::accumulate(const Profile& other) {
+  for (int i = 0; i < static_cast<int>(Kernel::kCount); ++i) {
+    seconds_[i] += other.seconds_[i];
+    flops_[i] += other.flops_[i];
+  }
+}
+
+std::string Profile::summary() const {
+  std::ostringstream os;
+  bool first = true;
+  for (int i = 0; i < static_cast<int>(Kernel::kCount); ++i) {
+    if (seconds_[i] == 0.0 && flops_[i] == 0.0) continue;
+    if (!first) os << " | ";
+    first = false;
+    os << kernel_name(static_cast<Kernel>(i)) << " " << seconds_[i] << "s";
+  }
+  if (first) os << "(empty)";
+  return os.str();
+}
+
+Profile& Profile::thread_default() {
+  thread_local Profile p;
+  return p;
+}
+
+}  // namespace parpp

@@ -1,0 +1,130 @@
+#include "parpp/util/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace parpp::io {
+
+namespace {
+
+constexpr char kTensorMagic[8] = {'p', 'a', 'r', 'p', 'p', 'T', 'v', '1'};
+constexpr char kMatrixMagic[8] = {'p', 'a', 'r', 'p', 'p', 'M', 'v', '1'};
+constexpr char kFactorMagic[8] = {'p', 'a', 'r', 'p', 'p', 'F', 'v', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_raw(std::ostream& os, const void* p, std::size_t bytes) {
+  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
+  PARPP_CHECK(os.good(), "serialize: write failed");
+}
+
+void read_raw(std::istream& is, void* p, std::size_t bytes) {
+  is.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+  PARPP_CHECK(is.good(), "serialize: read failed (truncated stream?)");
+}
+
+void write_magic(std::ostream& os, const char (&magic)[8]) {
+  write_raw(os, magic, 8);
+  write_raw(os, &kVersion, sizeof(kVersion));
+}
+
+void check_magic(std::istream& is, const char (&magic)[8]) {
+  char got[8];
+  read_raw(is, got, 8);
+  PARPP_CHECK(std::memcmp(got, magic, 8) == 0,
+              "serialize: magic mismatch (wrong file type?)");
+  std::uint32_t version = 0;
+  read_raw(is, &version, sizeof(version));
+  PARPP_CHECK(version == kVersion, "serialize: unsupported version ", version);
+}
+
+}  // namespace
+
+void save_tensor(std::ostream& os, const tensor::DenseTensor& t) {
+  write_magic(os, kTensorMagic);
+  const std::uint32_t order = static_cast<std::uint32_t>(t.order());
+  write_raw(os, &order, sizeof(order));
+  for (index_t e : t.shape()) write_raw(os, &e, sizeof(e));
+  write_raw(os, t.data(), static_cast<std::size_t>(t.size()) * sizeof(double));
+}
+
+tensor::DenseTensor load_tensor(std::istream& is) {
+  check_magic(is, kTensorMagic);
+  std::uint32_t order = 0;
+  read_raw(is, &order, sizeof(order));
+  PARPP_CHECK(order <= 16, "load_tensor: implausible order ", order);
+  std::vector<index_t> shape(order);
+  for (auto& e : shape) {
+    read_raw(is, &e, sizeof(e));
+    PARPP_CHECK(e >= 0, "load_tensor: negative extent");
+  }
+  tensor::DenseTensor t(shape);
+  read_raw(is, t.data(), static_cast<std::size_t>(t.size()) * sizeof(double));
+  return t;
+}
+
+void save_matrix(std::ostream& os, const la::Matrix& m) {
+  write_magic(os, kMatrixMagic);
+  const index_t rows = m.rows(), cols = m.cols();
+  write_raw(os, &rows, sizeof(rows));
+  write_raw(os, &cols, sizeof(cols));
+  write_raw(os, m.data(), static_cast<std::size_t>(m.size()) * sizeof(double));
+}
+
+la::Matrix load_matrix(std::istream& is) {
+  check_magic(is, kMatrixMagic);
+  index_t rows = 0, cols = 0;
+  read_raw(is, &rows, sizeof(rows));
+  read_raw(is, &cols, sizeof(cols));
+  PARPP_CHECK(rows >= 0 && cols >= 0, "load_matrix: negative dims");
+  la::Matrix m(rows, cols);
+  read_raw(is, m.data(), static_cast<std::size_t>(m.size()) * sizeof(double));
+  return m;
+}
+
+void save_factors(std::ostream& os, const std::vector<la::Matrix>& factors) {
+  write_magic(os, kFactorMagic);
+  const std::uint32_t count = static_cast<std::uint32_t>(factors.size());
+  write_raw(os, &count, sizeof(count));
+  for (const auto& f : factors) save_matrix(os, f);
+}
+
+std::vector<la::Matrix> load_factors(std::istream& is) {
+  check_magic(is, kFactorMagic);
+  std::uint32_t count = 0;
+  read_raw(is, &count, sizeof(count));
+  PARPP_CHECK(count <= 16, "load_factors: implausible factor count ", count);
+  std::vector<la::Matrix> factors;
+  factors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) factors.push_back(load_matrix(is));
+  return factors;
+}
+
+void save_tensor_file(const std::string& path, const tensor::DenseTensor& t) {
+  std::ofstream os(path, std::ios::binary);
+  PARPP_CHECK(os.is_open(), "cannot open ", path, " for writing");
+  save_tensor(os, t);
+}
+
+tensor::DenseTensor load_tensor_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PARPP_CHECK(is.is_open(), "cannot open ", path, " for reading");
+  return load_tensor(is);
+}
+
+void save_factors_file(const std::string& path,
+                       const std::vector<la::Matrix>& factors) {
+  std::ofstream os(path, std::ios::binary);
+  PARPP_CHECK(os.is_open(), "cannot open ", path, " for writing");
+  save_factors(os, factors);
+}
+
+std::vector<la::Matrix> load_factors_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PARPP_CHECK(is.is_open(), "cannot open ", path, " for reading");
+  return load_factors(is);
+}
+
+}  // namespace parpp::io

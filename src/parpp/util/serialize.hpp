@@ -1,0 +1,35 @@
+// Binary serialization for tensors and factor sets.
+//
+// Simple versioned little-endian container so decompositions can be
+// checkpointed and compared across runs (the CLI tool and long experiments
+// use this). Format: 8-byte magic, u32 version, u32 order, i64 extents,
+// raw doubles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+
+namespace parpp::io {
+
+void save_tensor(std::ostream& os, const tensor::DenseTensor& t);
+[[nodiscard]] tensor::DenseTensor load_tensor(std::istream& is);
+
+void save_matrix(std::ostream& os, const la::Matrix& m);
+[[nodiscard]] la::Matrix load_matrix(std::istream& is);
+
+void save_factors(std::ostream& os, const std::vector<la::Matrix>& factors);
+[[nodiscard]] std::vector<la::Matrix> load_factors(std::istream& is);
+
+/// File-path conveniences; throw parpp::error on I/O failure.
+void save_tensor_file(const std::string& path, const tensor::DenseTensor& t);
+[[nodiscard]] tensor::DenseTensor load_tensor_file(const std::string& path);
+void save_factors_file(const std::string& path,
+                       const std::vector<la::Matrix>& factors);
+[[nodiscard]] std::vector<la::Matrix> load_factors_file(
+    const std::string& path);
+
+}  // namespace parpp::io

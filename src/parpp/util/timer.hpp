@@ -1,0 +1,25 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace parpp {
+
+/// Simple monotonic wall timer. `seconds()` returns time since construction
+/// or the last `reset()`.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace parpp

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "parpp/mpsim/runtime.hpp"
+#include "parpp/util/rng.hpp"
+
+namespace parpp::mpsim {
+namespace {
+
+class CommRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommRanks, AllReduceSumsAcrossRanks) {
+  const int p = GetParam();
+  const index_t n = 37;
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<double> data(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i)
+      data[static_cast<std::size_t>(i)] =
+          static_cast<double>(comm.rank() + 1) * static_cast<double>(i);
+    comm.allreduce_sum(data.data(), n);
+    results[static_cast<std::size_t>(comm.rank())] = data;
+  });
+  const double rank_sum = p * (p + 1) / 2.0;
+  for (int r = 0; r < p; ++r) {
+    for (index_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(results[static_cast<std::size_t>(r)]
+                         [static_cast<std::size_t>(i)],
+                  rank_sum * static_cast<double>(i), 1e-12)
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+TEST_P(CommRanks, AllGatherConcatenatesInRankOrder) {
+  const int p = GetParam();
+  const index_t n = 5;
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<double> mine(static_cast<std::size_t>(n),
+                             static_cast<double>(comm.rank()));
+    std::vector<double> all(static_cast<std::size_t>(n * p));
+    comm.allgather(mine.data(), n, all.data());
+    results[static_cast<std::size_t>(comm.rank())] = all;
+  });
+  for (int r = 0; r < p; ++r)
+    for (int src = 0; src < p; ++src)
+      for (index_t i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)]
+                                [static_cast<std::size_t>(src * n + i)],
+                         static_cast<double>(src));
+}
+
+TEST_P(CommRanks, ReduceScatterSumsAndPartitions) {
+  const int p = GetParam();
+  const index_t chunk = 4;
+  const index_t total = chunk * p;
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<double> contribution(static_cast<std::size_t>(total));
+    for (index_t i = 0; i < total; ++i)
+      contribution[static_cast<std::size_t>(i)] =
+          static_cast<double>(i) + static_cast<double>(comm.rank());
+    std::vector<double> out(static_cast<std::size_t>(chunk));
+    comm.reduce_scatter_sum(contribution.data(), total, out.data());
+    results[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  const double rank_offset_sum = p * (p - 1) / 2.0;
+  for (int r = 0; r < p; ++r)
+    for (index_t i = 0; i < chunk; ++i) {
+      const double idx = static_cast<double>(r * chunk + i);
+      EXPECT_NEAR(
+          results[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+          idx * p + rank_offset_sum, 1e-12);
+    }
+}
+
+TEST_P(CommRanks, BcastReplicatesRoot) {
+  const int p = GetParam();
+  std::vector<double> seen(static_cast<std::size_t>(p), 0.0);
+  run(p, [&](Comm& comm) {
+    double v = comm.rank() == 1 % p ? 42.0 : -1.0;
+    comm.bcast(&v, 1, 1 % p);
+    seen[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  for (double v : seen) EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST_P(CommRanks, AllToAllTransposesChunks) {
+  const int p = GetParam();
+  const index_t c = 3;
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<double> in(static_cast<std::size_t>(c * p));
+    for (int q = 0; q < p; ++q)
+      for (index_t i = 0; i < c; ++i)
+        in[static_cast<std::size_t>(q * c + i)] =
+            comm.rank() * 100.0 + q * 10.0 + static_cast<double>(i);
+    std::vector<double> out(static_cast<std::size_t>(c * p));
+    comm.alltoall(in.data(), c, out.data());
+    results[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  for (int r = 0; r < p; ++r)
+    for (int src = 0; src < p; ++src)
+      for (index_t i = 0; i < c; ++i)
+        EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)]
+                                [static_cast<std::size_t>(src * c + i)],
+                         src * 100.0 + r * 10.0 + static_cast<double>(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommRanks,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Comm, SplitFormsCorrectSubgroups) {
+  const int p = 6;
+  std::vector<int> sub_rank(static_cast<std::size_t>(p), -1);
+  std::vector<int> sub_size(static_cast<std::size_t>(p), -1);
+  std::vector<double> sums(static_cast<std::size_t>(p), 0.0);
+  run(p, [&](Comm& comm) {
+    const int color = comm.rank() % 2;           // evens and odds
+    Comm sub = comm.split(color, comm.rank());   // key = old rank
+    sub_rank[static_cast<std::size_t>(comm.rank())] = sub.rank();
+    sub_size[static_cast<std::size_t>(comm.rank())] = sub.size();
+    double v = static_cast<double>(comm.rank());
+    sub.allreduce_sum(&v, 1);
+    sums[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  // Evens: ranks 0,2,4 -> sum 6; odds: 1,3,5 -> sum 9.
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(sub_size[static_cast<std::size_t>(r)], 3);
+    EXPECT_EQ(sub_rank[static_cast<std::size_t>(r)], r / 2);
+    EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(r)],
+                     r % 2 == 0 ? 6.0 : 9.0);
+  }
+}
+
+TEST(Comm, NestedCollectivesAfterSplit) {
+  // Collectives on parent and child interleave safely (barrier discipline).
+  const int p = 4;
+  std::vector<double> results(static_cast<std::size_t>(p), 0.0);
+  run(p, [&](Comm& comm) {
+    Comm sub = comm.split(comm.rank() / 2, comm.rank());
+    double a = 1.0;
+    comm.allreduce_sum(&a, 1);  // = 4
+    double b = 1.0;
+    sub.allreduce_sum(&b, 1);  // = 2
+    double c2 = 1.0;
+    comm.allreduce_sum(&c2, 1);  // = 4
+    results[static_cast<std::size_t>(comm.rank())] = a + b + c2;
+  });
+  for (double v : results) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(Comm, CostChargesMatchModel) {
+  const int p = 8;
+  std::vector<double> msgs(static_cast<std::size_t>(p), 0.0);
+  std::vector<double> words(static_cast<std::size_t>(p), 0.0);
+  run(p, [&](Comm& comm) {
+    std::vector<double> data(64, 1.0);
+    comm.allreduce_sum(data.data(), 64);
+    msgs[static_cast<std::size_t>(comm.rank())] =
+        comm.cost()->total().messages;
+    words[static_cast<std::size_t>(comm.rank())] =
+        comm.cost()->total().words_horizontal;
+  });
+  // All-Reduce: 2 log2(8) = 6 messages, 2 * 64 = 128 words.
+  for (int r = 0; r < p; ++r) {
+    EXPECT_DOUBLE_EQ(msgs[static_cast<std::size_t>(r)], 6.0);
+    EXPECT_DOUBLE_EQ(words[static_cast<std::size_t>(r)], 128.0);
+  }
+}
+
+TEST(Runtime, PropagatesExceptions) {
+  EXPECT_THROW(run(1, [](Comm&) { throw error("boom"); }), error);
+}
+
+TEST(Runtime, SingleRankCollectivesAreIdentity) {
+  run(1, [](Comm& comm) {
+    double v = 3.0;
+    comm.allreduce_sum(&v, 1);
+    EXPECT_DOUBLE_EQ(v, 3.0);
+    double out = 0.0;
+    comm.reduce_scatter_sum(&v, 1, &out);
+    EXPECT_DOUBLE_EQ(out, 3.0);
+    EXPECT_EQ(comm.cost()->total().messages, 0.0);  // no charge for P = 1
+  });
+}
+
+}  // namespace
+}  // namespace parpp::mpsim

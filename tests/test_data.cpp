@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parpp/data/chemistry.hpp"
+#include "parpp/data/coil.hpp"
+#include "parpp/data/collinearity.hpp"
+#include "parpp/data/hyperspectral.hpp"
+#include "parpp/la/gemm.hpp"
+#include "test_util.hpp"
+
+namespace parpp::data {
+namespace {
+
+TEST(Collinearity, FactorColumnsHavePrescribedCosine) {
+  Rng rng(1101);
+  for (double c : {0.0, 0.3, 0.7, 0.95}) {
+    const la::Matrix a = collinear_factor(40, 6, c, rng);
+    for (index_t i = 0; i < 6; ++i) {
+      for (index_t j = 0; j < 6; ++j) {
+        double dij = 0.0, dii = 0.0, djj = 0.0;
+        for (index_t r = 0; r < 40; ++r) {
+          dij += a(r, i) * a(r, j);
+          dii += a(r, i) * a(r, i);
+          djj += a(r, j) * a(r, j);
+        }
+        const double cosine = dij / std::sqrt(dii * djj);
+        EXPECT_NEAR(cosine, i == j ? 1.0 : c, 1e-10)
+            << "c=" << c << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Collinearity, TensorShapeAndRange) {
+  const auto gen = make_collinear_tensor({10, 12, 11}, 4, 0.4, 0.6, 1102);
+  EXPECT_EQ(gen.tensor.shape(), (std::vector<index_t>{10, 12, 11}));
+  EXPECT_GE(gen.collinearity, 0.4);
+  EXPECT_LT(gen.collinearity, 0.6);
+  EXPECT_GT(gen.tensor.frobenius_norm(), 0.0);
+  ASSERT_EQ(gen.factors.size(), 3u);
+}
+
+TEST(Collinearity, TensorHasExactCpRank) {
+  // The generated tensor is exactly rank R: its residual against its own
+  // factors is zero.
+  const auto gen = make_collinear_tensor({8, 8, 8}, 3, 0.5, 0.6, 1103);
+  EXPECT_NEAR(test::explicit_residual(gen.tensor, gen.factors), 0.0, 1e-10);
+}
+
+TEST(Collinearity, DeterministicInSeed) {
+  const auto a = make_collinear_tensor({6, 6, 6}, 2, 0.2, 0.4, 7);
+  const auto b = make_collinear_tensor({6, 6, 6}, 2, 0.2, 0.4, 7);
+  EXPECT_DOUBLE_EQ(a.tensor.max_abs_diff(b.tensor), 0.0);
+}
+
+TEST(Chemistry, ShapeAndSymmetry) {
+  ChemistryOptions opt;
+  opt.naux = 40;
+  opt.norb = 16;
+  opt.terms = 20;
+  opt.noise = 0.0;
+  const auto d = make_density_fitting_tensor(opt);
+  EXPECT_EQ(d.shape(), (std::vector<index_t>{40, 16, 16}));
+  // Orbital symmetry D(e,p,q) == D(e,q,p) without noise.
+  for (index_t e = 0; e < 40; e += 7)
+    for (index_t p = 0; p < 16; ++p)
+      for (index_t q = 0; q < p; ++q) {
+        const std::array<index_t, 3> a{e, p, q}, b{e, q, p};
+        EXPECT_NEAR(d.at(a), d.at(b), 1e-12);
+      }
+}
+
+TEST(Chemistry, CompressibleAtModerateRank) {
+  ChemistryOptions opt;
+  opt.naux = 30;
+  opt.norb = 12;
+  opt.terms = 12;
+  opt.noise = 1e-5;
+  const auto d = make_density_fitting_tensor(opt);
+  core::CpOptions als;
+  als.rank = 16;
+  als.max_sweeps = 80;
+  als.tol = 1e-7;
+  const auto result = core::cp_als(d, als);
+  EXPECT_GT(result.fitness, 0.9) << "density-fitting tensor should compress";
+}
+
+TEST(Coil, ShapeAndVariationAcrossPoses) {
+  CoilOptions opt;
+  opt.height = 12;
+  opt.width = 12;
+  opt.objects = 3;
+  opt.poses = 5;
+  const auto t = make_coil_tensor(opt);
+  EXPECT_EQ(t.shape(), (std::vector<index_t>{12, 12, 3, 15}));
+  // Different poses of the same object differ but are correlated.
+  double diff = 0.0;
+  for (index_t y = 0; y < 12; ++y)
+    for (index_t x = 0; x < 12; ++x) {
+      const std::array<index_t, 4> a{y, x, 0, 0}, b{y, x, 0, 1};
+      diff += std::abs(t.at(a) - t.at(b));
+    }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Coil, LowRankCompressible) {
+  CoilOptions opt;
+  opt.height = 10;
+  opt.width = 10;
+  opt.objects = 2;
+  opt.poses = 6;
+  opt.patterns_per_object = 3;
+  const auto t = make_coil_tensor(opt);
+  core::CpOptions als;
+  als.rank = 16;
+  als.max_sweeps = 60;
+  als.tol = 1e-7;
+  const auto result = core::cp_als(t, als);
+  EXPECT_GT(result.fitness, 0.8);
+}
+
+TEST(Hyperspectral, ShapeAndSmoothness) {
+  HyperspectralOptions opt;
+  opt.height = 16;
+  opt.width = 20;
+  opt.bands = 8;
+  opt.frames = 4;
+  const auto t = make_hyperspectral_tensor(opt);
+  EXPECT_EQ(t.shape(), (std::vector<index_t>{16, 20, 8, 4}));
+  EXPECT_GT(t.frobenius_norm(), 0.0);
+  // Spatial smoothness: neighbouring pixels are close relative to range.
+  double max_jump = 0.0, max_val = 0.0;
+  for (index_t y = 0; y + 1 < 16; ++y)
+    for (index_t x = 0; x < 20; ++x) {
+      const std::array<index_t, 4> a{y, x, 0, 0}, b{y + 1, x, 0, 0};
+      max_jump = std::max(max_jump, std::abs(t.at(a) - t.at(b)));
+      max_val = std::max(max_val, std::abs(t.at(a)));
+    }
+  EXPECT_LT(max_jump, 0.7 * max_val + 1e-12);
+}
+
+TEST(Hyperspectral, Deterministic) {
+  HyperspectralOptions opt;
+  opt.height = 8;
+  opt.width = 8;
+  opt.bands = 4;
+  opt.frames = 3;
+  const auto a = make_hyperspectral_tensor(opt);
+  const auto b = make_hyperspectral_tensor(opt);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+}
+
+}  // namespace
+}  // namespace parpp::data

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "parpp/tensor/dense_tensor.hpp"
+#include "test_util.hpp"
+
+namespace parpp::tensor {
+namespace {
+
+TEST(DenseTensor, ShapeAndStrides) {
+  DenseTensor t({2, 3, 4});
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.extent(0), 2);
+  EXPECT_EQ(t.extent(2), 4);
+  const std::vector<index_t> want{12, 4, 1};
+  EXPECT_EQ(t.strides(), want);
+}
+
+TEST(DenseTensor, LinearizeRowMajor) {
+  DenseTensor t({2, 3, 4});
+  const std::array<index_t, 3> idx{1, 2, 3};
+  EXPECT_EQ(t.linearize(idx), 12 + 8 + 3);
+}
+
+TEST(DenseTensor, AtAccessesElements) {
+  DenseTensor t({2, 2});
+  const std::array<index_t, 2> idx{1, 0};
+  t.at(idx) = 7.5;
+  EXPECT_DOUBLE_EQ(t[2], 7.5);
+}
+
+TEST(DenseTensor, NextIndexOdometer) {
+  const std::vector<index_t> shape{2, 3};
+  std::vector<index_t> idx{0, 0};
+  int count = 1;
+  while (next_index(shape, idx)) ++count;
+  EXPECT_EQ(count, 6);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(DenseTensor, NormMatchesDefinition) {
+  DenseTensor t({3, 3});
+  t.fill(2.0);
+  EXPECT_DOUBLE_EQ(t.squared_norm(), 36.0);
+  EXPECT_DOUBLE_EQ(t.frobenius_norm(), 6.0);
+}
+
+TEST(DenseTensor, AxpyAndMaxAbsDiff) {
+  DenseTensor a({4}), b({4});
+  a.fill(1.0);
+  b.fill(3.0);
+  a.axpy(2.0, b);
+  EXPECT_DOUBLE_EQ(a[0], 7.0);
+  DenseTensor c({4});
+  c.fill(7.0);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(c), 0.0);
+}
+
+TEST(DenseTensor, ExtentProduct) {
+  DenseTensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.extent_product(0, 4), 120);
+  EXPECT_EQ(t.extent_product(1, 3), 12);
+  EXPECT_EQ(t.extent_product(2, 2), 1);
+}
+
+TEST(DenseTensor, ZeroExtentIsEmpty) {
+  DenseTensor t({3, 0, 4});
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_DOUBLE_EQ(t.frobenius_norm(), 0.0);
+}
+
+TEST(DenseTensor, OrderOneBehavesAsVector) {
+  DenseTensor t({5});
+  t[3] = 2.0;
+  EXPECT_DOUBLE_EQ(t.frobenius_norm(), 2.0);
+}
+
+TEST(DenseTensor, FillUniformDeterministic) {
+  Rng r1(5), r2(5);
+  DenseTensor a({10, 10}), b({10, 10});
+  a.fill_uniform(r1);
+  b.fill_uniform(r2);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+}
+
+}  // namespace
+}  // namespace parpp::tensor

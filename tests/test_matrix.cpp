@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parpp/la/matrix.hpp"
+#include "test_util.hpp"
+
+namespace parpp::la {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.row(1)[2], 5.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+  EXPECT_THROW(Matrix(2, 2, {1.0}), error);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m = test::random_matrix(5, 3, 1);
+  Matrix t = m.transposed();
+  ASSERT_EQ(t.rows(), 3);
+  ASSERT_EQ(t.cols(), 5);
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t(j, i), m(i, j));
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m(2, 2, {3.0, 0.0, 0.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, DotIsSumOfProducts) {
+  Matrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  Matrix b(2, 2, {5.0, 6.0, 7.0, 8.0});
+  EXPECT_DOUBLE_EQ(a.dot(b), 5.0 + 12.0 + 21.0 + 32.0);
+}
+
+TEST(Matrix, AxpyAndScale) {
+  Matrix a(1, 3, {1.0, 2.0, 3.0});
+  Matrix b(1, 3, {10.0, 20.0, 30.0});
+  a.axpy(0.5, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 18.0);
+  a.scale(2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 24.0);
+}
+
+TEST(Matrix, HadamardMatchesElementwise) {
+  Matrix a = test::random_matrix(4, 4, 2);
+  Matrix b = test::random_matrix(4, 4, 3);
+  Matrix c = hadamard(a, b);
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(c(i, j), a(i, j) * b(i, j));
+}
+
+TEST(Matrix, HadamardShapeMismatchThrows) {
+  Matrix a(2, 3), b(3, 2);
+  EXPECT_THROW(a.hadamard_inplace(b), error);
+}
+
+TEST(Matrix, Identity) {
+  Matrix i = identity(3);
+  for (index_t r = 0; r < 3; ++r)
+    for (index_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(1, 2, {1.0, 2.0});
+  Matrix b(1, 2, {1.5, 1.0});
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+}
+
+TEST(Matrix, FillUniformInRange) {
+  Matrix m(32, 32);
+  Rng rng(4);
+  m.fill_uniform(rng);
+  double mn = 1.0, mx = 0.0;
+  for (index_t i = 0; i < m.rows(); ++i)
+    for (index_t j = 0; j < m.cols(); ++j) {
+      mn = std::min(mn, m(i, j));
+      mx = std::max(mx, m(i, j));
+    }
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_GT(mx - mn, 0.5);  // actually random
+}
+
+}  // namespace
+}  // namespace parpp::la

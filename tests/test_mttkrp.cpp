@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "parpp/la/gemm.hpp"
+#include "parpp/tensor/khatri_rao.hpp"
+#include "parpp/tensor/mttkrp_naive.hpp"
+#include "parpp/tensor/reconstruct.hpp"
+#include "test_util.hpp"
+
+namespace parpp::tensor {
+namespace {
+
+TEST(KhatriRao, SmallExample) {
+  la::Matrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  la::Matrix b(2, 2, {5.0, 6.0, 7.0, 8.0});
+  const la::Matrix c = khatri_rao(a, b);
+  ASSERT_EQ(c.rows(), 4);
+  ASSERT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), 5.0);   // a(0,0)*b(0,0)
+  EXPECT_DOUBLE_EQ(c(1, 0), 7.0);   // a(0,0)*b(1,0)
+  EXPECT_DOUBLE_EQ(c(2, 1), 24.0);  // a(1,1)*b(0,1)
+  EXPECT_DOUBLE_EQ(c(3, 1), 32.0);  // a(1,1)*b(1,1)
+}
+
+TEST(KhatriRao, ColumnMismatchThrows) {
+  la::Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW((void)khatri_rao(a, b), error);
+}
+
+TEST(KhatriRao, AllWithSkip) {
+  const auto factors = test::random_factors({3, 4, 5}, 2, 41);
+  const la::Matrix w = khatri_rao_all(factors, 1);
+  ASSERT_EQ(w.rows(), 15);
+  // Row (i, k) linearized with mode-0 slowest.
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t k = 0; k < 5; ++k)
+      for (index_t r = 0; r < 2; ++r)
+        EXPECT_DOUBLE_EQ(w(i * 5 + k, r), factors[0](i, r) * factors[2](k, r));
+}
+
+TEST(Unfold, MatchesElementwise) {
+  const DenseTensor t = test::random_tensor({3, 4, 5}, 42);
+  for (int n = 0; n < 3; ++n) {
+    const la::Matrix u = unfold(t, n);
+    ASSERT_EQ(u.rows(), t.extent(n));
+    ASSERT_EQ(u.cols(), t.size() / t.extent(n));
+  }
+  // Spot-check mode 1: column index = i0 * s2 + i2.
+  const la::Matrix u1 = unfold(t, 1);
+  for (index_t i0 = 0; i0 < 3; ++i0)
+    for (index_t i1 = 0; i1 < 4; ++i1)
+      for (index_t i2 = 0; i2 < 5; ++i2) {
+        const std::array<index_t, 3> idx{i0, i1, i2};
+        EXPECT_DOUBLE_EQ(u1(i1, i0 * 5 + i2), t.at(idx));
+      }
+}
+
+TEST(Mttkrp, KrpPathMatchesElementwise) {
+  const DenseTensor t = test::random_tensor({4, 5, 6}, 43);
+  const auto factors = test::random_factors({4, 5, 6}, 3, 44);
+  for (int n = 0; n < 3; ++n) {
+    const la::Matrix a = mttkrp_elementwise(t, factors, n);
+    const la::Matrix b = mttkrp_krp(t, factors, n);
+    test::expect_matrix_near(a, b, 1e-10, "mttkrp paths agree");
+  }
+}
+
+TEST(Mttkrp, Order4PathsAgree) {
+  const DenseTensor t = test::random_tensor({3, 4, 2, 5}, 45);
+  const auto factors = test::random_factors({3, 4, 2, 5}, 2, 46);
+  for (int n = 0; n < 4; ++n) {
+    test::expect_matrix_near(mttkrp_elementwise(t, factors, n),
+                             mttkrp_krp(t, factors, n), 1e-10,
+                             "order-4 mttkrp");
+  }
+}
+
+TEST(Reconstruct, MatchesElementwiseDefinition) {
+  const auto factors = test::random_factors({3, 4, 5}, 2, 47);
+  const DenseTensor t = reconstruct(factors);
+  std::vector<index_t> idx(3, 0);
+  do {
+    double want = 0.0;
+    for (index_t r = 0; r < 2; ++r) {
+      double p = 1.0;
+      for (int m = 0; m < 3; ++m)
+        p *= factors[static_cast<std::size_t>(m)](
+            idx[static_cast<std::size_t>(m)], r);
+      want += p;
+    }
+    EXPECT_NEAR(t.at(idx), want, 1e-12);
+  } while (next_index(t.shape(), idx));
+}
+
+TEST(Reconstruct, ExactLowRankRoundTrip) {
+  // MTTKRP of a rank-R tensor with its own factors satisfies the normal
+  // equations: M(n) = A(n) Γ(n).
+  const auto factors = test::random_factors({5, 6, 7}, 3, 48);
+  const DenseTensor t = reconstruct(factors);
+  const la::Matrix m0 = mttkrp_elementwise(t, factors, 0);
+  // Γ(0) = (A1^T A1) * (A2^T A2)
+  la::Matrix g1 = la::matmul(factors[1], factors[1], la::Trans::kYes);
+  la::Matrix g2 = la::matmul(factors[2], factors[2], la::Trans::kYes);
+  g1.hadamard_inplace(g2);
+  const la::Matrix want = la::matmul(factors[0], g1);
+  test::expect_matrix_near(m0, want, 1e-9, "normal equations");
+}
+
+}  // namespace
+}  // namespace parpp::tensor

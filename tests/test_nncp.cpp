@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parpp/core/nncp.hpp"
+#include "parpp/data/hyperspectral.hpp"
+#include "parpp/tensor/reconstruct.hpp"
+#include "test_util.hpp"
+
+namespace parpp::core {
+namespace {
+
+/// Nonnegative ground truth: uniform [0,1) factors are nonnegative, so the
+/// planted tensor is recoverable by NNCP.
+TEST(Nncp, RecoversNonnegativeLowRank) {
+  const auto t = test::low_rank_tensor({10, 9, 8}, 3, 1301);
+  CpOptions opt;
+  opt.rank = 3;
+  opt.max_sweeps = 200;
+  opt.tol = 1e-9;
+  const CpResult r = nncp_hals(t, opt);
+  EXPECT_GT(r.fitness, 0.995);
+}
+
+TEST(Nncp, FactorsStayNonnegative) {
+  const auto t = test::random_tensor({8, 7, 6}, 1302);
+  CpOptions opt;
+  opt.rank = 4;
+  opt.max_sweeps = 30;
+  opt.tol = 0.0;
+  const CpResult r = nncp_hals(t, opt);
+  for (const auto& a : r.factors) {
+    for (index_t i = 0; i < a.rows(); ++i)
+      for (index_t j = 0; j < a.cols(); ++j)
+        EXPECT_GE(a(i, j), 0.0) << "HALS must keep factors nonnegative";
+  }
+}
+
+TEST(Nncp, FitnessNonDecreasing) {
+  const auto t = test::random_tensor({9, 8, 7}, 1303);
+  CpOptions opt;
+  opt.rank = 5;
+  opt.max_sweeps = 25;
+  opt.tol = 0.0;
+  const CpResult r = nncp_hals(t, opt);
+  ASSERT_GE(r.history.size(), 2u);
+  for (std::size_t i = 1; i < r.history.size(); ++i)
+    EXPECT_GE(r.history[i].fitness, r.history[i - 1].fitness - 1e-8);
+}
+
+TEST(Nncp, DtAndMsdtEnginesAgree) {
+  const auto t = test::low_rank_tensor({8, 8, 8}, 2, 1304);
+  CpOptions opt;
+  opt.rank = 2;
+  opt.max_sweeps = 20;
+  opt.tol = 0.0;
+  NncpOptions nn;
+  nn.engine = EngineKind::kDt;
+  const CpResult dt = nncp_hals(t, opt, nn);
+  nn.engine = EngineKind::kMsdt;
+  const CpResult msdt = nncp_hals(t, opt, nn);
+  EXPECT_NEAR(dt.fitness, msdt.fitness, 1e-8)
+      << "engines are exact, trajectories must match";
+}
+
+TEST(Nncp, ResidualMatchesExplicit) {
+  const auto t = test::low_rank_tensor({7, 6, 5}, 2, 1305);
+  CpOptions opt;
+  opt.rank = 2;
+  opt.max_sweeps = 60;
+  opt.tol = 1e-8;
+  const CpResult r = nncp_hals(t, opt);
+  EXPECT_NEAR(test::explicit_residual(t, r.factors), r.residual, 1e-6);
+}
+
+TEST(Nncp, HandlesHyperspectralWorkload) {
+  data::HyperspectralOptions hs;
+  hs.height = 16;
+  hs.width = 20;
+  hs.bands = 8;
+  hs.frames = 4;
+  const auto t = data::make_hyperspectral_tensor(hs);
+  CpOptions opt;
+  opt.rank = 12;
+  opt.max_sweeps = 60;
+  opt.tol = 1e-6;
+  const CpResult r = nncp_hals(t, opt);
+  EXPECT_GT(r.fitness, 0.8)
+      << "nonnegative radiance data should compress well under NNCP";
+}
+
+TEST(Nncp, InnerIterationsStayInSameBallpark) {
+  // Extra inner HALS passes change the trajectory but must land at a
+  // comparable stationary fitness (they optimize the same subproblems more
+  // tightly per sweep — not necessarily better after a fixed sweep count).
+  const auto t = test::random_tensor({8, 8, 8}, 1306);
+  CpOptions opt;
+  opt.rank = 4;
+  opt.max_sweeps = 15;
+  opt.tol = 0.0;
+  NncpOptions one, three;
+  three.inner_iterations = 3;
+  const CpResult r1 = nncp_hals(t, opt, one);
+  const CpResult r3 = nncp_hals(t, opt, three);
+  EXPECT_GT(r1.fitness, 0.3);
+  EXPECT_GT(r3.fitness, 0.3);
+  EXPECT_NEAR(r3.fitness, r1.fitness, 0.05);
+}
+
+}  // namespace
+}  // namespace parpp::core

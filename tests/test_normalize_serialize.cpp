@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "parpp/core/normalize.hpp"
+#include "parpp/tensor/reconstruct.hpp"
+#include "parpp/util/serialize.hpp"
+#include "test_util.hpp"
+
+namespace parpp {
+namespace {
+
+TEST(Normalize, ColumnsBecomeUnitNorm) {
+  auto factors = test::random_factors({6, 7, 8}, 4, 1201);
+  const auto lambda = core::normalize_columns(factors);
+  ASSERT_EQ(lambda.size(), 4u);
+  for (const auto& a : factors) {
+    const auto norms = core::column_norms(a);
+    for (double n : norms) EXPECT_NEAR(n, 1.0, 1e-12);
+  }
+  for (double l : lambda) EXPECT_GT(l, 0.0);
+}
+
+TEST(Normalize, PreservesTensorAfterAbsorb) {
+  auto factors = test::random_factors({5, 6, 4}, 3, 1202);
+  const auto before = tensor::reconstruct(factors);
+  const auto lambda = core::normalize_columns(factors);
+  core::absorb_weights(factors, lambda, 1);
+  const auto after = tensor::reconstruct(factors);
+  test::expect_tensor_near(after, before, 1e-10 * before.frobenius_norm(),
+                           "normalize + absorb round trip");
+}
+
+TEST(Normalize, ZeroColumnGivesZeroWeight) {
+  auto factors = test::random_factors({4, 4}, 3, 1203);
+  for (index_t i = 0; i < 4; ++i) factors[0](i, 1) = 0.0;
+  const auto lambda = core::normalize_columns(factors);
+  EXPECT_DOUBLE_EQ(lambda[1], 0.0);
+  EXPECT_GT(lambda[0], 0.0);
+}
+
+TEST(Normalize, ColumnNormsMatchDefinition) {
+  la::Matrix a(2, 2, {3.0, 0.0, 4.0, 1.0});
+  const auto norms = core::column_norms(a);
+  EXPECT_NEAR(norms[0], 5.0, 1e-12);
+  EXPECT_NEAR(norms[1], 1.0, 1e-12);
+}
+
+TEST(Serialize, TensorRoundTripThroughStream) {
+  const auto t = test::random_tensor({3, 5, 2, 4}, 1204);
+  std::stringstream ss;
+  io::save_tensor(ss, t);
+  const auto back = io::load_tensor(ss);
+  test::expect_tensor_near(back, t, 0.0, "tensor stream round trip");
+}
+
+TEST(Serialize, MatrixRoundTrip) {
+  const auto m = test::random_matrix(7, 3, 1205);
+  std::stringstream ss;
+  io::save_matrix(ss, m);
+  const auto back = io::load_matrix(ss);
+  test::expect_matrix_near(back, m, 0.0, "matrix round trip");
+}
+
+TEST(Serialize, FactorsRoundTrip) {
+  const auto factors = test::random_factors({4, 6, 5}, 3, 1206);
+  std::stringstream ss;
+  io::save_factors(ss, factors);
+  const auto back = io::load_factors(ss);
+  ASSERT_EQ(back.size(), factors.size());
+  for (std::size_t i = 0; i < factors.size(); ++i)
+    test::expect_matrix_near(back[i], factors[i], 0.0, "factor round trip");
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  const auto t = test::random_tensor({2, 2}, 1207);
+  std::stringstream ss;
+  io::save_tensor(ss, t);
+  EXPECT_THROW((void)io::load_factors(ss), error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  const auto t = test::random_tensor({8, 8}, 1208);
+  std::stringstream ss;
+  io::save_tensor(ss, t);
+  std::string buf = ss.str();
+  buf.resize(buf.size() / 2);
+  std::stringstream truncated(buf);
+  EXPECT_THROW((void)io::load_tensor(truncated), error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto t = test::random_tensor({4, 3, 5}, 1209);
+  const std::string path = "/tmp/parpp_test_tensor.bin";
+  io::save_tensor_file(path, t);
+  const auto back = io::load_tensor_file(path);
+  test::expect_tensor_near(back, t, 0.0, "file round trip");
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW((void)io::load_tensor_file("/nonexistent/nope.bin"), error);
+}
+
+}  // namespace
+}  // namespace parpp

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "parpp/data/hyperspectral.hpp"
+#include "parpp/par/par_nncp.hpp"
+#include "test_util.hpp"
+
+namespace parpp::par {
+namespace {
+
+TEST(ParNncp, MatchesSequentialHals) {
+  const auto t = test::random_tensor({8, 9, 10}, 1401);
+  core::CpOptions opt;
+  opt.rank = 4;
+  opt.max_sweeps = 10;
+  opt.tol = 0.0;
+  const auto seq = core::nncp_hals(t, opt);
+
+  ParNncpOptions popt;
+  popt.par.base = opt;
+  popt.par.grid_dims = {2, 2, 2};
+  const auto par = par_nncp_hals(t, 8, popt);
+  // HALS is row-local given Γ and M, so any grid reproduces the sequential
+  // trajectory exactly.
+  EXPECT_NEAR(par.fitness, seq.fitness, 1e-8);
+  for (std::size_t m = 0; m < seq.factors.size(); ++m)
+    EXPECT_LE(par.factors[m].max_abs_diff(seq.factors[m]), 1e-6);
+}
+
+TEST(ParNncp, FactorsStayNonnegativeAcrossGrids) {
+  const auto t = test::random_tensor({7, 6, 8}, 1402);
+  ParNncpOptions popt;
+  popt.par.base.rank = 3;
+  popt.par.base.max_sweeps = 8;
+  popt.par.base.tol = 0.0;
+  popt.par.grid_dims = {2, 1, 2};
+  const auto r = par_nncp_hals(t, 4, popt);
+  for (const auto& a : r.factors)
+    for (index_t i = 0; i < a.rows(); ++i)
+      for (index_t j = 0; j < a.cols(); ++j) EXPECT_GE(a(i, j), 0.0);
+}
+
+TEST(ParNncp, HyperspectralWorkloadConverges) {
+  data::HyperspectralOptions hs;
+  hs.height = 16;
+  hs.width = 20;
+  hs.bands = 8;
+  hs.frames = 4;
+  const auto t = data::make_hyperspectral_tensor(hs);
+  ParNncpOptions popt;
+  popt.par.base.rank = 10;
+  popt.par.base.max_sweeps = 40;
+  popt.par.base.tol = 1e-6;
+  popt.par.grid_dims = {2, 2, 1, 1};
+  const auto r = par_nncp_hals(t, 4, popt);
+  EXPECT_GT(r.fitness, 0.75);
+  EXPECT_GT(r.comm_cost.total().messages, 0.0);
+}
+
+TEST(ParNncp, NonDivisibleExtentsExact) {
+  const auto t = test::random_tensor({9, 5, 7}, 1403);
+  core::CpOptions opt;
+  opt.rank = 3;
+  opt.max_sweeps = 6;
+  opt.tol = 0.0;
+  const auto seq = core::nncp_hals(t, opt);
+  ParNncpOptions popt;
+  popt.par.base = opt;
+  popt.par.grid_dims = {2, 2, 1};
+  const auto par = par_nncp_hals(t, 4, popt);
+  EXPECT_NEAR(par.fitness, seq.fitness, 1e-8);
+}
+
+}  // namespace
+}  // namespace parpp::par

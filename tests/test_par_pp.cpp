@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parpp/data/collinearity.hpp"
+#include "parpp/par/par_pp.hpp"
+#include "parpp/par/ref_pp.hpp"
+#include "test_util.hpp"
+
+namespace parpp::par {
+namespace {
+
+TEST(ParPp, ConvergesOnLowRankTensor) {
+  const auto t = test::low_rank_tensor({8, 8, 8}, 3, 901);
+  ParPpOptions opt;
+  opt.par.base.rank = 3;
+  opt.par.base.max_sweeps = 120;
+  opt.par.base.tol = 1e-9;
+  opt.par.grid_dims = {2, 2, 2};
+  opt.par.local_engine = core::EngineKind::kMsdt;
+  opt.pp.pp_tol = 0.1;
+  const ParResult r = par_pp_cp_als(t, 8, opt);
+  EXPECT_GT(r.fitness, 0.999);
+}
+
+TEST(ParPp, TracksSequentialPpFitness) {
+  const auto gen =
+      data::make_collinear_tensor({12, 12, 12}, 3, 0.7, 0.8, 902);
+  core::CpOptions base;
+  base.rank = 3;
+  base.max_sweeps = 60;
+  base.tol = 1e-8;
+  core::PpOptions pp;
+  pp.pp_tol = 0.3;
+  const core::CpResult seq = core::pp_cp_als(gen.tensor, base, pp);
+
+  ParPpOptions opt;
+  opt.par.base = base;
+  opt.par.grid_dims = {2, 2, 1};
+  opt.pp = pp;
+  const ParResult par = par_pp_cp_als(gen.tensor, 4, opt);
+  // PP phase entry depends on norm comparisons that are identical in exact
+  // arithmetic; allow small drift from reduction-order round-off.
+  EXPECT_NEAR(par.fitness, seq.fitness, 5e-3);
+  EXPECT_GT(par.num_pp_init + par.num_pp_approx, 0)
+      << "PP should engage in the parallel driver too";
+}
+
+TEST(ParPp, PpSweepsActivateOnSlowConvergence) {
+  const auto gen =
+      data::make_collinear_tensor({12, 12, 12}, 4, 0.85, 0.9, 903);
+  ParPpOptions opt;
+  opt.par.base.rank = 4;
+  opt.par.base.max_sweeps = 100;
+  opt.par.base.tol = 1e-9;
+  opt.par.grid_dims = {2, 2, 1};
+  opt.pp.pp_tol = 0.1;
+  const ParResult r = par_pp_cp_als(gen.tensor, 4, opt);
+  EXPECT_GT(r.num_pp_init, 0);
+  EXPECT_GT(r.num_pp_approx, 0);
+}
+
+TEST(ParPp, KernelTimingsProduceSaneOutput) {
+  const auto t = test::random_tensor({12, 12, 12}, 904);
+  ParPpOptions opt;
+  opt.par.base.rank = 4;
+  opt.par.grid_dims = {2, 2, 1};
+  const PpKernelTimings timings = time_pp_kernels(t, 4, opt, 3);
+  EXPECT_GT(timings.init_seconds, 0.0);
+  EXPECT_GT(timings.approx_sweep_seconds, 0.0);
+  EXPECT_GT(timings.init_profile.flops(Kernel::kTTM), 0.0)
+      << "PP init does first-level TTMs";
+  EXPECT_GT(timings.approx_profile.flops(Kernel::kMTTV), 0.0)
+      << "PP approx is mTTV-bound";
+  EXPECT_DOUBLE_EQ(timings.approx_profile.flops(Kernel::kTTM), 0.0)
+      << "PP approx must not touch the input tensor";
+}
+
+TEST(ParPp, RefImplementationCostsMoreCommunication) {
+  const auto t = test::random_tensor({12, 12, 12}, 905);
+  ParPpOptions opt;
+  opt.par.base.rank = 4;
+  opt.par.grid_dims = {2, 2, 2};
+  const PpKernelTimings ours = time_pp_kernels(t, 8, opt, 3);
+  const PpKernelTimings ref = time_ref_pp_kernels(t, 8, opt, 3);
+  EXPECT_GT(ref.comm_cost.total().words_horizontal,
+            2.0 * ours.comm_cost.total().words_horizontal)
+      << "Table II: the reference PP moves far more data";
+}
+
+TEST(ParPp, RefApproxStepStillExactForZeroPerturbation) {
+  // With dA = 0 the reference approx sweep reduces to solving with M_p —
+  // it must keep the factors consistent (no NaNs, residual well-defined).
+  const auto t = test::low_rank_tensor({8, 8, 8}, 2, 906);
+  ParPpOptions opt;
+  opt.par.base.rank = 2;
+  opt.par.grid_dims = {2, 1, 1};
+  const PpKernelTimings timings = time_ref_pp_kernels(t, 2, opt, 2);
+  EXPECT_TRUE(std::isfinite(timings.approx_sweep_seconds));
+}
+
+TEST(ParPp, Order4GridRuns) {
+  const auto t = test::low_rank_tensor({6, 4, 4, 6}, 2, 907);
+  ParPpOptions opt;
+  opt.par.base.rank = 2;
+  opt.par.base.max_sweeps = 60;
+  opt.par.base.tol = 1e-8;
+  opt.par.grid_dims = {2, 1, 1, 2};
+  opt.pp.pp_tol = 0.1;
+  const ParResult r = par_pp_cp_als(t, 4, opt);
+  EXPECT_GT(r.fitness, 0.99);
+}
+
+}  // namespace
+}  // namespace parpp::par

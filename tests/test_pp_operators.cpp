@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "parpp/core/gram.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/core/msdt.hpp"
+#include "parpp/core/pp_operators.hpp"
+#include "parpp/core/solve_update.hpp"
+#include "parpp/tensor/mttkrp_naive.hpp"
+#include "parpp/tensor/mttv.hpp"
+#include "parpp/tensor/transpose.hpp"
+#include "parpp/tensor/ttm.hpp"
+#include "test_util.hpp"
+
+namespace parpp::core {
+namespace {
+
+/// Reference pair operator: contract every mode except {i, j} one at a
+/// time, highest mode first, tracking positions.
+tensor::DenseTensor ref_pair_op(const tensor::DenseTensor& t,
+                                const std::vector<la::Matrix>& factors, int i,
+                                int j, std::vector<int>* modes_out) {
+  const int n = t.order();
+  std::vector<int> contract;
+  for (int m = n - 1; m >= 0; --m)
+    if (m != i && m != j) contract.push_back(m);
+  tensor::DenseTensor cur =
+      tensor::ttm_first(t, contract[0],
+                        factors[static_cast<std::size_t>(contract[0])]);
+  std::vector<int> modes;
+  for (int m = 0; m < n; ++m)
+    if (m != contract[0]) modes.push_back(m);
+  for (std::size_t k = 1; k < contract.size(); ++k) {
+    const int m = contract[k];
+    const auto it = std::find(modes.begin(), modes.end(), m);
+    const int pos = static_cast<int>(it - modes.begin());
+    cur = tensor::mttv(cur, pos, factors[static_cast<std::size_t>(m)]);
+    modes.erase(modes.begin() + pos);
+  }
+  if (modes_out) *modes_out = modes;
+  return cur;
+}
+
+class PpOpOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(PpOpOrders, PairOperatorsMatchReference) {
+  const int n = GetParam();
+  std::vector<index_t> shape;
+  for (int m = 0; m < n; ++m) shape.push_back(4 + m);
+  const auto t = test::random_tensor(shape, 301);
+  const auto factors = test::random_factors(shape, 3, 302);
+  PpOperators ops(t, factors);
+  ops.build();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      std::vector<int> ref_modes;
+      const auto want = ref_pair_op(t, factors, i, j, &ref_modes);
+      const auto& got = ops.pair_op(i, j);
+      ASSERT_EQ(got.modes.size(), 2u);
+      // Storage order may differ between implementations; compare after
+      // aligning.
+      tensor::DenseTensor got_aligned = got.data;
+      if (got.modes != ref_modes)
+        got_aligned = tensor::transpose(got.data, {1, 0, 2});
+      ASSERT_LE(got_aligned.max_abs_diff(want),
+                1e-9 * want.frobenius_norm() + 1e-12)
+          << "pair (" << i << "," << j << ") order " << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PpOpOrders, ::testing::Values(3, 4, 5));
+
+TEST(PpOperators, LeavesMatchMttkrp) {
+  const std::vector<index_t> shape{5, 6, 7, 4};
+  const auto t = test::random_tensor(shape, 303);
+  const auto factors = test::random_factors(shape, 3, 304);
+  PpOperators ops(t, factors);
+  ops.build();
+  for (int m = 0; m < 4; ++m) {
+    const la::Matrix want = tensor::mttkrp_krp(t, factors, m);
+    test::expect_matrix_near(ops.mttkrp_p(m), want,
+                             1e-9 * want.frobenius_norm() + 1e-12,
+                             "M_p(n) == MTTKRP");
+  }
+}
+
+TEST(PpOperators, DonorAmortizesOneFirstLevelTtm) {
+  // After a regular MSDT sweep the engine cache holds a current first-level
+  // intermediate; the PP build should then need only 2 fresh TTMs
+  // (footnote 1 of the paper).
+  const std::vector<index_t> shape{6, 6, 6};
+  const auto t = test::random_tensor(shape, 305);
+  auto factors = test::random_factors(shape, 3, 306);
+  auto grams = all_grams(factors);
+  MsdtEngine engine(t, factors, nullptr, {});
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (int i = 0; i < 3; ++i) {
+      const la::Matrix gamma = gamma_chain(grams, i);
+      factors[static_cast<std::size_t>(i)] =
+          update_factor(gamma, engine.mttkrp(i));
+      engine.notify_update(i);
+      grams[static_cast<std::size_t>(i)] =
+          la::gram(factors[static_cast<std::size_t>(i)]);
+    }
+  }
+  PpOperators with_donor(t, factors);
+  with_donor.build(&engine);
+  PpOperators without(t, factors);
+  without.build();
+  EXPECT_LT(with_donor.last_build_ttms(), without.last_build_ttms());
+  EXPECT_EQ(without.last_build_ttms(), 3);
+  EXPECT_EQ(with_donor.last_build_ttms(), 2);
+  // And the donated build is still exact.
+  for (int m = 0; m < 3; ++m) {
+    test::expect_matrix_near(with_donor.mttkrp_p(m), without.mttkrp_p(m),
+                             1e-9, "donated build exactness");
+  }
+}
+
+TEST(PpOperators, OperatorMemoryMatchesTableOne) {
+  // Pair operators hold sum_{i<j} s_i s_j R elements.
+  const std::vector<index_t> shape{4, 5, 6};
+  const auto t = test::random_tensor(shape, 307);
+  const auto factors = test::random_factors(shape, 2, 308);
+  PpOperators ops(t, factors);
+  ops.build();
+  EXPECT_EQ(ops.operator_elements(), (4 * 5 + 4 * 6 + 5 * 6) * 2);
+}
+
+TEST(PpOperators, RejectsOrderTwo) {
+  const auto t = test::random_tensor({4, 4}, 309);
+  const auto factors = test::random_factors({4, 4}, 2, 310);
+  EXPECT_THROW(PpOperators(t, factors), error);
+}
+
+TEST(PpOperators, AccessBeforeBuildThrows) {
+  const auto t = test::random_tensor({4, 4, 4}, 311);
+  const auto factors = test::random_factors({4, 4, 4}, 2, 312);
+  PpOperators ops(t, factors);
+  EXPECT_THROW((void)ops.pair_op(0, 1), error);
+  EXPECT_THROW((void)ops.mttkrp_p(0), error);
+}
+
+}  // namespace
+}  // namespace parpp::core

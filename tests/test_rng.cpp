@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parpp/util/rng.hpp"
+
+namespace parpp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 2e-2);
+  EXPECT_NEAR(sq / n, 1.0, 2e-2);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const index_t v = rng.uniform_index(17);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 17);
+  }
+  EXPECT_THROW((void)rng.uniform_index(0), error);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng root(42);
+  Rng s1 = root.split(1);
+  Rng s2 = root.split(2);
+  Rng s1_again = root.split(1);
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s1.next_u64() == s2.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace parpp

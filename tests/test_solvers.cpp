@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parpp/la/cholesky.hpp"
+#include "parpp/la/eig_jacobi.hpp"
+#include "parpp/la/gemm.hpp"
+#include "parpp/la/spd_solve.hpp"
+#include "test_util.hpp"
+
+namespace parpp::la {
+namespace {
+
+/// Well-conditioned SPD matrix: G = B^T B + n I.
+Matrix random_spd(index_t n, std::uint64_t seed, double shift = 1.0) {
+  const Matrix b = test::random_matrix(n, n, seed);
+  Matrix g = matmul(b, b, Trans::kYes, Trans::kNo);
+  for (index_t i = 0; i < n; ++i) g(i, i) += shift * static_cast<double>(n);
+  return g;
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  for (index_t n : {1, 2, 5, 17, 60}) {
+    const Matrix g = random_spd(n, 21 + n);
+    Matrix l = g;
+    ASSERT_TRUE(cholesky_lower(l));
+    const Matrix llt = matmul(l, l, Trans::kNo, Trans::kYes);
+    test::expect_matrix_near(llt, g, 1e-9 * static_cast<double>(n + 1),
+                             "L L^T == G");
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix g(2, 2, {1.0, 2.0, 2.0, 1.0});  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky_lower(g));
+}
+
+TEST(Cholesky, SolveMatchesResidual) {
+  const index_t n = 24, nrhs = 7;
+  const Matrix g = random_spd(n, 31);
+  Matrix l = g;
+  ASSERT_TRUE(cholesky_lower(l));
+  const Matrix b = test::random_matrix(n, nrhs, 32);
+  const Matrix x = cholesky_solve(l, b);
+  const Matrix gx = matmul(g, x);
+  test::expect_matrix_near(gx, b, 1e-9, "G X == B");
+}
+
+TEST(EigJacobi, DiagonalMatrix) {
+  Matrix d(3, 3, {3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0});
+  const auto eig = eig_symmetric(d);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(EigJacobi, ReconstructsMatrix) {
+  for (index_t n : {2, 6, 20, 50}) {
+    Matrix a = test::random_matrix(n, n, 41 + n);
+    // Symmetrize.
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < i; ++j) a(i, j) = a(j, i);
+    const auto eig = eig_symmetric(a);
+    // V D V^T == A
+    Matrix vd = eig.eigenvectors;
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i)
+        vd(i, j) *= eig.eigenvalues[static_cast<std::size_t>(j)];
+    const Matrix rec = matmul(vd, eig.eigenvectors, Trans::kNo, Trans::kYes);
+    test::expect_matrix_near(rec, a, 1e-9 * static_cast<double>(n),
+                             "V D V^T == A");
+    // Orthonormal eigenvectors.
+    const Matrix vtv =
+        matmul(eig.eigenvectors, eig.eigenvectors, Trans::kYes, Trans::kNo);
+    test::expect_matrix_near(vtv, identity(n), 1e-10, "V^T V == I");
+  }
+}
+
+TEST(SolveGram, MatchesDirectSolveOnSpd) {
+  const index_t s = 40, r = 12;
+  const Matrix g = random_spd(r, 51);
+  const Matrix m = test::random_matrix(s, r, 52);
+  const Matrix x = solve_gram(g, m);
+  // X G == M  (since X = M G^{-1} and G symmetric).
+  const Matrix xg = matmul(x, g);
+  test::expect_matrix_near(xg, m, 1e-8, "X G == M");
+}
+
+TEST(SolveGram, PseudoInverseFallbackOnSingular) {
+  // G singular: rank 1.
+  const index_t r = 6;
+  Matrix u(r, 1);
+  for (index_t i = 0; i < r; ++i) u(i, 0) = static_cast<double>(i + 1);
+  const Matrix g = matmul(u, u, Trans::kNo, Trans::kYes);
+  const Matrix m = test::random_matrix(4, r, 61);
+  const Matrix x = solve_gram(g, m);
+  // Minimal-norm least squares: X G G† == X and residual orthogonality
+  // M G† G == X G†... check the normal-equation property X G == M P_range.
+  const Matrix xg = matmul(x, g);
+  // Project M onto range(G): P = u u^T / (u^T u).
+  double uu = 0.0;
+  for (index_t i = 0; i < r; ++i) uu += u(i, 0) * u(i, 0);
+  Matrix p = matmul(u, u, Trans::kNo, Trans::kYes);
+  p.scale(1.0 / uu);
+  const Matrix mp = matmul(m, p);
+  test::expect_matrix_near(xg, mp, 1e-8, "X G == M P_range");
+}
+
+TEST(SolveGram, IdentityGramReturnsM) {
+  const Matrix g = identity(5);
+  const Matrix m = test::random_matrix(9, 5, 71);
+  const Matrix x = solve_gram(g, m);
+  test::expect_matrix_near(x, m, 1e-12, "X == M for G = I");
+}
+
+TEST(SolveGram, ShapeChecks) {
+  const Matrix g = identity(4);
+  const Matrix m = test::random_matrix(3, 5, 81);
+  EXPECT_THROW((void)solve_gram(g, m), error);
+}
+
+}  // namespace
+}  // namespace parpp::la

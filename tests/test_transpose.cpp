@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "parpp/tensor/transpose.hpp"
+#include "test_util.hpp"
+
+namespace parpp::tensor {
+namespace {
+
+/// Reference transpose via explicit index mapping.
+DenseTensor ref_transpose(const DenseTensor& in, const std::vector<int>& perm) {
+  const int n = in.order();
+  std::vector<index_t> out_shape(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m)
+    out_shape[static_cast<std::size_t>(m)] =
+        in.extent(perm[static_cast<std::size_t>(m)]);
+  DenseTensor out(out_shape);
+  std::vector<index_t> idx(static_cast<std::size_t>(n), 0);
+  if (in.size() == 0) return out;
+  do {
+    std::vector<index_t> oidx(static_cast<std::size_t>(n));
+    for (int m = 0; m < n; ++m)
+      oidx[static_cast<std::size_t>(m)] =
+          idx[static_cast<std::size_t>(perm[static_cast<std::size_t>(m)])];
+    out.at(oidx) = in.at(idx);
+  } while (next_index(in.shape(), idx));
+  return out;
+}
+
+TEST(Transpose, IdentityPermutationCopies) {
+  const DenseTensor t = test::random_tensor({3, 4, 5}, 1);
+  const DenseTensor out = transpose(t, {0, 1, 2});
+  test::expect_tensor_near(out, t, 0.0, "identity perm");
+}
+
+TEST(Transpose, MatrixTranspose) {
+  const DenseTensor t = test::random_tensor({7, 9}, 2);
+  const DenseTensor out = transpose(t, {1, 0});
+  for (index_t i = 0; i < 7; ++i)
+    for (index_t j = 0; j < 9; ++j) {
+      const std::array<index_t, 2> a{i, j}, b{j, i};
+      EXPECT_DOUBLE_EQ(t.at(a), out.at(b));
+    }
+}
+
+TEST(Transpose, MatchesReferenceOnAllOrder3Perms) {
+  const DenseTensor t = test::random_tensor({4, 5, 6}, 3);
+  std::vector<int> perm{0, 1, 2};
+  do {
+    test::expect_tensor_near(transpose(t, perm), ref_transpose(t, perm), 0.0,
+                             "order-3 perm");
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(Transpose, MatchesReferenceOnOrder4Rotation) {
+  const DenseTensor t = test::random_tensor({3, 4, 2, 5}, 4);
+  const std::vector<int> perm{2, 3, 0, 1};
+  test::expect_tensor_near(transpose(t, perm), ref_transpose(t, perm), 0.0,
+                           "order-4 rotation");
+}
+
+TEST(Transpose, RoundTripIsIdentity) {
+  const DenseTensor t = test::random_tensor({5, 3, 4}, 5);
+  const std::vector<int> perm{2, 0, 1};
+  // inverse[perm[m]] = m
+  std::vector<int> inv(3);
+  for (int m = 0; m < 3; ++m) inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(m)])] = m;
+  const DenseTensor back = transpose(transpose(t, perm), inv);
+  test::expect_tensor_near(back, t, 0.0, "round trip");
+}
+
+TEST(Transpose, RejectsInvalidPermutation) {
+  const DenseTensor t = test::random_tensor({2, 2}, 6);
+  EXPECT_THROW((void)transpose(t, {0, 0}), error);
+  EXPECT_THROW((void)transpose(t, {0}), error);
+  EXPECT_THROW((void)transpose(t, {0, 2}), error);
+}
+
+TEST(Transpose, IsPermutationHelper) {
+  EXPECT_TRUE(is_permutation({2, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation({2, 2, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 1}, 3));
+}
+
+}  // namespace
+}  // namespace parpp::tensor
