@@ -1,18 +1,29 @@
 // Google-benchmark microbenchmarks for the compute kernels underlying all
 // of the paper-reproduction harnesses: GEMM, first-level TTM, batched mTTV,
-// tensor transpose, Gram, and the SPD solve.
+// tensor transpose, Gram, the SPD solve, and the fused vs KRP+GEMM MTTKRP
+// comparison the allocation-free path is judged by.
 //
 // These quantify the compute/bandwidth character the paper's breakdown
-// relies on (TTM compute-bound, mTTV bandwidth-bound).
+// relies on (TTM compute-bound, mTTV bandwidth-bound). Unless the caller
+// passes --benchmark_out, results are also written to BENCH_kernels.json
+// (GFLOP/s and GB/s counters per kernel) so successive PRs have a perf
+// trajectory to regress against.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "parpp/core/gram.hpp"
 #include "parpp/la/gemm.hpp"
 #include "parpp/la/spd_solve.hpp"
+#include "parpp/tensor/mttkrp_fused.hpp"
+#include "parpp/tensor/mttkrp_naive.hpp"
 #include "parpp/tensor/mttv.hpp"
 #include "parpp/tensor/transpose.hpp"
 #include "parpp/tensor/ttm.hpp"
 #include "parpp/util/rng.hpp"
+#include "parpp/util/workspace.hpp"
 
 using namespace parpp;
 
@@ -31,6 +42,25 @@ tensor::DenseTensor rand_tensor(std::vector<index_t> shape,
   Rng rng(seed);
   t.fill_uniform(rng);
   return t;
+}
+
+std::vector<la::Matrix> rand_factors(const std::vector<index_t>& shape,
+                                     index_t rank, std::uint64_t seed) {
+  std::vector<la::Matrix> f;
+  for (std::size_t m = 0; m < shape.size(); ++m)
+    f.push_back(rand_matrix(shape[m], rank, seed + m));
+  return f;
+}
+
+// Rate counters shared by every benchmark: flops and bytes are per
+// iteration; google-benchmark divides by elapsed time.
+void set_rates(benchmark::State& state, double flops, double bytes) {
+  state.counters["GFLOPs"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["GBs"] = benchmark::Counter(
+      bytes, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1024);
 }
 
 void BM_Gemm(benchmark::State& state) {
@@ -118,6 +148,118 @@ void BM_SolveGram(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveGram)->Arg(32)->Arg(96);
 
+// ---------------------------------------------------------------------------
+// Fused vs KRP+GEMM MTTKRP. Default scale: order-3 s=96 R=32 (per mode) and
+// the full-sweep aggregate (sum over modes — the per-ALS-sweep cost the
+// paper's breakdown charges). The fused path must stay >= 2x the reference.
+
+constexpr index_t kMttkrpS = 128;
+constexpr index_t kMttkrpR = 32;
+
+double mttkrp_flops(const tensor::DenseTensor& t, index_t r, int modes) {
+  return 2.0 * static_cast<double>(t.size()) * r * modes;
+}
+
+// Bytes actually streamed by the fused path: the tensor once per mode plus
+// the output. The KRP reference additionally materializes (writes + reads)
+// the KRP matrix and an unfolding copy; we charge both paths the same
+// useful traffic so the GBs counter reflects *effective* bandwidth.
+double mttkrp_bytes(const tensor::DenseTensor& t, index_t r, int modes) {
+  return (static_cast<double>(t.size()) +
+          static_cast<double>(t.extent(0)) * r) *
+         8.0 * modes;
+}
+
+void BM_MttkrpKrp(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const auto t = rand_tensor({kMttkrpS, kMttkrpS, kMttkrpS}, 13);
+  const auto f = rand_factors(t.shape(), kMttkrpR, 14);
+  for (auto _ : state) {
+    auto m = tensor::mttkrp_krp(t, f, mode);
+    benchmark::DoNotOptimize(m.data());
+  }
+  set_rates(state, mttkrp_flops(t, kMttkrpR, 1), mttkrp_bytes(t, kMttkrpR, 1));
+}
+BENCHMARK(BM_MttkrpKrp)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MttkrpFused(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const auto t = rand_tensor({kMttkrpS, kMttkrpS, kMttkrpS}, 13);
+  const auto f = rand_factors(t.shape(), kMttkrpR, 14);
+  util::KernelWorkspace ws;
+  la::Matrix out;
+  for (auto _ : state) {
+    tensor::mttkrp_into(t, f, mode, out, nullptr, &ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_rates(state, mttkrp_flops(t, kMttkrpR, 1), mttkrp_bytes(t, kMttkrpR, 1));
+}
+BENCHMARK(BM_MttkrpFused)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MttkrpSweepKrp(benchmark::State& state) {
+  const auto t = rand_tensor({kMttkrpS, kMttkrpS, kMttkrpS}, 13);
+  const auto f = rand_factors(t.shape(), kMttkrpR, 14);
+  for (auto _ : state) {
+    for (int mode = 0; mode < 3; ++mode) {
+      auto m = tensor::mttkrp_krp(t, f, mode);
+      benchmark::DoNotOptimize(m.data());
+    }
+  }
+  set_rates(state, mttkrp_flops(t, kMttkrpR, 3), mttkrp_bytes(t, kMttkrpR, 3));
+}
+BENCHMARK(BM_MttkrpSweepKrp);
+
+void BM_MttkrpSweepFused(benchmark::State& state) {
+  const auto t = rand_tensor({kMttkrpS, kMttkrpS, kMttkrpS}, 13);
+  const auto f = rand_factors(t.shape(), kMttkrpR, 14);
+  util::KernelWorkspace ws;
+  std::vector<la::Matrix> out(3);
+  for (auto _ : state) {
+    for (int mode = 0; mode < 3; ++mode) {
+      tensor::mttkrp_into(t, f, mode, out[static_cast<std::size_t>(mode)],
+                          nullptr, &ws);
+      benchmark::DoNotOptimize(out[static_cast<std::size_t>(mode)].data());
+    }
+  }
+  set_rates(state, mttkrp_flops(t, kMttkrpR, 3), mttkrp_bytes(t, kMttkrpR, 3));
+}
+BENCHMARK(BM_MttkrpSweepFused);
+
+void BM_MttkrpOrder4Fused(benchmark::State& state) {
+  const auto t = rand_tensor({48, 48, 48, 48}, 15);
+  const auto f = rand_factors(t.shape(), kMttkrpR, 16);
+  util::KernelWorkspace ws;
+  std::vector<la::Matrix> out(4);
+  for (auto _ : state) {
+    for (int mode = 0; mode < 4; ++mode) {
+      tensor::mttkrp_into(t, f, mode, out[static_cast<std::size_t>(mode)],
+                          nullptr, &ws);
+      benchmark::DoNotOptimize(out[static_cast<std::size_t>(mode)].data());
+    }
+  }
+  set_rates(state, mttkrp_flops(t, kMttkrpR, 4), mttkrp_bytes(t, kMttkrpR, 4));
+}
+BENCHMARK(BM_MttkrpOrder4Fused);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: inject a default --benchmark_out=BENCH_kernels.json (JSON
+// format) unless the caller already chose an output file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

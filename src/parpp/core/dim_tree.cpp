@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "parpp/core/msdt.hpp"
-#include "parpp/tensor/mttkrp_naive.hpp"
+#include "parpp/tensor/mttkrp_fused.hpp"
 #include "parpp/tensor/mttv.hpp"
 #include "parpp/tensor/transpose.hpp"
 #include "parpp/tensor/ttm.hpp"
@@ -158,8 +158,12 @@ detail::NodePtr TreeEngineBase::build_from_raw(const RangeKey& key) {
                        uorder.begin());
 
   auto node = std::make_shared<detail::TreeNode>();
-  node->data = tensor::ttm_first(
-      *src, pos, (*factors_)[static_cast<std::size_t>(ttm_mode)], &profile());
+  // Node storage is workspace-backed: buffers of invalidated nodes cycle
+  // back through ws_, so repeated sweeps rebuild allocation-free.
+  tensor::DenseTensor cur(ws_), tmp(ws_);
+  tensor::ttm_first_into(*src, pos,
+                         (*factors_)[static_cast<std::size_t>(ttm_mode)], cur,
+                         &profile());
   ++ttm_count_;
   node->modes = uorder;
   node->modes.erase(node->modes.begin() + pos);
@@ -175,13 +179,14 @@ detail::NodePtr TreeEngineBase::build_from_raw(const RangeKey& key) {
     const auto it = std::find(node->modes.begin(), node->modes.end(), m);
     PARPP_ASSERT(it != node->modes.end(), "contract mode not in node");
     const int p = static_cast<int>(it - node->modes.begin());
-    node->data = tensor::mttv(node->data, p,
-                              (*factors_)[static_cast<std::size_t>(m)],
-                              &profile());
+    tensor::mttv_into(cur, p, (*factors_)[static_cast<std::size_t>(m)], tmp,
+                      &profile());
+    std::swap(cur, tmp);
     ++mttv_count_;
     node->modes.erase(node->modes.begin() + p);
     node->deps.emplace_back(m, version(m));
   }
+  node->data = std::move(cur);
   return node;
 }
 
@@ -199,20 +204,21 @@ detail::NodePtr TreeEngineBase::build_from_parent(
   auto node = std::make_shared<detail::TreeNode>();
   node->modes = parent->modes;
   node->deps = parent->deps;
-  const tensor::DenseTensor* cur = &parent->data;
-  tensor::DenseTensor tmp;
+  const tensor::DenseTensor* src = &parent->data;
+  tensor::DenseTensor cur(ws_), tmp(ws_);
   for (int m : contract) {
     const auto it = std::find(node->modes.begin(), node->modes.end(), m);
     PARPP_ASSERT(it != node->modes.end(), "contract mode not in parent");
     const int p = static_cast<int>(it - node->modes.begin());
-    tmp = tensor::mttv(*cur, p, (*factors_)[static_cast<std::size_t>(m)],
-                       &profile());
+    tensor::mttv_into(*src, p, (*factors_)[static_cast<std::size_t>(m)], tmp,
+                      &profile());
+    std::swap(cur, tmp);
+    src = &cur;
     ++mttv_count_;
-    cur = &tmp;
     node->modes.erase(node->modes.begin() + p);
     node->deps.emplace_back(m, version(m));
   }
-  node->data = std::move(tmp);
+  node->data = std::move(cur);
   return node;
 }
 
@@ -278,6 +284,11 @@ la::Matrix DtEngine::mttkrp(int mode) {
 
 namespace {
 
+// Reference (non-amortizing) engine on the fused MTTKRP path: no KRP
+// materialization, no unfold copy, O(block·R) auxiliary memory, and zero
+// steady-state workspace growth across sweeps via the persistent arena.
+// (The returned result matrix is the one allocation the by-value interface
+// requires; callers needing full reuse take tensor::mttkrp_into directly.)
 class NaiveEngine final : public MttkrpEngine {
  public:
   NaiveEngine(const tensor::DenseTensor& t,
@@ -285,7 +296,7 @@ class NaiveEngine final : public MttkrpEngine {
       : t_(&t), factors_(&factors), profile_(profile) {}
 
   [[nodiscard]] la::Matrix mttkrp(int mode) override {
-    return tensor::mttkrp_krp(*t_, *factors_, mode, profile_);
+    return tensor::mttkrp_fused(*t_, *factors_, mode, profile_, &ws_);
   }
   void notify_update(int) override {}
   [[nodiscard]] std::string_view name() const override { return "naive"; }
@@ -294,6 +305,7 @@ class NaiveEngine final : public MttkrpEngine {
   const tensor::DenseTensor* t_;
   const std::vector<la::Matrix>* factors_;
   Profile* profile_;
+  util::KernelWorkspace ws_;
 };
 
 }  // namespace

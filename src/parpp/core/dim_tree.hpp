@@ -19,6 +19,7 @@
 
 #include "parpp/core/mttkrp_engine.hpp"
 #include "parpp/tensor/dense_tensor.hpp"
+#include "parpp/util/workspace.hpp"
 
 namespace parpp::core {
 
@@ -54,6 +55,14 @@ class TreeEngineBase : public MttkrpEngine {
   [[nodiscard]] std::size_t cached_nodes() const { return cache_.size(); }
   /// Total elements held by cached nodes (auxiliary memory proxy).
   [[nodiscard]] index_t cached_elements() const;
+  /// Bytes held by the node arena (steady-state sweeps must not grow this).
+  [[nodiscard]] std::size_t workspace_bytes() const {
+    return ws_.total_bytes();
+  }
+  /// Backing allocations performed by the node arena since construction.
+  [[nodiscard]] std::size_t workspace_allocations() const {
+    return ws_.allocation_count();
+  }
 
   /// Smallest cached, version-current node whose mode set contains `subset`
   /// (modes sorted ascending), or null. The pairwise-perturbation
@@ -108,12 +117,17 @@ class TreeEngineBase : public MttkrpEngine {
     return profile_ ? *profile_ : Profile::thread_default();
   }
 
+  /// Arena backing all cache-node storage: invalidated nodes return their
+  /// buffers here, so steady-state sweeps rebuild without allocating.
+  [[nodiscard]] util::KernelWorkspace& workspace() { return ws_; }
+
  private:
   const tensor::DenseTensor* t_;
   const std::vector<la::Matrix>* factors_;
   Profile* profile_;
   int n_;
   int max_cached_modes_;
+  util::KernelWorkspace ws_;
   std::vector<std::uint64_t> versions_;
   std::map<RangeKey, detail::NodePtr> cache_;
   long ttm_count_ = 0;

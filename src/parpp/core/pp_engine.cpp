@@ -48,9 +48,9 @@ la::Matrix PpApprox::mttkrp_approx(int n) const {
     const auto it = std::find(op.modes.begin(), op.modes.end(), i);
     PARPP_ASSERT(it != op.modes.end(), "pair op missing mode");
     const int pos = static_cast<int>(it - op.modes.begin());
-    tensor::DenseTensor u =
-        tensor::mttv(op.data, pos, d_factors_[static_cast<std::size_t>(i)],
-                     &prof);
+    tensor::DenseTensor& u = u_scratch_;
+    tensor::mttv_into(op.data, pos, d_factors_[static_cast<std::size_t>(i)],
+                      u, &prof);
     PARPP_ASSERT(u.order() == 2 && u.extent(0) == m.rows(),
                  "U correction shape mismatch");
     const double* ud = u.data();

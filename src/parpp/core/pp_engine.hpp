@@ -46,6 +46,9 @@ class PpApprox {
   bool second_order_ = true;
   std::vector<la::Matrix> d_factors_;  ///< dA(i)
   std::vector<la::Matrix> d_grams_;    ///< dS(i)
+  /// Scratch for the U(n,i) mTTV corrections, recycled across calls.
+  mutable util::KernelWorkspace ws_;
+  mutable tensor::DenseTensor u_scratch_{ws_};
 };
 
 }  // namespace parpp::core

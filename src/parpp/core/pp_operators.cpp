@@ -52,10 +52,12 @@ const PpOperators::Node& PpOperators::ensure_set(int c,
   }();
 
   if (set == full) {
-    // First-level intermediate: one TTM on mode c.
+    // First-level intermediate: one TTM on mode c, into workspace-backed
+    // storage recycled across builds.
     Node node;
-    node.data = tensor::ttm_first(
-        *t_, c, (*factors_)[static_cast<std::size_t>(c)], &prof);
+    node.data = tensor::DenseTensor(ws_);
+    tensor::ttm_first_into(*t_, c, (*factors_)[static_cast<std::size_t>(c)],
+                           node.data, &prof);
     ++last_build_ttms_;
     node.modes = full;
     return memo_.emplace(set, std::move(node)).first->second;
@@ -78,8 +80,10 @@ const PpOperators::Node& PpOperators::ensure_set(int c,
   const int pos = static_cast<int>(pit - parent.modes.begin());
 
   Node node;
-  node.data = tensor::mttv(parent.data, pos,
-                           (*factors_)[static_cast<std::size_t>(q)], &prof);
+  node.data = tensor::DenseTensor(ws_);
+  tensor::mttv_into(parent.data, pos,
+                    (*factors_)[static_cast<std::size_t>(q)], node.data,
+                    &prof);
   node.modes = parent.modes;
   node.modes.erase(node.modes.begin() + pos);
   return memo_.emplace(set, std::move(node)).first->second;
@@ -87,19 +91,19 @@ const PpOperators::Node& PpOperators::ensure_set(int c,
 
 void PpOperators::build(const TreeEngineBase* donor) {
   memo_.clear();
-  pairs_.clear();
-  mp_.assign(static_cast<std::size_t>(n_), la::Matrix());
+  if (mp_.size() != static_cast<std::size_t>(n_))
+    mp_.resize(static_cast<std::size_t>(n_));
   last_build_ttms_ = 0;
 
-  // Pair operators.
+  // Pair operators. Existing map entries (shapes are build-invariant) are
+  // assigned in place so periodic rebuilds reuse their buffers.
   for (int i = 0; i < n_; ++i) {
     for (int j = i + 1; j < n_; ++j) {
       const int c = root_exclusion_for(i, j);
       const Node& node = ensure_set(c, {i, j}, donor);
-      PairOp op;
+      PairOp& op = pairs_[std::make_pair(i, j)];
       op.data = node.data;
       op.modes = node.modes;
-      pairs_.emplace(std::make_pair(i, j), std::move(op));
     }
   }
 
@@ -112,14 +116,19 @@ void PpOperators::build(const TreeEngineBase* donor) {
     const auto& op = pair_op(std::min(m, partner), std::max(m, partner));
     const auto pit = std::find(op.modes.begin(), op.modes.end(), partner);
     const int pos = static_cast<int>(pit - op.modes.begin());
-    tensor::DenseTensor leaf = tensor::mttv(
-        op.data, pos, (*factors_)[static_cast<std::size_t>(partner)], &prof);
-    la::Matrix mp(leaf.extent(0), leaf.extent(1));
-    std::copy(leaf.data(), leaf.data() + leaf.size(), mp.data());
-    mp_[static_cast<std::size_t>(m)] = std::move(mp);
+    tensor::mttv_into(op.data, pos,
+                      (*factors_)[static_cast<std::size_t>(partner)],
+                      leaf_scratch_, &prof);
+    la::Matrix& mp = mp_[static_cast<std::size_t>(m)];
+    if (mp.rows() != leaf_scratch_.extent(0) ||
+        mp.cols() != leaf_scratch_.extent(1))
+      mp = la::Matrix(leaf_scratch_.extent(0), leaf_scratch_.extent(1));
+    std::copy(leaf_scratch_.data(), leaf_scratch_.data() + leaf_scratch_.size(),
+              mp.data());
   }
 
-  // Keep only the pair operators and leaves; drop larger intermediates.
+  // Keep only the pair operators and leaves; drop larger intermediates
+  // (their buffers return to the workspace for the next build).
   memo_.clear();
 }
 

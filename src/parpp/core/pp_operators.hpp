@@ -21,6 +21,7 @@
 #include "parpp/la/matrix.hpp"
 #include "parpp/tensor/dense_tensor.hpp"
 #include "parpp/util/profile.hpp"
+#include "parpp/util/workspace.hpp"
 
 namespace parpp::core {
 
@@ -81,9 +82,13 @@ class PpOperators {
   int n_;
   bool built_ = false;
   long last_build_ttms_ = 0;
+  /// Arena for build-chain intermediates: memo nodes release their buffers
+  /// here when the build finishes, so periodic rebuilds do not allocate.
+  util::KernelWorkspace ws_;
   std::map<std::vector<int>, Node> memo_;
   std::map<std::pair<int, int>, PairOp> pairs_;
   std::vector<la::Matrix> mp_;
+  tensor::DenseTensor leaf_scratch_{ws_};
 };
 
 }  // namespace parpp::core

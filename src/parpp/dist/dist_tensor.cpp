@@ -1,0 +1,67 @@
+#include "parpp/dist/dist_tensor.hpp"
+
+namespace parpp::dist {
+
+namespace {
+
+index_t round_up(index_t v, index_t multiple) {
+  return (v + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+BlockDist::BlockDist(const mpsim::ProcessorGrid& grid,
+                     std::vector<index_t> global_shape)
+    : global_shape_(std::move(global_shape)) {
+  PARPP_CHECK(static_cast<int>(global_shape_.size()) == grid.order(),
+              "BlockDist: tensor order ", global_shape_.size(),
+              " != grid order ", grid.order());
+  local_shape_.resize(global_shape_.size());
+  rows_q_.resize(global_shape_.size());
+  for (int m = 0; m < order(); ++m) {
+    const index_t s = global_shape_[static_cast<std::size_t>(m)];
+    PARPP_CHECK(s >= 0, "BlockDist: negative extent");
+    const index_t dim = grid.dim(m);
+    const index_t slice = grid.slice_size(m);
+    // Per-rank extent: ceil(s / dim), then padded up so the slice group can
+    // split it into equal Q-row chunks.
+    const index_t base = (s + dim - 1) / dim;
+    const index_t padded = round_up(std::max<index_t>(base, 1), slice);
+    local_shape_[static_cast<std::size_t>(m)] = padded;
+    rows_q_[static_cast<std::size_t>(m)] = padded / slice;
+  }
+}
+
+tensor::DenseTensor extract_local_block(const tensor::DenseTensor& global,
+                                        const BlockDist& dist,
+                                        const std::vector<int>& coords) {
+  const int n = dist.order();
+  PARPP_CHECK(static_cast<int>(coords.size()) == n,
+              "extract_local_block: coordinate order mismatch");
+  tensor::DenseTensor local(dist.local_shape());
+  if (local.size() == 0) return local;
+
+  std::vector<index_t> offset(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m)
+    offset[static_cast<std::size_t>(m)] =
+        dist.slab_offset(m, coords[static_cast<std::size_t>(m)]);
+
+  std::vector<index_t> lidx(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> gidx(static_cast<std::size_t>(n), 0);
+  index_t lin = 0;
+  do {
+    bool inside = true;
+    for (int m = 0; m < n; ++m) {
+      const auto um = static_cast<std::size_t>(m);
+      gidx[um] = offset[um] + lidx[um];
+      if (gidx[um] >= global.extent(m)) {
+        inside = false;
+        break;
+      }
+    }
+    local[lin++] = inside ? global.at(gidx) : 0.0;
+  } while (tensor::next_index(local.shape(), lidx));
+  return local;
+}
+
+}  // namespace parpp::dist

@@ -1,0 +1,60 @@
+// Block distribution of a dense tensor over a processor grid (Sec. II-A).
+//
+// Each grid coordinate owns one hyper-rectangular block of the global
+// tensor. Extents are padded so that (a) every rank's block has identical
+// shape (collectives exchange fixed-size buffers) and (b) each mode's local
+// extent divides evenly into the Q-row chunks of the factor distribution
+// (local_extent(m) is a multiple of the mode-m slice-group size). Padding
+// regions are stored as explicit zeros, which contribute nothing to MTTKRP,
+// Gram, or norm reductions.
+#pragma once
+
+#include <vector>
+
+#include "parpp/mpsim/grid.hpp"
+#include "parpp/tensor/dense_tensor.hpp"
+#include "parpp/util/common.hpp"
+
+namespace parpp::dist {
+
+class BlockDist {
+ public:
+  BlockDist(const mpsim::ProcessorGrid& grid, std::vector<index_t> global_shape);
+
+  [[nodiscard]] int order() const {
+    return static_cast<int>(global_shape_.size());
+  }
+  [[nodiscard]] const std::vector<index_t>& global_shape() const {
+    return global_shape_;
+  }
+  /// Padded per-rank block extent of `mode`; identical on every rank.
+  [[nodiscard]] index_t local_extent(int mode) const {
+    return local_shape_[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] const std::vector<index_t>& local_shape() const {
+    return local_shape_;
+  }
+  /// Rows of the mode-`mode` factor owned by each rank:
+  /// local_extent(mode) / slice_size(mode).
+  [[nodiscard]] index_t rows_q(int mode) const {
+    return rows_q_[static_cast<std::size_t>(mode)];
+  }
+  /// Global start index of the slab owned by grid coordinate `coord` on
+  /// `mode` (may point past the true extent for all-padding slabs).
+  [[nodiscard]] index_t slab_offset(int mode, int coord) const {
+    return static_cast<index_t>(coord) * local_extent(mode);
+  }
+
+ private:
+  std::vector<index_t> global_shape_;
+  std::vector<index_t> local_shape_;
+  std::vector<index_t> rows_q_;
+};
+
+/// Extracts the local block owned by grid coordinates `coords`, zero-padding
+/// indices past the global extent.
+[[nodiscard]] tensor::DenseTensor extract_local_block(
+    const tensor::DenseTensor& global, const BlockDist& dist,
+    const std::vector<int>& coords);
+
+}  // namespace parpp::dist

@@ -1,0 +1,108 @@
+#include "parpp/dist/factor_dist.hpp"
+
+#include <algorithm>
+
+namespace parpp::dist {
+
+namespace {
+
+// Slice rank of an arbitrary world rank for `mode`: the grid builds slice
+// communicators with key = flattened remaining coordinates, and every
+// combination is present, so the key *is* the slice rank.
+int slice_rank_of(const mpsim::ProcessorGrid& grid, int mode,
+                  const std::vector<int>& coords) {
+  int key = 0;
+  for (int m = 0; m < grid.order(); ++m) {
+    if (m == mode) continue;
+    key = key * grid.dim(m) + coords[static_cast<std::size_t>(m)];
+  }
+  return key;
+}
+
+}  // namespace
+
+FactorDist::FactorDist(const mpsim::ProcessorGrid& grid, const BlockDist& dist,
+                       index_t rank)
+    : grid_(&grid), dist_(&dist), rank_(rank) {
+  PARPP_CHECK(rank_ >= 1, "FactorDist: CP rank must be positive");
+  q_.reserve(static_cast<std::size_t>(order()));
+  slices_.reserve(static_cast<std::size_t>(order()));
+  for (int m = 0; m < order(); ++m) {
+    q_.emplace_back(dist_->rows_q(m), rank_);
+    slices_.emplace_back(dist_->local_extent(m), rank_);
+  }
+}
+
+index_t FactorDist::q_row_global(int mode, index_t r) const {
+  PARPP_ASSERT(r >= 0 && r < dist_->rows_q(mode), "q_row_global: bad row");
+  const index_t g = dist_->slab_offset(mode, grid_->coord(mode)) +
+                    static_cast<index_t>(slice_rank(mode)) *
+                        dist_->rows_q(mode) +
+                    r;
+  return g < dist_->global_shape()[static_cast<std::size_t>(mode)] ? g : -1;
+}
+
+void FactorDist::set_q_from_global(int mode, const la::Matrix& global) {
+  PARPP_CHECK(global.cols() == rank_, "set_q_from_global: column mismatch");
+  PARPP_CHECK(global.rows() ==
+                  dist_->global_shape()[static_cast<std::size_t>(mode)],
+              "set_q_from_global: row count != global extent");
+  la::Matrix& q = q_[static_cast<std::size_t>(mode)];
+  for (index_t r = 0; r < q.rows(); ++r) {
+    const index_t g = q_row_global(mode, r);
+    if (g >= 0) {
+      std::copy(global.row(g), global.row(g) + rank_, q.row(r));
+    } else {
+      std::fill(q.row(r), q.row(r) + rank_, 0.0);
+    }
+  }
+}
+
+void FactorDist::gather_slice(int mode) {
+  const auto& comm = grid_->slice_comm(mode);
+  la::Matrix& slice = slices_[static_cast<std::size_t>(mode)];
+  const la::Matrix& q = q_[static_cast<std::size_t>(mode)];
+  PARPP_ASSERT(slice.rows() == q.rows() * comm.size(),
+               "gather_slice: slab/chunk mismatch");
+  // Chunks land in slice-rank order, which is exactly slab row order.
+  comm.allgather(q.data(), q.size(), slice.data());
+}
+
+la::Matrix FactorDist::reduce_scatter(int mode,
+                                      const la::Matrix& contribution) {
+  PARPP_CHECK(contribution.rows() == dist_->local_extent(mode) &&
+                  contribution.cols() == rank_,
+              "reduce_scatter: contribution is not slice-shaped");
+  const auto& comm = grid_->slice_comm(mode);
+  la::Matrix out(dist_->rows_q(mode), rank_);
+  comm.reduce_scatter_sum(contribution.data(), contribution.size(),
+                          out.data());
+  return out;
+}
+
+la::Matrix FactorDist::allgather_global(int mode) {
+  const auto& world = grid_->world();
+  const la::Matrix& q = q_[static_cast<std::size_t>(mode)];
+  std::vector<double> all(static_cast<std::size_t>(q.size()) *
+                          static_cast<std::size_t>(world.size()));
+  world.allgather(q.data(), q.size(), all.data());
+
+  const index_t s = dist_->global_shape()[static_cast<std::size_t>(mode)];
+  const index_t rows_q = dist_->rows_q(mode);
+  la::Matrix global(s, rank_);
+  for (int p = 0; p < world.size(); ++p) {
+    const auto coords = grid_->coords_of(p);
+    const index_t start =
+        dist_->slab_offset(mode, coords[static_cast<std::size_t>(mode)]) +
+        static_cast<index_t>(slice_rank_of(*grid_, mode, coords)) * rows_q;
+    const double* src = all.data() + static_cast<index_t>(p) * rows_q * rank_;
+    for (index_t r = 0; r < rows_q; ++r) {
+      const index_t g = start + r;
+      if (g >= s) break;
+      std::copy(src + r * rank_, src + (r + 1) * rank_, global.row(g));
+    }
+  }
+  return global;
+}
+
+}  // namespace parpp::dist

@@ -1,0 +1,86 @@
+// Factor-matrix distribution for Algorithm 3 (paper Sec. II-A).
+//
+// For each mode m the global factor A(m) is row-distributed over *all* P
+// ranks: grid coordinate x_m owns the slab of local_extent(m) rows starting
+// at slab_offset(m, x_m), and inside the mode-m slice group (the P / I_m
+// ranks sharing x_m) each member owns a contiguous chunk of rows_q(m) rows
+// of that slab, ordered by slice rank. Two representations are kept:
+//
+//   * q(m)     — the rows_q(m) x R chunk this rank updates ("Q rows");
+//   * slice(m) — the full local_extent(m) x R slab, assembled from the
+//                slice group by All-Gather, which is what the local MTTKRP
+//                engines consume (its rows match the local tensor block).
+//
+// reduce_scatter() is the inverse collective: slice-shaped local MTTKRP
+// contributions are summed across the slice group and scattered back to
+// Q-row chunks.
+#pragma once
+
+#include <vector>
+
+#include "parpp/dist/dist_tensor.hpp"
+#include "parpp/la/matrix.hpp"
+#include "parpp/mpsim/grid.hpp"
+
+namespace parpp::dist {
+
+class FactorDist {
+ public:
+  /// Binds to a grid and block distribution (both must outlive this).
+  /// `rank` is the CP rank R (factor column count).
+  FactorDist(const mpsim::ProcessorGrid& grid, const BlockDist& dist,
+             index_t rank);
+
+  [[nodiscard]] int order() const { return dist_->order(); }
+  [[nodiscard]] index_t cp_rank() const { return rank_; }
+
+  /// This rank's Q-row chunk of factor `mode` (mutable: drivers overwrite
+  /// it after each solve, then call gather_slice()).
+  [[nodiscard]] la::Matrix& q(int mode) {
+    return q_[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] const la::Matrix& q(int mode) const {
+    return q_[static_cast<std::size_t>(mode)];
+  }
+
+  /// Assembled slab of factor rows matching the local tensor block.
+  [[nodiscard]] const la::Matrix& slice(int mode) const {
+    return slices_[static_cast<std::size_t>(mode)];
+  }
+  /// All slice matrices; stable address, suitable for binding an engine.
+  [[nodiscard]] const std::vector<la::Matrix>& slices() const {
+    return slices_;
+  }
+
+  /// Global row index of Q row `r` of `mode`, or -1 for a padding row.
+  [[nodiscard]] index_t q_row_global(int mode, index_t r) const;
+
+  /// Overwrites q(mode) with this rank's rows of a replicated global factor
+  /// (padding rows zeroed). Does not touch slice(mode).
+  void set_q_from_global(int mode, const la::Matrix& global);
+
+  /// Collective (slice group): rebuilds slice(mode) from the members' Q
+  /// rows. Call after q(mode) changes.
+  void gather_slice(int mode);
+
+  /// Collective (slice group): sums slice-shaped `contribution` across the
+  /// group and returns this rank's Q-row chunk of the total.
+  [[nodiscard]] la::Matrix reduce_scatter(int mode,
+                                          const la::Matrix& contribution);
+
+  /// Collective (world): assembles the full, unpadded global factor.
+  [[nodiscard]] la::Matrix allgather_global(int mode);
+
+ private:
+  [[nodiscard]] int slice_rank(int mode) const {
+    return grid_->slice_comm(mode).rank();
+  }
+
+  const mpsim::ProcessorGrid* grid_;
+  const BlockDist* dist_;
+  index_t rank_;
+  std::vector<la::Matrix> q_;
+  std::vector<la::Matrix> slices_;
+};
+
+}  // namespace parpp::dist

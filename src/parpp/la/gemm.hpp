@@ -7,6 +7,7 @@
 #include "parpp/la/matrix.hpp"
 #include "parpp/util/common.hpp"
 #include "parpp/util/profile.hpp"
+#include "parpp/util/workspace.hpp"
 
 namespace parpp::la {
 
@@ -25,7 +26,10 @@ void gemm_raw(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
                             Trans trans_b = Trans::kNo);
 
 /// Gram matrix S = A^T A for A in R^{m x n} (paper's S(i) = A(i)^T A(i)).
-/// Exploits symmetry of the result. Charges Kernel::kOther.
-[[nodiscard]] Matrix gram(const Matrix& a, Profile* profile = nullptr);
+/// Exploits symmetry of the result; per-thread partial sums come from the
+/// workspace pool (`ws` defaults to the calling thread's) and are merged by
+/// a parallel binary tree. Charges Kernel::kOther.
+[[nodiscard]] Matrix gram(const Matrix& a, Profile* profile = nullptr,
+                          util::KernelWorkspace* ws = nullptr);
 
 }  // namespace parpp::la

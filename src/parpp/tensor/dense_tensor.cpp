@@ -24,14 +24,57 @@ bool next_index(std::span<const index_t> shape, std::span<index_t> idx) {
   return false;
 }
 
-DenseTensor::DenseTensor(std::vector<index_t> shape)
-    : shape_(std::move(shape)), strides_(row_major_strides(shape_)) {
+void DenseTensor::set_shape(std::vector<index_t> shape) {
+  shape_ = std::move(shape);
+  strides_ = row_major_strides(shape_);
   size_ = 1;
   for (index_t s : shape_) {
     PARPP_CHECK(s >= 0, "tensor extent must be non-negative");
     size_ *= s;
   }
-  data_.assign(static_cast<std::size_t>(size_), 0.0);
+}
+
+DenseTensor::DenseTensor(std::vector<index_t> shape) {
+  set_shape(std::move(shape));
+  owned_.assign(static_cast<std::size_t>(size_), 0.0);
+  data_ptr_ = owned_.data();
+}
+
+DenseTensor::DenseTensor(std::vector<index_t> shape, util::KernelWorkspace& ws)
+    : ws_(ws) {
+  set_shape(std::move(shape));
+  lease_ = ws_->lease(size_);
+  data_ptr_ = lease_.data();
+}
+
+DenseTensor::DenseTensor(const DenseTensor& other) { *this = other; }
+
+DenseTensor& DenseTensor::operator=(const DenseTensor& other) {
+  if (this == &other) return *this;
+  // Copies always land in owned storage: shared tree nodes are snapshotted
+  // by value (e.g. the PP donor path), and tying the copy to the source's
+  // workspace would couple unrelated lifetimes.
+  shape_ = other.shape_;
+  strides_ = other.strides_;
+  size_ = other.size_;
+  lease_.release();
+  ws_.reset();
+  owned_.resize(static_cast<std::size_t>(size_));
+  if (size_ > 0) std::copy(other.data_ptr_, other.data_ptr_ + size_, owned_.data());
+  data_ptr_ = owned_.data();
+  return *this;
+}
+
+void DenseTensor::reshape(std::vector<index_t> shape) {
+  set_shape(std::move(shape));
+  if (ws_) {
+    if (size_ > lease_.capacity()) lease_ = ws_->lease(size_);
+    data_ptr_ = lease_.data();
+  } else {
+    if (size_ > static_cast<index_t>(owned_.size()))
+      owned_.resize(static_cast<std::size_t>(size_), 0.0);
+    data_ptr_ = owned_.data();
+  }
 }
 
 index_t DenseTensor::linearize(std::span<const index_t> idx) const {
@@ -45,14 +88,14 @@ index_t DenseTensor::linearize(std::span<const index_t> idx) const {
   return lin;
 }
 
-void DenseTensor::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+void DenseTensor::fill(double v) { std::fill(data_ptr_, data_ptr_ + size_, v); }
 
 void DenseTensor::fill_uniform(Rng& rng) {
-  for (auto& x : data_) x = rng.uniform();
+  for (index_t i = 0; i < size_; ++i) data_ptr_[i] = rng.uniform();
 }
 
 void DenseTensor::fill_normal(Rng& rng) {
-  for (auto& x : data_) x = rng.normal();
+  for (index_t i = 0; i < size_; ++i) data_ptr_[i] = rng.normal();
 }
 
 double DenseTensor::squared_norm() const {
@@ -60,7 +103,7 @@ double DenseTensor::squared_norm() const {
 #pragma omp parallel for reduction(+ : s) schedule(static) \
     if (size_ > (index_t{1} << 18))
   for (index_t i = 0; i < size_; ++i) {
-    const double x = data_[static_cast<std::size_t>(i)];
+    const double x = data_ptr_[i];
     s += x * x;
   }
   return s;
@@ -72,8 +115,7 @@ double DenseTensor::max_abs_diff(const DenseTensor& other) const {
   PARPP_CHECK(shape_ == other.shape_, "max_abs_diff: shape mismatch");
   double m = 0.0;
   for (index_t i = 0; i < size_; ++i)
-    m = std::max(m, std::abs(data_[static_cast<std::size_t>(i)] -
-                             other.data_[static_cast<std::size_t>(i)]));
+    m = std::max(m, std::abs(data_ptr_[i] - other.data_ptr_[i]));
   return m;
 }
 
@@ -81,8 +123,7 @@ void DenseTensor::axpy(double alpha, const DenseTensor& other) {
   PARPP_CHECK(shape_ == other.shape_, "axpy: shape mismatch");
 #pragma omp parallel for schedule(static) if (size_ > (index_t{1} << 18))
   for (index_t i = 0; i < size_; ++i)
-    data_[static_cast<std::size_t>(i)] +=
-        alpha * other.data_[static_cast<std::size_t>(i)];
+    data_ptr_[i] += alpha * other.data_ptr_[i];
 }
 
 index_t DenseTensor::extent_product(int first, int last) const {

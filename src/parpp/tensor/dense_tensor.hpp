@@ -1,12 +1,14 @@
 // Dense order-N tensor with row-major (last-mode-fastest) layout.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "parpp/la/matrix.hpp"
 #include "parpp/util/common.hpp"
 #include "parpp/util/rng.hpp"
+#include "parpp/util/workspace.hpp"
 
 namespace parpp::tensor {
 
@@ -14,10 +16,33 @@ namespace parpp::tensor {
 /// fastest, matching the layout assumptions of the TTM/mTTV kernels
 /// (dimension-tree intermediates carry their rank mode last so corrections
 /// and contractions stream over contiguous memory).
+///
+/// Storage is either owned (zero-initialized, the default) or leased from a
+/// KernelWorkspace (uninitialized — the engines overwrite every element via
+/// the *_into kernels). reshape() re-targets the same storage when capacity
+/// allows, which is what makes steady-state tree sweeps allocation-free.
+/// Copying always deep-copies into owned storage; moving transfers the
+/// lease.
 class DenseTensor {
  public:
   DenseTensor() = default;
   explicit DenseTensor(std::vector<index_t> shape);
+  /// Workspace-backed tensor; contents are UNINITIALIZED.
+  DenseTensor(std::vector<index_t> shape, util::KernelWorkspace& ws);
+  /// Empty workspace-backed tensor: holds no buffer until reshape()d, then
+  /// leases from `ws`. The canonical start state for engine cache nodes.
+  explicit DenseTensor(util::KernelWorkspace& ws) : ws_(ws) { set_shape({0}); }
+
+  DenseTensor(const DenseTensor& other);
+  DenseTensor& operator=(const DenseTensor& other);
+  DenseTensor(DenseTensor&& other) noexcept = default;
+  DenseTensor& operator=(DenseTensor&& other) noexcept = default;
+
+  /// Re-shapes in place. Reuses the current buffer when its capacity holds
+  /// the new size (workspace-backed tensors re-lease when it does not;
+  /// owned tensors resize, zero-filling only newly exposed elements).
+  /// Existing contents are NOT preserved in any meaningful layout.
+  void reshape(std::vector<index_t> shape);
 
   [[nodiscard]] int order() const { return static_cast<int>(shape_.size()); }
   [[nodiscard]] const std::vector<index_t>& shape() const { return shape_; }
@@ -28,23 +53,23 @@ class DenseTensor {
   [[nodiscard]] index_t size() const { return size_; }
   [[nodiscard]] const std::vector<index_t>& strides() const { return strides_; }
 
-  [[nodiscard]] double* data() { return data_.data(); }
-  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] double* data() { return data_ptr_; }
+  [[nodiscard]] const double* data() const { return data_ptr_; }
 
   [[nodiscard]] double& operator[](index_t linear) {
     PARPP_ASSERT(linear >= 0 && linear < size_, "linear index out of range");
-    return data_[static_cast<std::size_t>(linear)];
+    return data_ptr_[linear];
   }
   [[nodiscard]] double operator[](index_t linear) const {
     PARPP_ASSERT(linear >= 0 && linear < size_, "linear index out of range");
-    return data_[static_cast<std::size_t>(linear)];
+    return data_ptr_[linear];
   }
 
   [[nodiscard]] double& at(std::span<const index_t> idx) {
-    return data_[static_cast<std::size_t>(linearize(idx))];
+    return data_ptr_[linearize(idx)];
   }
   [[nodiscard]] double at(std::span<const index_t> idx) const {
-    return data_[static_cast<std::size_t>(linearize(idx))];
+    return data_ptr_[linearize(idx)];
   }
 
   [[nodiscard]] index_t linearize(std::span<const index_t> idx) const;
@@ -65,10 +90,19 @@ class DenseTensor {
   [[nodiscard]] index_t extent_product(int first, int last) const;
 
  private:
+  void set_shape(std::vector<index_t> shape);
+
   std::vector<index_t> shape_;
   std::vector<index_t> strides_;
   index_t size_ = 0;
-  std::vector<double> data_;
+  // Exactly one of the two storages backs data_ptr_ (owned_ when the lease
+  // is disengaged). ws_ holds a *copy* of the workspace handle — a cheap
+  // shared-pool reference — so reshape() growth stays valid even if the
+  // tensor is moved beyond the lifetime of the original handle.
+  std::vector<double> owned_;
+  util::KernelWorkspace::Lease lease_;
+  std::optional<util::KernelWorkspace> ws_;
+  double* data_ptr_ = nullptr;
 };
 
 /// Row-major strides for a shape (last mode has stride 1).

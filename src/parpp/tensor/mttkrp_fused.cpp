@@ -1,0 +1,213 @@
+#include "parpp/tensor/mttkrp_fused.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "parpp/la/gemm.hpp"
+
+namespace parpp::tensor {
+
+namespace {
+
+// Panel budget in doubles: one KRP panel (block x R) stays L1/L2 resident
+// next to the GEMM tiles it feeds.
+constexpr index_t kPanelDoubles = 8192;
+
+index_t panel_rows(index_t r) {
+  return std::max<index_t>(1, kPanelDoubles / std::max<index_t>(r, 1));
+}
+
+// Upper bound on tensor order for the stack-allocated odometer below; the
+// panel builder runs per l-row inside the hot parallel loop and must not
+// touch the heap.
+constexpr std::size_t kMaxOrder = 24;
+
+// Writes rows [start, start + count) of the Khatri-Rao product of `mats`
+// (row-major linearization: the *last* matrix's index varies fastest) into
+// `out` (count x r, row-major). `mats` must be non-empty.
+void krp_panel(const std::vector<const la::Matrix*>& mats, index_t start,
+               index_t count, index_t r, double* out) {
+  const std::size_t nm = mats.size();
+  if (nm == 1) {
+    std::memcpy(out, mats[0]->row(start),
+                static_cast<std::size_t>(count * r) * sizeof(double));
+    return;
+  }
+  // Odometer over the member indices, advanced once per row. Stack storage:
+  // this runs once per l-row of the interior-mode loop and must stay
+  // allocation-free.
+  PARPP_ASSERT(nm <= kMaxOrder, "krp_panel: order cap exceeded");
+  std::array<index_t, kMaxOrder> idx;
+  index_t rem = start;
+  for (std::size_t m = nm; m-- > 0;) {
+    const index_t e = mats[m]->rows();
+    idx[m] = rem % e;
+    rem /= e;
+  }
+  for (index_t row = 0; row < count; ++row) {
+    double* o = out + row * r;
+    std::memcpy(o, mats[0]->row(idx[0]),
+                static_cast<std::size_t>(r) * sizeof(double));
+    for (std::size_t m = 1; m < nm; ++m) {
+      const double* f = mats[m]->row(idx[m]);
+      for (index_t k = 0; k < r; ++k) o[k] *= f[k];
+    }
+    for (std::size_t m = nm; m-- > 0;) {
+      if (++idx[m] < mats[m]->rows()) break;
+      idx[m] = 0;
+    }
+  }
+}
+
+// One KRP row (product of one row from each matrix) for a linearized index.
+void krp_row(const std::vector<const la::Matrix*>& mats, index_t lin,
+             index_t r, double* out) {
+  krp_panel(mats, lin, 1, r, out);
+}
+
+}  // namespace
+
+la::Matrix mttkrp_fused(const DenseTensor& t,
+                        const std::vector<la::Matrix>& factors, int n,
+                        Profile* profile, util::KernelWorkspace* ws) {
+  la::Matrix m;
+  mttkrp_into(t, factors, n, m, profile, ws);
+  return m;
+}
+
+void mttkrp_into(const DenseTensor& t, const std::vector<la::Matrix>& factors,
+                 int n, la::Matrix& out, Profile* profile,
+                 util::KernelWorkspace* ws) {
+  const int order = t.order();
+  PARPP_CHECK(static_cast<int>(factors.size()) == order,
+              "mttkrp_fused: factor count mismatch");
+  PARPP_CHECK(static_cast<std::size_t>(order) <= kMaxOrder,
+              "mttkrp_fused: order ", order, " exceeds cap ", kMaxOrder);
+  PARPP_CHECK(n >= 0 && n < order, "mttkrp_fused: bad mode ", n);
+  for (int m = 0; m < order; ++m) {
+    PARPP_CHECK(factors[static_cast<std::size_t>(m)].rows() == t.extent(m),
+                "mttkrp_fused: factor ", m, " rows ",
+                factors[static_cast<std::size_t>(m)].rows(), " != extent ",
+                t.extent(m));
+  }
+  const index_t r = factors[static_cast<std::size_t>(n)].cols();
+  const index_t sn = t.extent(n);
+  if (out.rows() != sn || out.cols() != r) out = la::Matrix(sn, r);
+  out.set_zero();
+  if (t.size() == 0 || r == 0) return;
+
+  if (order == 1) {
+    // No partner factors: the KRP is an empty product (all-ones), so every
+    // rank column is the tensor itself — matches mttkrp_elementwise.
+    for (index_t i = 0; i < sn; ++i)
+      std::fill(out.row(i), out.row(i) + r, t[i]);
+    return;
+  }
+
+  util::KernelWorkspace& wsp =
+      ws ? *ws : util::KernelWorkspace::thread_default();
+  const index_t left = t.extent_product(0, n);
+  const index_t right = t.extent_product(n + 1, order);
+
+  std::vector<const la::Matrix*> left_mats, right_mats;
+  for (int m = 0; m < n; ++m)
+    left_mats.push_back(&factors[static_cast<std::size_t>(m)]);
+  for (int m = n + 1; m < order; ++m)
+    right_mats.push_back(&factors[static_cast<std::size_t>(m)]);
+
+  ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                   Kernel::kTTM, 2.0 * static_cast<double>(t.size()) * r);
+
+  const double* src = t.data();
+
+  if (right_mats.empty()) {
+    // Last mode: M = U^T L with U = T viewed as (left x s_n) — the
+    // unfolding is reached by a transposed GEMM, no copy. The left KRP is
+    // produced panel-by-panel.
+    const index_t pb = panel_rows(r);
+    auto panel = wsp.lease(pb * r);
+    for (index_t l0 = 0; l0 < left; l0 += pb) {
+      const index_t lb = std::min(pb, left - l0);
+      krp_panel(left_mats, l0, lb, r, panel.data());
+      la::gemm_raw(la::Trans::kYes, la::Trans::kNo, sn, r, lb, 1.0,
+                   src + l0 * sn, sn, panel.data(), r, 1.0, out.data(), r);
+    }
+    return;
+  }
+
+  if (left_mats.empty()) {
+    // First mode: M = U W with U = T viewed as (s_n x right) — already the
+    // unfolding in place. The right KRP is produced panel-by-panel.
+    const index_t pb = panel_rows(r);
+    auto panel = wsp.lease(pb * r);
+    for (index_t t0 = 0; t0 < right; t0 += pb) {
+      const index_t tb = std::min(pb, right - t0);
+      krp_panel(right_mats, t0, tb, r, panel.data());
+      la::gemm_raw(la::Trans::kNo, la::Trans::kNo, sn, r, tb, 1.0, src + t0,
+                   right, panel.data(), r, 1.0, out.data(), r);
+    }
+    return;
+  }
+
+  // Interior mode. With U(i, l·right + t) = T(l, i, t) and the KRP row
+  // factored as L(l,:) ∘ Rt(t,:):
+  //
+  //   M(i, r) = Σ_l L(l, r) · [ Σ_t T(l, i, t) · Rt(t, r) ]
+  //
+  // Per l: a strided (s_n x right) GEMM against panel-built Rt blocks into a
+  // scratch P, then a rank-broadcast multiply-accumulate by L(l,:). The l
+  // loop is split across threads with private output accumulators so the
+  // result is deterministic and lock-free.
+  const index_t pb = panel_rows(r);
+  const int maxt = omp_get_max_threads();
+  const index_t msize = sn * r;
+  const index_t per_thread = msize /*Mlocal*/ + msize /*P*/ + r /*lrow*/ +
+                             pb * r /*Rt panel*/;
+  auto slab = wsp.lease(static_cast<index_t>(maxt) * per_thread);
+  // Mlocal slots lead the slab so they can be zeroed (and later reduced) as
+  // one contiguous run; non-spawned threads' slots must read as zero.
+  double* mlocal0 = slab.data();
+  std::fill(mlocal0, mlocal0 + static_cast<index_t>(maxt) * msize, 0.0);
+  double* scratch0 = mlocal0 + static_cast<index_t>(maxt) * msize;
+  const index_t scratch_per_thread = msize + r + pb * r;
+
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    double* mlocal = mlocal0 + static_cast<index_t>(tid) * msize;
+    double* scratch = scratch0 + static_cast<index_t>(tid) * scratch_per_thread;
+    double* p = scratch;
+    double* lrow = scratch + msize;
+    double* panel = lrow + r;
+
+#pragma omp for schedule(static)
+    for (index_t l = 0; l < left; ++l) {
+      krp_row(left_mats, l, r, lrow);
+      std::fill(p, p + msize, 0.0);
+      const double* tl = src + l * sn * right;
+      for (index_t t0 = 0; t0 < right; t0 += pb) {
+        const index_t tb = std::min(pb, right - t0);
+        krp_panel(right_mats, t0, tb, r, panel);
+        la::gemm_raw(la::Trans::kNo, la::Trans::kNo, sn, r, tb, 1.0, tl + t0,
+                     right, panel, r, 1.0, p, r);
+      }
+      for (index_t i = 0; i < sn; ++i) {
+        const double* pi = p + i * r;
+        double* mi = mlocal + i * r;
+        for (index_t k = 0; k < r; ++k) mi[k] += pi[k] * lrow[k];
+      }
+    }
+  }
+
+  // Deterministic reduction in thread order.
+  double* dst = out.data();
+  for (int tid = 0; tid < maxt; ++tid) {
+    const double* mlocal = mlocal0 + static_cast<index_t>(tid) * msize;
+    for (index_t i = 0; i < msize; ++i) dst[i] += mlocal[i];
+  }
+}
+
+}  // namespace parpp::tensor

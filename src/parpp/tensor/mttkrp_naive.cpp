@@ -39,6 +39,13 @@ la::Matrix mttkrp_elementwise(const DenseTensor& t,
 la::Matrix unfold(const DenseTensor& t, int n) {
   const int order = t.order();
   PARPP_CHECK(n >= 0 && n < order, "unfold: bad mode");
+  la::Matrix u(t.extent(n), t.size() / std::max<index_t>(t.extent(n), 1));
+  if (n == 0) {
+    // The mode-0 unfolding is the row-major buffer itself: one copy, no
+    // permutation pass.
+    std::copy(t.data(), t.data() + t.size(), u.data());
+    return u;
+  }
   // Permute mode n to the front, remaining modes keep increasing order;
   // the resulting buffer *is* the row-major unfolding.
   std::vector<int> perm;
@@ -47,8 +54,6 @@ la::Matrix unfold(const DenseTensor& t, int n) {
   for (int m = 0; m < order; ++m)
     if (m != n) perm.push_back(m);
   DenseTensor moved = transpose(t, perm);
-
-  la::Matrix u(t.extent(n), t.size() / std::max<index_t>(t.extent(n), 1));
   std::copy(moved.data(), moved.data() + moved.size(), u.data());
   return u;
 }

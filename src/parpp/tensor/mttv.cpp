@@ -30,6 +30,14 @@ inline void accumulate_rt_range(const double* in_block, const double* am,
 
 DenseTensor mttv(const DenseTensor& k, int pos, const la::Matrix& a,
                  Profile* profile) {
+  DenseTensor out;
+  mttv_into(k, pos, a, out, profile);
+  return out;
+}
+
+void mttv_into(const DenseTensor& k, int pos, const la::Matrix& a,
+               DenseTensor& out, Profile* profile) {
+  PARPP_CHECK(&k != &out, "mttv_into: input must not alias output");
   const int n = k.order();
   PARPP_CHECK(n >= 2, "mttv: intermediate must carry a rank mode");
   PARPP_CHECK(pos >= 0 && pos < n - 1, "mttv: bad contraction position ", pos);
@@ -47,7 +55,8 @@ DenseTensor mttv(const DenseTensor& k, int pos, const la::Matrix& a,
   for (int m = 0; m < n - 1; ++m)
     if (m != pos) out_shape.push_back(k.extent(m));
   out_shape.push_back(r);
-  DenseTensor out(out_shape);
+  out.reshape(std::move(out_shape));
+  out.set_zero();  // the kernel accumulates; reused buffers are stale
 
   const double flops = 2.0 * static_cast<double>(k.size());
   ScopedProfile sp(profile ? *profile : Profile::thread_default(),
@@ -95,7 +104,6 @@ DenseTensor mttv(const DenseTensor& k, int pos, const la::Matrix& a,
         dst[j] += local[static_cast<std::size_t>(j)];
     }
   }
-  return out;
 }
 
 }  // namespace parpp::tensor

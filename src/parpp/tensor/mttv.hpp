@@ -18,4 +18,9 @@ namespace parpp::tensor {
 [[nodiscard]] DenseTensor mttv(const DenseTensor& k, int pos,
                                const la::Matrix& a, Profile* profile = nullptr);
 
+/// Out-parameter variant: `out` is reshaped (reusing its storage — possibly
+/// workspace-backed — when capacity allows), zeroed, and accumulated into.
+void mttv_into(const DenseTensor& k, int pos, const la::Matrix& a,
+               DenseTensor& out, Profile* profile = nullptr);
+
 }  // namespace parpp::tensor

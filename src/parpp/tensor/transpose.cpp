@@ -15,6 +15,14 @@ bool is_permutation(const std::vector<int>& perm, int n) {
 }
 
 DenseTensor transpose(const DenseTensor& in, const std::vector<int>& perm) {
+  DenseTensor out;
+  transpose_into(in, perm, out);
+  return out;
+}
+
+void transpose_into(const DenseTensor& in, const std::vector<int>& perm,
+                    DenseTensor& out) {
+  PARPP_CHECK(&in != &out, "transpose_into: input must not alias output");
   const int n = in.order();
   PARPP_CHECK(is_permutation(perm, n), "transpose: invalid permutation");
 
@@ -22,8 +30,8 @@ DenseTensor transpose(const DenseTensor& in, const std::vector<int>& perm) {
   for (int m = 0; m < n; ++m)
     out_shape[static_cast<std::size_t>(m)] =
         in.extent(perm[static_cast<std::size_t>(m)]);
-  DenseTensor out(out_shape);
-  if (in.size() == 0) return out;
+  out.reshape(std::move(out_shape));
+  if (in.size() == 0) return;
 
   // ostride_for_input[k] = output stride of the output mode that reads input
   // mode k. Walking the input in order and adding these gives the scatter
@@ -59,7 +67,6 @@ DenseTensor transpose(const DenseTensor& in, const std::vector<int>& perm) {
       for (index_t j = 0; j < inner; ++j) dst[obase + j * inner_ostride] = s[j];
     }
   }
-  return out;
 }
 
 }  // namespace parpp::tensor

@@ -17,6 +17,11 @@ namespace parpp::tensor {
 [[nodiscard]] DenseTensor transpose(const DenseTensor& in,
                                     const std::vector<int>& perm);
 
+/// Out-parameter variant: `out` is reshaped (reusing its storage — possibly
+/// workspace-backed — when capacity allows) and fully overwritten.
+void transpose_into(const DenseTensor& in, const std::vector<int>& perm,
+                    DenseTensor& out);
+
 /// True if `perm` is a valid permutation of 0..n-1.
 [[nodiscard]] bool is_permutation(const std::vector<int>& perm, int n);
 

@@ -6,6 +6,14 @@ namespace parpp::tensor {
 
 DenseTensor ttm_first(const DenseTensor& t, int mode, const la::Matrix& a,
                       Profile* profile) {
+  DenseTensor out;
+  ttm_first_into(t, mode, a, out, profile);
+  return out;
+}
+
+void ttm_first_into(const DenseTensor& t, int mode, const la::Matrix& a,
+                    DenseTensor& out, Profile* profile) {
+  PARPP_CHECK(&t != &out, "ttm_first_into: input must not alias output");
   const int n = t.order();
   PARPP_CHECK(mode >= 0 && mode < n, "ttm_first: bad mode ", mode);
   PARPP_CHECK(a.rows() == t.extent(mode), "ttm_first: A rows ", a.rows(),
@@ -20,7 +28,8 @@ DenseTensor ttm_first(const DenseTensor& t, int mode, const la::Matrix& a,
   for (int m = 0; m < n; ++m)
     if (m != mode) out_shape.push_back(t.extent(m));
   out_shape.push_back(r);
-  DenseTensor out(out_shape);
+  out.reshape(std::move(out_shape));
+  if (out.size() == 0) return;
 
   const double flops = 2.0 * static_cast<double>(t.size()) * r;
   ScopedProfile sp(profile ? *profile : Profile::thread_default(),
@@ -46,7 +55,6 @@ DenseTensor ttm_first(const DenseTensor& t, int mode, const la::Matrix& a,
                    dst + l * right * r, r);
     }
   }
-  return out;
 }
 
 }  // namespace parpp::tensor

@@ -21,4 +21,10 @@ namespace parpp::tensor {
                                     const la::Matrix& a,
                                     Profile* profile = nullptr);
 
+/// Out-parameter variant: `out` is reshaped (reusing its storage — possibly
+/// workspace-backed — when capacity allows) and fully overwritten. This is
+/// the allocation-free path the tree engines use for cache nodes.
+void ttm_first_into(const DenseTensor& t, int mode, const la::Matrix& a,
+                    DenseTensor& out, Profile* profile = nullptr);
+
 }  // namespace parpp::tensor

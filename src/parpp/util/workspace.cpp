@@ -1,0 +1,128 @@
+#include "parpp/util/workspace.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace parpp::util {
+
+namespace {
+
+constexpr std::size_t kAlignment = 64;
+// Capacities are rounded up so near-miss requests (e.g. the ragged last
+// panel of a blocked loop) reuse the same buffer instead of growing.
+constexpr index_t kGranularity = 512;
+
+struct AlignedDeleter {
+  void operator()(double* p) const {
+    ::operator delete[](p, std::align_val_t{kAlignment});
+  }
+};
+
+using AlignedPtr = std::unique_ptr<double[], AlignedDeleter>;
+
+AlignedPtr aligned_alloc_doubles(index_t n) {
+  return AlignedPtr(static_cast<double*>(::operator new[](
+      static_cast<std::size_t>(n) * sizeof(double),
+      std::align_val_t{kAlignment})));
+}
+
+}  // namespace
+
+struct WorkspacePool {
+  struct Buffer {
+    AlignedPtr data;
+    index_t capacity = 0;
+    bool in_use = false;
+  };
+  std::vector<Buffer> buffers;
+  std::size_t alloc_count = 0;
+
+  void release(double* p) {
+    for (auto& b : buffers) {
+      if (b.data.get() == p) {
+        PARPP_ASSERT(b.in_use, "workspace: double release");
+        b.in_use = false;
+        return;
+      }
+    }
+  }
+};
+
+KernelWorkspace::Lease& KernelWorkspace::Lease::operator=(
+    Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = std::move(other.pool_);
+    data_ = other.data_;
+    capacity_ = other.capacity_;
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+    other.pool_.reset();
+  }
+  return *this;
+}
+
+void KernelWorkspace::Lease::release() {
+  if (data_ && pool_) pool_->release(data_);
+  data_ = nullptr;
+  capacity_ = 0;
+  pool_.reset();
+}
+
+KernelWorkspace::KernelWorkspace() : pool_(std::make_shared<WorkspacePool>()) {}
+
+KernelWorkspace::Lease KernelWorkspace::lease(index_t n) {
+  PARPP_CHECK(n >= 0, "workspace: negative lease size");
+  if (n == 0) return {};
+
+  // Best fit among free buffers: smallest capacity that still holds n.
+  WorkspacePool::Buffer* best = nullptr;
+  for (auto& b : pool_->buffers) {
+    if (b.in_use || b.capacity < n) continue;
+    if (!best || b.capacity < best->capacity) best = &b;
+  }
+  if (!best) {
+    const index_t cap = (n + kGranularity - 1) / kGranularity * kGranularity;
+    WorkspacePool::Buffer fresh;
+    fresh.data = aligned_alloc_doubles(cap);
+    fresh.capacity = cap;
+    ++pool_->alloc_count;
+    pool_->buffers.push_back(std::move(fresh));
+    best = &pool_->buffers.back();
+  }
+  best->in_use = true;
+  return Lease(pool_, best->data.get(), best->capacity);
+}
+
+std::size_t KernelWorkspace::total_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& b : pool_->buffers)
+    bytes += static_cast<std::size_t>(b.capacity) * sizeof(double);
+  return bytes;
+}
+
+std::size_t KernelWorkspace::allocation_count() const {
+  return pool_->alloc_count;
+}
+
+std::size_t KernelWorkspace::leased_buffers() const {
+  std::size_t n = 0;
+  for (const auto& b : pool_->buffers) n += b.in_use ? 1 : 0;
+  return n;
+}
+
+void KernelWorkspace::trim() {
+  auto& v = pool_->buffers;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [](const WorkspacePool::Buffer& b) {
+                           return !b.in_use;
+                         }),
+          v.end());
+}
+
+KernelWorkspace& KernelWorkspace::thread_default() {
+  thread_local KernelWorkspace ws;
+  return ws;
+}
+
+}  // namespace parpp::util

@@ -1,0 +1,88 @@
+// Reusable kernel scratch arena (ggml-style preallocation discipline).
+//
+// Every hot kernel in the library (fused MTTKRP panels, GEMM packing
+// buffers, tree-engine intermediates) draws its scratch memory from a
+// KernelWorkspace instead of the heap. Buffers are cache-line aligned and
+// recycled by capacity: the first sweep of an ALS run grows the arena to
+// its steady-state footprint, after which acquire/release never touches the
+// allocator. Tests assert this via total_bytes()/allocation_count().
+//
+// Threading: a workspace instance is NOT internally synchronized — it is
+// meant to be owned by one driver thread (one mpsim rank, one engine).
+// Kernels that need scratch inside an OpenMP region use the thread-local
+// thread_default() workspace of each worker, which is private by
+// construction. Leases keep the underlying pool alive through a shared_ptr,
+// so releasing a lease after its workspace has been destroyed is safe.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "parpp/util/common.hpp"
+
+namespace parpp::util {
+
+// KernelWorkspace itself is a cheap, copyable *handle*: copies share the
+// same underlying pool (and stats), so holders that may outlive the
+// original handle — e.g. workspace-backed DenseTensors that get moved —
+// keep a copy instead of a pointer.
+class KernelWorkspace {
+ public:
+  /// RAII handle to one scratch buffer of doubles. Movable, not copyable;
+  /// releases the buffer back to the pool on destruction. Contents are
+  /// uninitialized on acquisition — callers must write before reading.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] double* data() const { return data_; }
+    /// Usable capacity in doubles (>= the requested size).
+    [[nodiscard]] index_t capacity() const { return capacity_; }
+    [[nodiscard]] bool engaged() const { return data_ != nullptr; }
+
+    /// Returns the buffer to the pool early (idempotent).
+    void release();
+
+   private:
+    friend class KernelWorkspace;
+    Lease(std::shared_ptr<struct WorkspacePool> pool, double* data,
+          index_t capacity)
+        : pool_(std::move(pool)), data_(data), capacity_(capacity) {}
+
+    std::shared_ptr<struct WorkspacePool> pool_;
+    double* data_ = nullptr;
+    index_t capacity_ = 0;
+  };
+
+  KernelWorkspace();
+
+  /// Leases a buffer of at least `n` doubles. Reuses the smallest free
+  /// buffer with sufficient capacity; allocates (64-byte aligned) only when
+  /// none fits. n == 0 yields a valid empty lease without a pool trip.
+  [[nodiscard]] Lease lease(index_t n);
+
+  /// Bytes currently held by the arena (free + leased). Steady-state ALS
+  /// sweeps must not grow this.
+  [[nodiscard]] std::size_t total_bytes() const;
+  /// Number of distinct backing allocations performed since construction.
+  [[nodiscard]] std::size_t allocation_count() const;
+  /// Number of buffers currently leased out (diagnostic).
+  [[nodiscard]] std::size_t leased_buffers() const;
+
+  /// Frees all non-leased buffers (leased ones are dropped when returned).
+  void trim();
+
+  /// Per-thread workspace used when no explicit workspace is passed.
+  [[nodiscard]] static KernelWorkspace& thread_default();
+
+ private:
+  std::shared_ptr<struct WorkspacePool> pool_;
+};
+
+}  // namespace parpp::util
