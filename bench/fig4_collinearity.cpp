@@ -8,9 +8,9 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "parpp/core/pp_als.hpp"
-#include "parpp/util/timer.hpp"
 #include "parpp/data/collinearity.hpp"
+#include "parpp/solver/solver.hpp"
+#include "parpp/util/timer.hpp"
 
 using namespace parpp;
 
@@ -25,22 +25,16 @@ struct RunStat {
 RunStat time_solver(const tensor::DenseTensor& t, index_t rank, double tol,
                     int max_sweeps, core::EngineKind engine, bool use_pp,
                     double pp_tol) {
-  core::CpOptions opt;
-  opt.rank = rank;
-  opt.max_sweeps = max_sweeps;
-  opt.tol = tol;
-  opt.engine = engine;
-  opt.engine_options.use_transposed_copy = core::TransposedCopy::kOn;
+  solver::SolverSpec spec;
+  spec.method = use_pp ? solver::Method::kPp : solver::Method::kAls;
+  spec.rank = rank;
+  spec.engine = use_pp ? core::EngineKind::kMsdt : engine;
+  spec.stopping.max_sweeps = max_sweeps;
+  spec.stopping.fitness_tol = tol;
+  spec.engine_options.use_transposed_copy = core::TransposedCopy::kOn;
+  spec.pp.pp_tol = pp_tol;
   WallTimer timer;
-  core::CpResult r;
-  if (use_pp) {
-    core::PpOptions pp;
-    pp.pp_tol = pp_tol;
-    pp.regular_engine = core::EngineKind::kMsdt;
-    r = core::pp_cp_als(t, opt, pp);
-  } else {
-    r = core::cp_als(t, opt);
-  }
+  const solver::SolveReport r = parpp::solve(t, spec);
   return {timer.seconds(), r.fitness, r.num_als_sweeps, r.num_pp_init,
           r.num_pp_approx};
 }

@@ -11,18 +11,18 @@
 #include <string>
 
 #include "bench_util.hpp"
-#include "parpp/core/pp_als.hpp"
-#include "parpp/util/timer.hpp"
 #include "parpp/data/chemistry.hpp"
 #include "parpp/data/coil.hpp"
 #include "parpp/data/collinearity.hpp"
 #include "parpp/data/hyperspectral.hpp"
+#include "parpp/solver/solver.hpp"
+#include "parpp/util/timer.hpp"
 
 using namespace parpp;
 
 namespace {
 
-void print_curve(const char* method, const core::CpResult& r,
+void print_curve(const char* method, const solver::SolveReport& r,
                  double total_seconds) {
   std::printf("  %-6s finished: fitness=%.6f sweeps=%d time=%.3fs "
               "(ALS=%d, PP-init=%d, PP-approx=%d)\n",
@@ -47,29 +47,29 @@ void run_case(const char* label, const tensor::DenseTensor& t, index_t rank,
   for (index_t e : t.shape()) std::printf("%lld ", static_cast<long long>(e));
   std::printf("R=%lld ---\n", static_cast<long long>(rank));
 
-  core::CpOptions opt;
-  opt.rank = rank;
-  opt.max_sweeps = max_sweeps;
-  opt.tol = tol;
+  solver::SolverSpec spec;
+  spec.rank = rank;
+  spec.stopping.max_sweeps = max_sweeps;
+  spec.stopping.fitness_tol = tol;
 
   {
-    opt.engine = core::EngineKind::kDt;
+    spec.engine = core::EngineKind::kDt;
     WallTimer w;
-    const auto r = core::cp_als(t, opt);
+    const auto r = parpp::solve(t, spec);
     print_curve("DT", r, w.seconds());
   }
   {
-    opt.engine = core::EngineKind::kMsdt;
+    spec.engine = core::EngineKind::kMsdt;
     WallTimer w;
-    const auto r = core::cp_als(t, opt);
+    const auto r = parpp::solve(t, spec);
     print_curve("MSDT", r, w.seconds());
   }
   {
-    opt.engine = core::EngineKind::kMsdt;
-    core::PpOptions pp;
-    pp.pp_tol = pp_tol;
+    spec.method = solver::Method::kPp;
+    spec.engine = core::EngineKind::kMsdt;
+    spec.pp.pp_tol = pp_tol;
     WallTimer w;
-    const auto r = core::pp_cp_als(t, opt, pp);
+    const auto r = parpp::solve(t, spec);
     print_curve("PP", r, w.seconds());
   }
   std::fflush(stdout);

@@ -11,8 +11,8 @@
 //   ./chemistry_compression [--naux 120] [--norb 40]
 #include <cstdio>
 
-#include "parpp/core/pp_als.hpp"
 #include "parpp/data/chemistry.hpp"
+#include "parpp/solver/solver.hpp"
 #include "parpp/util/timer.hpp"
 
 using namespace parpp;
@@ -38,14 +38,14 @@ int main(int argc, char** argv) {
   std::printf("\n%6s %10s %10s %8s %8s %22s\n", "rank", "fitness", "resid",
               "sweeps", "time(s)", "compression (dense/CP)");
   for (index_t rank : {16, 32, 48, 64}) {
-    core::CpOptions opt;
-    opt.rank = rank;
-    opt.max_sweeps = 150;
-    opt.tol = 1e-6;
-    core::PpOptions pp;
-    pp.pp_tol = 0.1;
+    solver::SolverSpec spec;
+    spec.method = solver::Method::kPp;
+    spec.rank = rank;
+    spec.stopping.max_sweeps = 150;
+    spec.stopping.fitness_tol = 1e-6;
+    spec.pp.pp_tol = 0.1;
     WallTimer timer;
-    const core::CpResult r = core::pp_cp_als(d, opt, pp);
+    const solver::SolveReport r = parpp::solve(d, spec);
     const double cp_doubles =
         static_cast<double>(rank) * (chem.naux + 2 * chem.norb);
     std::printf("%6lld %10.6f %10.2e %8d %8.2f %21.1fx\n",

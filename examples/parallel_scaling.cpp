@@ -1,17 +1,15 @@
-// Example: running the distributed Algorithm 3/4 drivers on the simulated
-// message-passing runtime.
+// Example: the Execution axis of parpp::solve() — the same spec runs
+// sequentially or on the simulated message-passing runtime (Algorithm 3/4).
 //
-// Shows the public parallel API end to end: grid construction, the three
-// engine configurations (DT, MSDT, PP), wall-clock and modeled
-// communication cost per sweep, and the exactness guarantee (any grid
-// reproduces the sequential trajectory).
+// Shows grid construction, the engine configurations (DT, MSDT, PP),
+// wall-clock and modeled communication cost per sweep, and the exactness
+// guarantee (any grid reproduces the sequential trajectory).
 //
 //   ./parallel_scaling [--size 48] [--rank 16] [--procs 8]
 #include <cstdio>
 
-#include "parpp/core/cp_als.hpp"
 #include "parpp/mpsim/grid.hpp"
-#include "parpp/par/par_pp.hpp"
+#include "parpp/solver/solver.hpp"
 #include "parpp/tensor/reconstruct.hpp"
 
 using namespace parpp;
@@ -30,12 +28,14 @@ int main(int argc, char** argv) {
   const auto truth = core::init_factors(shape, rank, 21);
   const tensor::DenseTensor t = tensor::reconstruct(truth);
 
-  // Sequential reference.
-  core::CpOptions base;
-  base.rank = rank;
-  base.max_sweeps = 25;
-  base.tol = 1e-7;
-  const core::CpResult seq = core::cp_als(t, base);
+  solver::SolverSpec spec;
+  spec.rank = rank;
+  spec.engine = core::EngineKind::kDt;
+  spec.stopping.max_sweeps = 25;
+  spec.stopping.fitness_tol = 1e-7;
+
+  // Sequential reference: the default Execution.
+  const solver::SolveReport seq = parpp::solve(t, spec);
   std::printf("sequential DT:    fitness %.8f in %d sweeps\n", seq.fitness,
               seq.sweeps);
 
@@ -43,25 +43,27 @@ int main(int argc, char** argv) {
   std::printf("processor grid:   %dx%dx%d (%d simulated ranks)\n\n", dims[0],
               dims[1], dims[2], procs);
 
-  par::ParOptions popt;
-  popt.base = base;
-  popt.grid_dims = dims;
-  for (core::EngineKind kind : {core::EngineKind::kDt, core::EngineKind::kMsdt}) {
-    popt.local_engine = kind;
-    const par::ParResult r = par::par_cp_als(t, procs, popt);
+  // Same spec, parallel execution — only the Execution axis changes.
+  spec.execution = solver::Execution::simulated_parallel(procs, dims);
+  for (core::EngineKind kind :
+       {core::EngineKind::kDt, core::EngineKind::kMsdt}) {
+    spec.engine = kind;
+    const solver::SolveReport r = parpp::solve(t, spec);
     std::printf(
         "parallel %-5s  fitness %.8f | %.4fs/sweep | comm: %.0f msgs, "
         "%.3e words per rank\n",
-        core::engine_kind_name(kind), r.fitness, r.mean_sweep_seconds,
-        r.comm_cost.total().messages, r.comm_cost.total().words_horizontal);
+        std::string(solver::to_string(kind)).c_str(), r.fitness,
+        r.mean_sweep_seconds, r.comm_cost.total().messages,
+        r.comm_cost.total().words_horizontal);
   }
 
-  par::ParPpOptions ppopt;
-  ppopt.par = popt;
-  ppopt.pp.pp_tol = 0.1;
-  const par::ParResult r = par::par_pp_cp_als(t, procs, ppopt);
+  // And the method axis on top: parallel pairwise perturbation.
+  spec.method = solver::Method::kPp;
+  spec.engine = core::EngineKind::kMsdt;
+  spec.pp.pp_tol = 0.1;
+  const solver::SolveReport r = parpp::solve(t, spec);
   std::printf(
-      "parallel PP     fitness %.8f | %.4fs/sweep | sweeps: %d ALS + %d "
+      "parallel PP     fitness %.8f | %.4fs/sweep | sweeps: %d regular + %d "
       "init + %d approx\n",
       r.fitness, r.mean_sweep_seconds, r.num_als_sweeps, r.num_pp_init,
       r.num_pp_approx);

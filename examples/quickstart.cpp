@@ -1,14 +1,14 @@
-// Quickstart: decompose a synthetic low-rank tensor with CP-ALS.
+// Quickstart: decompose a synthetic low-rank tensor through parpp::solve().
 //
-// Demonstrates the three MTTKRP engines (naive, dimension tree, multi-sweep
-// dimension tree) and the pairwise-perturbation driver on the same problem,
-// printing fitness and per-kernel time for each.
+// One SolverSpec composes every axis: the MTTKRP engine (naive, dimension
+// tree, multi-sweep dimension tree), the method (plain ALS vs the
+// pairwise-perturbation driver), and a per-sweep observer streaming
+// progress — same problem throughout, printing fitness and per-kernel time.
 //
 //   ./quickstart [--size 64] [--rank 8]
 #include <cstdio>
 
-#include "parpp/core/cp_als.hpp"
-#include "parpp/core/pp_als.hpp"
+#include "parpp/solver/solver.hpp"
 #include "parpp/tensor/reconstruct.hpp"
 #include "parpp/util/timer.hpp"
 
@@ -32,34 +32,51 @@ int main(int argc, char** argv) {
   const tensor::DenseTensor t = tensor::reconstruct(truth);
   std::printf("tensor norm: %.4f\n\n", t.frobenius_norm());
 
-  // 2. Decompose with each engine.
-  core::CpOptions options;
-  options.rank = rank;
-  options.max_sweeps = 100;
-  options.tol = 1e-8;
+  // 2. One spec, swept over the engine axis.
+  solver::SolverSpec spec;
+  spec.rank = rank;
+  spec.stopping.max_sweeps = 100;
+  spec.stopping.fitness_tol = 1e-8;
 
   for (core::EngineKind kind :
        {core::EngineKind::kNaive, core::EngineKind::kDt,
         core::EngineKind::kMsdt}) {
-    options.engine = kind;
+    spec.engine = kind;
     WallTimer timer;
-    const core::CpResult result = core::cp_als(t, options);
+    const solver::SolveReport report = parpp::solve(t, spec);
     std::printf("%-6s engine: fitness %.8f after %3d sweeps in %.3fs  [%s]\n",
-                core::engine_kind_name(kind), result.fitness, result.sweeps,
-                timer.seconds(), result.profile.summary().c_str());
+                std::string(solver::to_string(kind)).c_str(), report.fitness,
+                report.sweeps, timer.seconds(),
+                report.profile.summary().c_str());
   }
 
-  // 3. Pairwise perturbation accelerates the convergence tail.
+  // 3. Flip the method axis: pairwise perturbation accelerates the
+  //    convergence tail. Nothing else about the spec changes.
   {
-    core::PpOptions pp;
-    pp.pp_tol = 0.1;
+    spec.method = solver::Method::kPp;
+    spec.engine = core::EngineKind::kMsdt;
+    spec.pp.pp_tol = 0.1;
     WallTimer timer;
-    const core::CpResult result = core::pp_cp_als(t, options, pp);
+    const solver::SolveReport report = parpp::solve(t, spec);
     std::printf("%-6s driver: fitness %.8f after %3d sweeps in %.3fs  "
-                "(ALS %d / PP-init %d / PP-approx %d)\n",
-                "PP", result.fitness, result.sweeps, timer.seconds(),
-                result.num_als_sweeps, result.num_pp_init,
-                result.num_pp_approx);
+                "(regular %d / PP-init %d / PP-approx %d)\n",
+                "PP", report.fitness, report.sweeps, timer.seconds(),
+                report.num_als_sweeps, report.num_pp_init,
+                report.num_pp_approx);
+  }
+
+  // 4. Observers stream progress (and could abort by returning kStop).
+  {
+    spec.method = solver::Method::kAls;
+    spec.stopping.max_sweeps = 5;
+    int printed = 0;
+    spec.observer = [&printed](const core::SweepRecord& rec,
+                               const std::vector<la::Matrix>&) {
+      std::printf("  observer: sweep %d (%s) fitness %.6f at %.3fs\n",
+                  ++printed, rec.phase.c_str(), rec.fitness, rec.seconds);
+      return solver::ObserverAction::kContinue;
+    };
+    (void)parpp::solve(t, spec);
   }
 
   std::printf("\nAll engines recover the planted rank-%lld structure; DT and "

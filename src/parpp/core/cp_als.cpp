@@ -24,14 +24,35 @@ std::vector<la::Matrix> init_factors(const std::vector<index_t>& shape,
   return factors;
 }
 
+std::vector<la::Matrix> resolve_init_factors(const std::vector<index_t>& shape,
+                                             index_t rank, std::uint64_t seed,
+                                             const DriverHooks& hooks) {
+  if (hooks.initial_factors == nullptr)
+    return init_factors(shape, rank, seed);
+  const auto& init = *hooks.initial_factors;
+  PARPP_CHECK(init.size() == shape.size(),
+              "warm start: need one factor per tensor mode");
+  for (std::size_t m = 0; m < init.size(); ++m) {
+    PARPP_CHECK(init[m].rows() == shape[m] && init[m].cols() == rank,
+                "warm start: factor ", m, " shape mismatch");
+  }
+  return init;
+}
+
 CpResult cp_als(const tensor::DenseTensor& t, const CpOptions& options) {
+  return cp_als(t, options, DriverHooks{});
+}
+
+CpResult cp_als(const tensor::DenseTensor& t, const CpOptions& options,
+                const DriverHooks& hooks) {
   const int n = t.order();
   PARPP_CHECK(n >= 2, "cp_als: tensor order must be >= 2");
   PARPP_CHECK(options.rank >= 1, "cp_als: rank must be positive");
 
   CpResult result;
   Profile profile;
-  result.factors = init_factors(t.shape(), options.rank, options.seed);
+  result.factors =
+      resolve_init_factors(t.shape(), options.rank, options.seed, hooks);
   auto& factors = result.factors;
   std::vector<la::Matrix> grams = all_grams(factors, &profile);
 
@@ -64,8 +85,9 @@ CpResult cp_als(const tensor::DenseTensor& t, const CpOptions& options) {
         t_sq, gamma_last, grams[static_cast<std::size_t>(n - 1)], m_last,
         factors[static_cast<std::size_t>(n - 1)]);
     fit = fitness_from_residual(result.residual);
-    if (options.record_history)
-      result.history.push_back({timer.seconds(), fit, "als"});
+    const SweepRecord rec{timer.seconds(), fit, "als"};
+    if (options.record_history) result.history.push_back(rec);
+    if (hooks.on_sweep && !hooks.on_sweep(rec, factors)) break;
   }
 
   result.fitness = fit;

@@ -1,6 +1,7 @@
 // Sequential CP-ALS driver (Algorithm 1).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,14 +45,40 @@ struct CpResult {
   int num_pp_approx = 0;
 };
 
+/// Cross-cutting extension points the parpp::solve() facade threads through
+/// every driver. Default-constructed hooks leave a driver bit-for-bit on its
+/// legacy behavior (no extra collectives, no extra callbacks).
+struct DriverHooks {
+  /// Warm start: used in place of the seeded initialization when non-null.
+  /// Shapes are validated against the tensor and rank. The matrices are
+  /// copied, so the caller's set is untouched.
+  const std::vector<la::Matrix>* initial_factors = nullptr;
+  /// Called after every sweep of any kind ("als", "nncp", "pp-init",
+  /// "pp-approx") with the record just produced and the current factors.
+  /// The simulated-parallel drivers pass an empty factor vector (factors
+  /// live distributed) and broadcast the verdict so all ranks agree.
+  /// Returning false aborts the run after the current sweep.
+  std::function<bool(const SweepRecord&, const std::vector<la::Matrix>&)>
+      on_sweep;
+};
+
 /// Uniform-[0,1) factor initialization (Algorithm 1 line 2), deterministic
 /// in (seed, mode).
 [[nodiscard]] std::vector<la::Matrix> init_factors(
     const std::vector<index_t>& shape, index_t rank, std::uint64_t seed);
 
+/// The warm-start factors from `hooks` (validated against `shape`/`rank`)
+/// or, when absent, the seeded initialization above.
+[[nodiscard]] std::vector<la::Matrix> resolve_init_factors(
+    const std::vector<index_t>& shape, index_t rank, std::uint64_t seed,
+    const DriverHooks& hooks);
+
 /// Runs CP-ALS with the selected MTTKRP engine until the fitness change
 /// falls below `tol` or `max_sweeps` is reached.
 [[nodiscard]] CpResult cp_als(const tensor::DenseTensor& t,
                               const CpOptions& options);
+[[nodiscard]] CpResult cp_als(const tensor::DenseTensor& t,
+                              const CpOptions& options,
+                              const DriverHooks& hooks);
 
 }  // namespace parpp::core

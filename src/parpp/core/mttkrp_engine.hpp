@@ -42,6 +42,10 @@ enum class EngineKind {
   kMsdt,   ///< multi-sweep dimension tree (Sec. III)
 };
 
+/// Human-facing display name ("naive"/"DT"/"MSDT") for logs and reports.
+/// The machine-readable round-trip tokens live in parpp/solver/strings.hpp
+/// (solver::to_string / solver::engine_from_string) — a new EngineKind must
+/// be added to both switches (-Wswitch flags the omission).
 [[nodiscard]] const char* engine_kind_name(EngineKind kind);
 
 enum class TransposedCopy {

@@ -10,10 +10,6 @@
 
 namespace parpp::core {
 
-namespace {
-
-/// One HALS pass over the columns of A given M = MTTKRP and Γ.
-/// A(:,r) <- max(eps_floor, A(:,r) + (M(:,r) - A Γ(:,r)) / Γ(r,r)).
 void hals_update(la::Matrix& a, const la::Matrix& m, const la::Matrix& gamma,
                  double eps_floor, Profile& profile) {
   const index_t s = a.rows(), r = a.cols();
@@ -42,10 +38,13 @@ void hals_update(la::Matrix& a, const la::Matrix& m, const la::Matrix& gamma,
   }
 }
 
-}  // namespace
-
 CpResult nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
                    const NncpOptions& nn_options) {
+  return nncp_hals(t, options, nn_options, DriverHooks{});
+}
+
+CpResult nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
+                   const NncpOptions& nn_options, const DriverHooks& hooks) {
   const int n = t.order();
   PARPP_CHECK(n >= 2, "nncp_hals: tensor order must be >= 2");
   PARPP_CHECK(nn_options.inner_iterations >= 1,
@@ -53,7 +52,8 @@ CpResult nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
 
   CpResult result;
   Profile profile;
-  result.factors = init_factors(t.shape(), options.rank, options.seed);
+  result.factors =
+      resolve_init_factors(t.shape(), options.rank, options.seed, hooks);
   auto& factors = result.factors;
   std::vector<la::Matrix> grams = all_grams(factors, &profile);
   auto engine =
@@ -87,8 +87,9 @@ CpResult nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
         t_sq, gamma_last, grams[static_cast<std::size_t>(n - 1)], m_last,
         factors[static_cast<std::size_t>(n - 1)]);
     fit = fitness_from_residual(result.residual);
-    if (options.record_history)
-      result.history.push_back({timer.seconds(), fit, "nncp"});
+    const SweepRecord rec{timer.seconds(), fit, "nncp"};
+    if (options.record_history) result.history.push_back(rec);
+    if (hooks.on_sweep && !hooks.on_sweep(rec, factors)) break;
   }
 
   result.fitness = fit;

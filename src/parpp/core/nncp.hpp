@@ -26,11 +26,23 @@ struct NncpOptions {
   int inner_iterations = 1;
 };
 
+/// One HALS pass over the columns of A given M = MTTKRP(A's mode) and Γ:
+///   A(:,r) <- max(0, A(:,r) + (M(:,r) - A Γ(:,r)) / Γ(r,r))
+/// followed by an eps_floor rescue of exactly-zero columns (keeps Γ
+/// nonsingular). Columns update sequentially (Gauss-Seidel), rows
+/// independently — shared by the plain and PP-accelerated HALS drivers.
+void hals_update(la::Matrix& a, const la::Matrix& m, const la::Matrix& gamma,
+                 double eps_floor, Profile& profile);
+
 /// Runs nonnegative CP-ALS (HALS) until the fitness change drops below
 /// options.tol or max_sweeps is reached. Factors are initialized uniform
 /// in [0,1) (already nonnegative) and stay entrywise >= 0.
 [[nodiscard]] CpResult nncp_hals(const tensor::DenseTensor& t,
                                  const CpOptions& options,
                                  const NncpOptions& nn_options = {});
+[[nodiscard]] CpResult nncp_hals(const tensor::DenseTensor& t,
+                                 const CpOptions& options,
+                                 const NncpOptions& nn_options,
+                                 const DriverHooks& hooks);
 
 }  // namespace parpp::core

@@ -28,14 +28,33 @@ bool all_changes_small(const std::vector<la::Matrix>& factors,
 
 CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
                    const PpOptions& pp_options) {
+  return pp_cp_als(t, options, pp_options, DriverHooks{});
+}
+
+CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
+                   const PpOptions& pp_options, const DriverHooks& hooks) {
+  return detail::run_pp_driver(
+      t, options, pp_options, hooks,
+      [](la::Matrix& a, const la::Matrix& gamma, const la::Matrix& m,
+         Profile& profile) { a = update_factor(gamma, m, &profile); },
+      "als");
+}
+
+namespace detail {
+
+CpResult run_pp_driver(const tensor::DenseTensor& t, const CpOptions& options,
+                       const PpOptions& pp_options, const DriverHooks& hooks,
+                       const FactorUpdate& update,
+                       const char* regular_phase) {
   const int n = t.order();
-  PARPP_CHECK(n >= 3, "pp_cp_als: order must be >= 3");
+  PARPP_CHECK(n >= 3, "pp driver: order must be >= 3");
   PARPP_CHECK(pp_options.pp_tol > 0.0 && pp_options.pp_tol < 1.0,
-              "pp_cp_als: pp_tol must be in (0,1)");
+              "pp driver: pp_tol must be in (0,1)");
 
   CpResult result;
   Profile profile;
-  result.factors = init_factors(t.shape(), options.rank, options.seed);
+  result.factors =
+      resolve_init_factors(t.shape(), options.rank, options.seed, hooks);
   auto& factors = result.factors;
   std::vector<la::Matrix> grams = all_grams(factors, &profile);
 
@@ -44,6 +63,15 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
                             eopt);
   auto* tree_engine = dynamic_cast<TreeEngineBase*>(engine.get());
   PpOperators ops(t, factors, &profile);
+
+  // One mode update: apply the method's factor update, then refresh the
+  // engine and Gram state (identical for exact and approximated MTTKRPs).
+  auto update_mode = [&](int i, const la::Matrix& gamma, const la::Matrix& m) {
+    update(factors[static_cast<std::size_t>(i)], gamma, m, profile);
+    engine->notify_update(i);
+    grams[static_cast<std::size_t>(i)] =
+        la::gram(factors[static_cast<std::size_t>(i)], &profile);
+  };
 
   const double t_sq = t.squared_norm();
   WallTimer timer;
@@ -58,7 +86,12 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
 
   double fit = 0.0, fit_old = -1.0;
   int total_sweeps = 0;
-  while (total_sweeps < options.max_sweeps &&
+  bool aborted = false;
+  auto sweep_hook = [&](const SweepRecord& rec) {
+    if (hooks.on_sweep && !hooks.on_sweep(rec, factors)) aborted = true;
+    return !aborted;
+  };
+  while (!aborted && total_sweeps < options.max_sweeps &&
          std::abs(fit - fit_old) > options.tol) {
     // ---- PP phase (lines 5-18) --------------------------------------
     if (all_changes_small(factors, prev_sweep, pp_options.pp_tol)) {
@@ -66,8 +99,9 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
       ops.build(tree_engine);
       ++result.num_pp_init;
       ++total_sweeps;
-      if (options.record_history)
-        result.history.push_back({timer.seconds(), fit, "pp-init"});
+      const SweepRecord init_rec{timer.seconds(), fit, "pp-init"};
+      if (options.record_history) result.history.push_back(init_rec);
+      if (!sweep_hook(init_rec)) break;
 
       PpApprox approx(ops, factors, a_p, grams, &profile);
       approx.set_second_order(pp_options.second_order);
@@ -76,8 +110,8 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
       double pp_fit = fit, pp_fit_old = fit - 1.0;
       // Divergence guard: the PP model can break down when Γ is
       // rank-deficient (e.g. CP rank above a mode extent); abort the phase
-      // if the approximate fitness drops materially and let exact ALS
-      // sweeps repair the factors.
+      // if the approximate fitness drops materially and let exact sweeps
+      // repair the factors.
       const double fit_floor = fit - 10.0 * std::max(options.tol, 1e-6);
       while (all_changes_small(factors, a_p, pp_options.pp_tol) &&
              std::abs(pp_fit - pp_fit_old) > options.tol &&
@@ -88,11 +122,7 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
         for (int j = 0; j < n; ++j) {
           la::Matrix gamma = gamma_chain(grams, j, &profile);
           la::Matrix m = approx.mttkrp_approx(j);
-          factors[static_cast<std::size_t>(j)] =
-              update_factor(gamma, m, &profile);
-          engine->notify_update(j);
-          grams[static_cast<std::size_t>(j)] =
-              la::gram(factors[static_cast<std::size_t>(j)], &profile);
+          update_mode(j, gamma, m);
           approx.refresh_mode(j);
           if (j == n - 1) {
             gamma_last = std::move(gamma);
@@ -112,9 +142,11 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
             factors[static_cast<std::size_t>(n - 1)]);
         pp_fit_old = pp_fit;
         pp_fit = fitness_from_residual(r_approx);
+        const SweepRecord rec{timer.seconds(), pp_fit, "pp-approx"};
         if (options.record_history && pp_options.record_pp_sweeps) {
-          result.history.push_back({timer.seconds(), pp_fit, "pp-approx"});
+          result.history.push_back(rec);
         }
+        if (!sweep_hook(rec)) break;
       }
       // Carry the PP-phase progress into the outer stopping comparison;
       // otherwise the next regular sweep is compared against a fitness
@@ -124,7 +156,7 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
       if (pp_sweeps > 0) fit = std::max(pp_fit, fit_floor);
     }
 
-    if (total_sweeps >= options.max_sweeps) break;
+    if (aborted || total_sweeps >= options.max_sweeps) break;
 
     // ---- Regular sweep (line 19) ------------------------------------
     prev_sweep = factors;
@@ -132,10 +164,7 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
     for (int i = 0; i < n; ++i) {
       la::Matrix gamma = gamma_chain(grams, i, &profile);
       la::Matrix m = engine->mttkrp(i);
-      factors[static_cast<std::size_t>(i)] = update_factor(gamma, m, &profile);
-      engine->notify_update(i);
-      grams[static_cast<std::size_t>(i)] =
-          la::gram(factors[static_cast<std::size_t>(i)], &profile);
+      update_mode(i, gamma, m);
       if (i == n - 1) {
         gamma_last = std::move(gamma);
         m_last = std::move(m);
@@ -149,8 +178,9 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
         t_sq, gamma_last, grams[static_cast<std::size_t>(n - 1)], m_last,
         factors[static_cast<std::size_t>(n - 1)]);
     fit = fitness_from_residual(result.residual);
-    if (options.record_history)
-      result.history.push_back({timer.seconds(), fit, "als"});
+    const SweepRecord rec{timer.seconds(), fit, regular_phase};
+    if (options.record_history) result.history.push_back(rec);
+    if (!sweep_hook(rec)) break;
   }
 
   // The loop may exit mid-PP-phase (max_sweeps); the stored residual would
@@ -170,5 +200,7 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
   result.profile = profile;
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace parpp::core

@@ -26,5 +26,30 @@ struct PpOptions {
 [[nodiscard]] CpResult pp_cp_als(const tensor::DenseTensor& t,
                                  const CpOptions& options,
                                  const PpOptions& pp_options = {});
+[[nodiscard]] CpResult pp_cp_als(const tensor::DenseTensor& t,
+                                 const CpOptions& options,
+                                 const PpOptions& pp_options,
+                                 const DriverHooks& hooks);
+
+namespace detail {
+
+/// One factor update inside the shared Algorithm-2 loop: overwrite `a`
+/// given Γ and the (exact or PP-approximated) MTTKRP `m`.
+using FactorUpdate = std::function<void(
+    la::Matrix& a, const la::Matrix& gamma, const la::Matrix& m,
+    Profile& profile)>;
+
+/// The Algorithm-2 driver core shared by pp_cp_als and pp_nncp_hals: the
+/// PP-phase trigger, divergence guard, stopping comparison and final exact
+/// residual are identical for both; only the factor update differs.
+/// `regular_phase` labels the exact sweeps in the history ("als"/"nncp").
+[[nodiscard]] CpResult run_pp_driver(const tensor::DenseTensor& t,
+                                     const CpOptions& options,
+                                     const PpOptions& pp_options,
+                                     const DriverHooks& hooks,
+                                     const FactorUpdate& update,
+                                     const char* regular_phase);
+
+}  // namespace detail
 
 }  // namespace parpp::core

@@ -1,0 +1,30 @@
+#include "parpp/core/pp_nncp.hpp"
+
+namespace parpp::core {
+
+CpResult pp_nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
+                      const PpOptions& pp_options,
+                      const NncpOptions& nn_options) {
+  return pp_nncp_hals(t, options, pp_options, nn_options, DriverHooks{});
+}
+
+CpResult pp_nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
+                      const PpOptions& pp_options,
+                      const NncpOptions& nn_options,
+                      const DriverHooks& hooks) {
+  PARPP_CHECK(nn_options.inner_iterations >= 1,
+              "pp_nncp_hals: need at least one inner iteration");
+  // The shared Algorithm-2 loop with the projected HALS passes substituted
+  // for the normal-equations solve; the PP machinery is untouched because
+  // it only produces the (approximated) MTTKRP the update consumes.
+  return detail::run_pp_driver(
+      t, options, pp_options, hooks,
+      [&nn_options](la::Matrix& a, const la::Matrix& gamma,
+                    const la::Matrix& m, Profile& profile) {
+        for (int pass = 0; pass < nn_options.inner_iterations; ++pass)
+          hals_update(a, m, gamma, nn_options.epsilon, profile);
+      },
+      "nncp");
+}
+
+}  // namespace parpp::core

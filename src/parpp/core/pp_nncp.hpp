@@ -1,0 +1,32 @@
+// PP-accelerated nonnegative HALS (new method cell of the solver matrix).
+//
+// Pairwise perturbation (Algorithm 2) approximates the MTTKRP — it never
+// looks at how the factor update consumes it. HALS consumes exactly one
+// MTTKRP per mode per sweep, same as the ALS normal-equations solve, so the
+// PP machinery composes with the nonnegative update unchanged: regular HALS
+// sweeps run until the factors move slowly, then the PP operators take over
+// and the approximated ~M(n) feeds the HALS column passes. The projection
+// max(0, ·) keeps factors feasible regardless of the approximation error,
+// and the usual pp_tol / divergence guards bound that error exactly as in
+// the unconstrained driver.
+#pragma once
+
+#include "parpp/core/nncp.hpp"
+#include "parpp/core/pp_als.hpp"
+
+namespace parpp::core {
+
+/// Runs nonnegative CP (HALS) with PP-approximated sweeps once the factors
+/// settle. Counters split sweeps into regular (num_als_sweeps) and
+/// PP-init / PP-approx, as for pp_cp_als.
+[[nodiscard]] CpResult pp_nncp_hals(const tensor::DenseTensor& t,
+                                    const CpOptions& options,
+                                    const PpOptions& pp_options = {},
+                                    const NncpOptions& nn_options = {});
+[[nodiscard]] CpResult pp_nncp_hals(const tensor::DenseTensor& t,
+                                    const CpOptions& options,
+                                    const PpOptions& pp_options,
+                                    const NncpOptions& nn_options,
+                                    const DriverHooks& hooks);
+
+}  // namespace parpp::core

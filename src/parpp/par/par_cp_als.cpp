@@ -1,5 +1,6 @@
 #include "parpp/par/par_cp_als.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "parpp/core/fitness.hpp"
@@ -10,9 +11,37 @@
 
 namespace parpp::par {
 
+void hals_update_rows(la::Matrix& a, const la::Matrix& m,
+                      const la::Matrix& gamma, double eps_floor) {
+  const index_t s = a.rows(), r = a.cols();
+  ScopedProfile sp(Profile::thread_default(), Kernel::kSolve,
+                   2.0 * static_cast<double>(s) * r * r);
+  for (index_t j = 0; j < r; ++j) {
+    const double gjj = std::max(gamma(j, j), eps_floor);
+    for (index_t i = 0; i < s; ++i) {
+      double agij = 0.0;
+      const double* arow = a.row(i);
+      for (index_t k = 0; k < r; ++k) agij += arow[k] * gamma(k, j);
+      a(i, j) = std::max(a(i, j) + (m(i, j) - agij) / gjj, 0.0);
+    }
+  }
+}
+
+bool hooks_continue_collective(mpsim::Comm& comm,
+                               const core::DriverHooks& hooks,
+                               const core::SweepRecord& rec) {
+  if (!hooks.on_sweep) return true;
+  static const std::vector<la::Matrix> kNoFactors;
+  double stop = 0.0;
+  if (comm.rank() == 0 && !hooks.on_sweep(rec, kNoFactors)) stop = 1.0;
+  comm.allreduce_sum(&stop, 1);
+  return stop == 0.0;
+}
+
 ParCpContext::ParCpContext(mpsim::Comm& comm,
                            const tensor::DenseTensor& global_t,
-                           const ParOptions& options)
+                           const ParOptions& options,
+                           const std::vector<la::Matrix>* initial_factors)
     : comm_(comm),
       options_(options),
       n_(global_t.order()),
@@ -21,9 +50,12 @@ ParCpContext::ParCpContext(mpsim::Comm& comm,
       local_(dist::extract_local_block(global_t, dist_, grid_.coords())),
       fd_(grid_, dist_, options.base.rank) {
   // Deterministic global initialization so any grid reproduces the
-  // sequential run bit-for-bit (each rank generates the same matrices).
-  const auto global_factors = core::init_factors(
-      global_t.shape(), options_.base.rank, options_.base.seed);
+  // sequential run bit-for-bit (each rank generates — or, for a warm
+  // start, copies — the same matrices).
+  core::DriverHooks init_hooks;
+  init_hooks.initial_factors = initial_factors;
+  const auto global_factors = core::resolve_init_factors(
+      global_t.shape(), options_.base.rank, options_.base.seed, init_hooks);
   grams_.resize(static_cast<std::size_t>(n_));
   for (int m = 0; m < n_; ++m) {
     fd_.set_q_from_global(m, global_factors[static_cast<std::size_t>(m)]);
@@ -40,8 +72,30 @@ ParCpContext::ParCpContext(mpsim::Comm& comm,
   t_sq_ = sq;
 }
 
+void ParCpContext::enable_hals(double epsilon, int inner_iterations) {
+  PARPP_CHECK(inner_iterations >= 1,
+              "enable_hals: need at least one inner iteration");
+  hals_ = true;
+  hals_epsilon_ = epsilon;
+  hals_inner_ = inner_iterations;
+}
+
 void ParCpContext::solve_and_propagate(int mode, const la::Matrix& m_q,
                                        const la::Matrix& gamma) {
+  if (hals_) {
+    // Nonnegative update: the Q rows are independent given Γ and their
+    // MTTKRP rows, so the projected HALS passes need no communication
+    // beyond the Gram/slice propagation below.
+    la::Matrix& q = fd_.q(mode);
+    for (int pass = 0; pass < hals_inner_; ++pass)
+      hals_update_rows(q, m_q, gamma, hals_epsilon_);
+    la::Matrix s = la::gram(q);
+    comm_.allreduce_sum(s.data(), s.size());
+    grams_[static_cast<std::size_t>(mode)] = std::move(s);
+    fd_.gather_slice(mode);
+    engine_->notify_update(mode);
+    return;
+  }
   la::Matrix a_q;
   if (options_.solve == SolveMode::kDistributedRows) {
     a_q = core::update_factor(gamma, m_q);
@@ -123,6 +177,12 @@ std::vector<double> ParCpContext::global_sq_norms(
 
 ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
                      const ParOptions& options) {
+  return par_cp_als(global_t, nprocs, options, core::DriverHooks{});
+}
+
+ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
+                     const ParOptions& options,
+                     const core::DriverHooks& hooks) {
   ParResult result;
   std::vector<std::vector<Profile>> sweep_profiles(
       static_cast<std::size_t>(nprocs));
@@ -132,7 +192,7 @@ ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
   auto run_result = mpsim::run(
       nprocs,
       [&](mpsim::Comm& comm) {
-        ParCpContext ctx(comm, global_t, options);
+        ParCpContext ctx(comm, global_t, options, hooks.initial_factors);
         const int n = ctx.order();
         WallTimer timer;
         double fit = 0.0, fit_old = -1.0;
@@ -155,6 +215,9 @@ ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
             result.sweeps = sweep;
             result.num_als_sweeps = sweep;
           }
+          if (!hooks_continue_collective(comm, hooks,
+                                         {timer.seconds(), fit, "als"}))
+            break;
         }
         // Assemble global factors (collective) and let rank 0 keep them.
         std::vector<la::Matrix> assembled;

@@ -40,12 +40,37 @@ struct ParResult {
   int num_als_sweeps = 0, num_pp_init = 0, num_pp_approx = 0;
 };
 
-/// Per-rank state of Algorithm 3, shared by the plain, PLANC-style and PP
-/// parallel drivers. Constructed inside a rank body.
+/// Row-local HALS pass over the Q-distributed rows (see core::hals_update):
+/// columns sequentially (Gauss-Seidel), rows independent, no zero-column
+/// rescue (columns are only locally visible). Shared by the nonnegative
+/// parallel drivers.
+void hals_update_rows(la::Matrix& a, const la::Matrix& m,
+                      const la::Matrix& gamma, double eps_floor);
+
+/// Collective verdict of `hooks.on_sweep`: rank 0 evaluates the hook, the
+/// verdict is all-reduced so every rank agrees on continuing. A no-op — and
+/// no extra collective, preserving legacy communication costs — when the
+/// hook is absent. The factor view passed to the hook is empty (factors
+/// live distributed).
+[[nodiscard]] bool hooks_continue_collective(mpsim::Comm& comm,
+                                             const core::DriverHooks& hooks,
+                                             const core::SweepRecord& rec);
+
+/// Per-rank state of Algorithm 3, shared by the plain, PLANC-style, PP and
+/// nonnegative parallel drivers. Constructed inside a rank body.
 class ParCpContext {
  public:
+  /// `initial_factors`, when non-null, replaces the seeded deterministic
+  /// initialization with a (validated) global warm start; every rank keeps
+  /// its own block of the same matrices.
   ParCpContext(mpsim::Comm& comm, const tensor::DenseTensor& global_t,
-               const ParOptions& options);
+               const ParOptions& options,
+               const std::vector<la::Matrix>* initial_factors = nullptr);
+
+  /// Replaces the normal-equations solve in every subsequent factor update
+  /// (regular and PP-approximated) with `inner_iterations` row-local HALS
+  /// passes — the nonnegative CP update of PLANC.
+  void enable_hals(double epsilon, int inner_iterations);
 
   [[nodiscard]] int order() const { return n_; }
   [[nodiscard]] const mpsim::ProcessorGrid& grid() const { return grid_; }
@@ -90,6 +115,9 @@ class ParCpContext {
 
   mpsim::Comm& comm_;
   ParOptions options_;
+  bool hals_ = false;
+  double hals_epsilon_ = 1e-12;
+  int hals_inner_ = 1;
   int n_;
   mpsim::ProcessorGrid grid_;
   dist::BlockDist dist_;
@@ -104,5 +132,8 @@ class ParCpContext {
 /// Runs Algorithm 3 end to end on `nprocs` simulated ranks.
 [[nodiscard]] ParResult par_cp_als(const tensor::DenseTensor& global_t,
                                    int nprocs, const ParOptions& options);
+[[nodiscard]] ParResult par_cp_als(const tensor::DenseTensor& global_t,
+                                   int nprocs, const ParOptions& options,
+                                   const core::DriverHooks& hooks);
 
 }  // namespace parpp::par

@@ -10,31 +10,14 @@
 
 namespace parpp::par {
 
-namespace {
-
-/// Row-local HALS pass (see core/nncp.cpp): columns sequentially
-/// (Gauss-Seidel), rows independent — applies directly to the Q-distributed
-/// rows of Algorithm 3.
-void hals_update_rows(la::Matrix& a, const la::Matrix& m,
-                      const la::Matrix& gamma, double eps_floor) {
-  const index_t s = a.rows(), r = a.cols();
-  ScopedProfile sp(Profile::thread_default(), Kernel::kSolve,
-                   2.0 * static_cast<double>(s) * r * r);
-  for (index_t j = 0; j < r; ++j) {
-    const double gjj = std::max(gamma(j, j), eps_floor);
-    for (index_t i = 0; i < s; ++i) {
-      double agij = 0.0;
-      const double* arow = a.row(i);
-      for (index_t k = 0; k < r; ++k) agij += arow[k] * gamma(k, j);
-      a(i, j) = std::max(a(i, j) + (m(i, j) - agij) / gjj, 0.0);
-    }
-  }
-}
-
-}  // namespace
-
 ParResult par_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
                         const ParNncpOptions& options) {
+  return par_nncp_hals(global_t, nprocs, options, core::DriverHooks{});
+}
+
+ParResult par_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
+                        const ParNncpOptions& options,
+                        const core::DriverHooks& hooks) {
   ParResult result;
   const ParOptions& par = options.par;
 
@@ -45,7 +28,7 @@ ParResult par_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
       [&](mpsim::Comm& comm) {
         ParOptions local = par;
         local.local_engine = options.nn.engine;
-        ParCpContext ctx(comm, global_t, local);
+        ParCpContext ctx(comm, global_t, local, hooks.initial_factors);
         const int n = ctx.order();
         WallTimer timer;
         double fit = 0.0, fit_old = -1.0;
@@ -81,6 +64,9 @@ ParResult par_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
             if (par.base.record_history)
               result.history.push_back({timer.seconds(), fit, "nncp"});
           }
+          if (!hooks_continue_collective(comm, hooks,
+                                         {timer.seconds(), fit, "nncp"}))
+            break;
         }
         std::vector<la::Matrix> assembled;
         for (int m = 0; m < n; ++m) assembled.push_back(ctx.assemble_factor(m));

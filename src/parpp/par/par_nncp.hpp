@@ -21,5 +21,9 @@ struct ParNncpOptions {
 [[nodiscard]] ParResult par_nncp_hals(const tensor::DenseTensor& global_t,
                                       int nprocs,
                                       const ParNncpOptions& options);
+[[nodiscard]] ParResult par_nncp_hals(const tensor::DenseTensor& global_t,
+                                      int nprocs,
+                                      const ParNncpOptions& options,
+                                      const core::DriverHooks& hooks);
 
 }  // namespace parpp::par

@@ -144,24 +144,28 @@ bool all_below(const std::vector<double>& rel, double eps) {
   return true;
 }
 
-}  // namespace
-
-ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
-                        const ParPpOptions& options) {
+/// Shared Algorithm 2/4 loop: the factor update is the SPD solve when
+/// `nn` is null, the row-local HALS passes otherwise (parallel PP-NNCP).
+ParResult run_par_pp(const tensor::DenseTensor& global_t, int nprocs,
+                     const ParOptions& par_in, const core::PpOptions& pp_opt,
+                     const core::NncpOptions* nn,
+                     const core::DriverHooks& hooks) {
   ParResult result;
   std::vector<std::vector<Profile>> sweep_profiles(
       static_cast<std::size_t>(nprocs));
 
-  ParOptions par = options.par;
+  ParOptions par = par_in;
   if (par.local_engine == core::EngineKind::kNaive)
     par.local_engine = core::EngineKind::kMsdt;
+  const char* regular_phase = nn ? "nncp" : "als";
 
   mpsim::RunOptions ropt;
   ropt.threads_per_rank = par.threads_per_rank;
   auto run_result = mpsim::run(
       nprocs,
       [&](mpsim::Comm& comm) {
-        ParCpContext ctx(comm, global_t, par);
+        ParCpContext ctx(comm, global_t, par, hooks.initial_factors);
+        if (nn) ctx.enable_hals(nn->epsilon, nn->inner_iterations);
         const int n = ctx.order();
         LocalPp pp(comm, ctx);
         WallTimer timer;
@@ -197,10 +201,16 @@ ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
         double fit = 0.0, fit_old = -1.0;
         int total = 0;
         bool have_sweep = false;
-        while (total < par.base.max_sweeps &&
+        bool aborted = false;
+        auto sweep_hook = [&](const char* phase, double f) {
+          if (!hooks_continue_collective(comm, hooks,
+                                         {timer.seconds(), f, phase}))
+            aborted = true;
+          return !aborted;
+        };
+        while (!aborted && total < par.base.max_sweeps &&
                std::abs(fit - fit_old) > par.base.tol) {
-          if (have_sweep &&
-              all_below(sweep_changes(), options.pp.pp_tol)) {
+          if (have_sweep && all_below(sweep_changes(), pp_opt.pp_tol)) {
             // ---- PP phase -----------------------------------------
             const Profile before_init = Profile::thread_default();
             pp.build();
@@ -212,15 +222,16 @@ ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
               if (par.base.record_history)
                 result.history.push_back({timer.seconds(), fit, "pp-init"});
             }
+            if (!sweep_hook("pp-init", fit)) break;
             int pp_sweeps = 0;
             double pp_fit = fit, pp_fit_old = fit - 1.0;
             // Divergence guard — see the sequential driver.
             const double fit_floor =
                 fit - 10.0 * std::max(par.base.tol, 1e-6);
-            while (all_below(pp.relative_changes(), options.pp.pp_tol) &&
+            while (all_below(pp.relative_changes(), pp_opt.pp_tol) &&
                    std::abs(pp_fit - pp_fit_old) > par.base.tol &&
                    pp_fit >= fit_floor &&
-                   pp_sweeps < options.pp.max_pp_sweeps_per_phase &&
+                   pp_sweeps < pp_opt.max_pp_sweeps_per_phase &&
                    total < par.base.max_sweeps) {
               const Profile before = Profile::thread_default();
               pp.approx_sweep();
@@ -240,12 +251,13 @@ ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
                       {timer.seconds(), pp_fit, "pp-approx"});
                 }
               }
+              if (!sweep_hook("pp-approx", pp_fit)) break;
             }
             // Carry PP progress into the outer stopping comparison (see
             // the sequential driver).
             if (pp_sweeps > 0) fit = std::max(pp_fit, fit_floor);
           }
-          if (total >= par.base.max_sweeps) break;
+          if (aborted || total >= par.base.max_sweeps) break;
 
           // ---- Regular sweep ---------------------------------------
           for (int m = 0; m < n; ++m)
@@ -265,8 +277,9 @@ ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
             result.fitness = fit;
             result.sweeps = total;
             if (par.base.record_history)
-              result.history.push_back({timer.seconds(), fit, "als"});
+              result.history.push_back({timer.seconds(), fit, regular_phase});
           }
+          if (!sweep_hook(regular_phase, fit)) break;
         }
         // Final exact residual at the current factors (the loop may exit
         // mid-PP-phase, leaving the stored residual stale).
@@ -303,6 +316,27 @@ ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
   }
   result.comm_cost = run_result.max_cost();
   return result;
+}
+
+}  // namespace
+
+ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
+                        const ParPpOptions& options) {
+  return run_par_pp(global_t, nprocs, options.par, options.pp, nullptr, {});
+}
+
+ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
+                        const ParPpOptions& options,
+                        const core::DriverHooks& hooks) {
+  return run_par_pp(global_t, nprocs, options.par, options.pp, nullptr,
+                    hooks);
+}
+
+ParResult par_pp_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
+                           const ParPpNncpOptions& options,
+                           const core::DriverHooks& hooks) {
+  return run_par_pp(global_t, nprocs, options.par, options.pp, &options.nn,
+                    hooks);
 }
 
 PpKernelTimings time_pp_kernels(const tensor::DenseTensor& global_t,

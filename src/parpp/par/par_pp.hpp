@@ -9,6 +9,7 @@
 // (identical to Algorithm 3) and one small All-Reduce for dS(i).
 #pragma once
 
+#include "parpp/core/nncp.hpp"
 #include "parpp/core/pp_als.hpp"
 #include "parpp/par/par_cp_als.hpp"
 
@@ -24,6 +25,24 @@ struct ParPpOptions {
 [[nodiscard]] ParResult par_pp_cp_als(const tensor::DenseTensor& global_t,
                                       int nprocs,
                                       const ParPpOptions& options);
+[[nodiscard]] ParResult par_pp_cp_als(const tensor::DenseTensor& global_t,
+                                      int nprocs, const ParPpOptions& options,
+                                      const core::DriverHooks& hooks);
+
+struct ParPpNncpOptions {
+  ParOptions par;
+  core::PpOptions pp;
+  core::NncpOptions nn;
+};
+
+/// Parallel PP-accelerated nonnegative HALS: the Algorithm 4 loop with the
+/// row-local HALS update substituted for the SPD solve (see
+/// core::pp_nncp_hals for why the composition is exact to PP's usual
+/// guarantees). Identical collective pattern and costs to par_pp_cp_als.
+[[nodiscard]] ParResult par_pp_nncp_hals(const tensor::DenseTensor& global_t,
+                                         int nprocs,
+                                         const ParPpNncpOptions& options,
+                                         const core::DriverHooks& hooks = {});
 
 /// Benchmark hook: runs `sweeps` PP-approximated sweeps (after one build)
 /// regardless of the tolerance, returning per-sweep profiles and costs —

@@ -1,0 +1,148 @@
+#include "parpp/solver/registry.hpp"
+
+#include "parpp/core/pp_nncp.hpp"
+#include "parpp/mpsim/grid.hpp"
+#include "parpp/par/par_nncp.hpp"
+#include "parpp/par/par_pp.hpp"
+#include "parpp/solver/strings.hpp"
+
+namespace parpp::solver {
+
+core::CpOptions base_options(const SolverSpec& spec) {
+  core::CpOptions o;
+  o.rank = spec.rank;
+  o.max_sweeps = spec.stopping.max_sweeps;
+  o.tol = spec.stopping.fitness_tol;
+  o.seed = spec.seed;
+  o.engine = spec.engine;
+  o.engine_options = spec.engine_options;
+  o.record_history = spec.record_history;
+  return o;
+}
+
+par::ParOptions par_options(const SolverSpec& spec, int order) {
+  par::ParOptions p;
+  p.base = base_options(spec);
+  p.grid_dims = spec.execution.grid_dims.empty()
+                    ? mpsim::ProcessorGrid::balanced_dims(
+                          spec.execution.nprocs, order)
+                    : spec.execution.grid_dims;
+  p.local_engine = spec.engine;
+  p.engine_options = spec.engine_options;
+  p.solve = spec.execution.solve_mode;
+  p.threads_per_rank = spec.execution.threads_per_rank;
+  return p;
+}
+
+namespace {
+
+/// The PP methods need a tree engine (the operator build amortizes against
+/// its cache); kNaive is promoted to kMsdt for BOTH executions, mirroring
+/// what the parallel driver does internally, so the same spec resolves to
+/// the same engine regardless of the Execution axis.
+core::EngineKind pp_engine(const SolverSpec& spec) {
+  return spec.engine == core::EngineKind::kNaive ? core::EngineKind::kMsdt
+                                                 : spec.engine;
+}
+
+core::PpOptions pp_options(const SolverSpec& spec) {
+  core::PpOptions pp = spec.pp;
+  pp.regular_engine = pp_engine(spec);  // one engine axis for every method
+  return pp;
+}
+
+core::NncpOptions nncp_options(const SolverSpec& spec) {
+  core::NncpOptions nn = spec.nncp;
+  nn.engine = spec.engine;
+  return nn;
+}
+
+// --- sequential runners ---------------------------------------------------
+
+core::CpResult run_als(const tensor::DenseTensor& t, const SolverSpec& spec,
+                       const core::DriverHooks& hooks) {
+  return core::cp_als(t, base_options(spec), hooks);
+}
+
+core::CpResult run_pp(const tensor::DenseTensor& t, const SolverSpec& spec,
+                      const core::DriverHooks& hooks) {
+  return core::pp_cp_als(t, base_options(spec), pp_options(spec), hooks);
+}
+
+core::CpResult run_nncp(const tensor::DenseTensor& t, const SolverSpec& spec,
+                        const core::DriverHooks& hooks) {
+  return core::nncp_hals(t, base_options(spec), nncp_options(spec), hooks);
+}
+
+core::CpResult run_pp_nncp(const tensor::DenseTensor& t,
+                           const SolverSpec& spec,
+                           const core::DriverHooks& hooks) {
+  return core::pp_nncp_hals(t, base_options(spec), pp_options(spec),
+                            nncp_options(spec), hooks);
+}
+
+// --- parallel runners -----------------------------------------------------
+
+par::ParResult run_par_als(const tensor::DenseTensor& t,
+                           const SolverSpec& spec,
+                           const core::DriverHooks& hooks) {
+  return par::par_cp_als(t, spec.execution.nprocs,
+                         par_options(spec, t.order()), hooks);
+}
+
+par::ParResult run_par_pp(const tensor::DenseTensor& t,
+                          const SolverSpec& spec,
+                          const core::DriverHooks& hooks) {
+  par::ParPpOptions o;
+  o.par = par_options(spec, t.order());
+  o.par.local_engine = pp_engine(spec);
+  o.pp = pp_options(spec);
+  return par::par_pp_cp_als(t, spec.execution.nprocs, o, hooks);
+}
+
+par::ParResult run_par_nncp(const tensor::DenseTensor& t,
+                            const SolverSpec& spec,
+                            const core::DriverHooks& hooks) {
+  par::ParNncpOptions o;
+  o.par = par_options(spec, t.order());
+  o.nn = nncp_options(spec);
+  return par::par_nncp_hals(t, spec.execution.nprocs, o, hooks);
+}
+
+par::ParResult run_par_pp_nncp(const tensor::DenseTensor& t,
+                               const SolverSpec& spec,
+                               const core::DriverHooks& hooks) {
+  par::ParPpNncpOptions o;
+  o.par = par_options(spec, t.order());
+  o.par.local_engine = pp_engine(spec);
+  o.pp = pp_options(spec);
+  o.nn = nncp_options(spec);
+  return par::par_pp_nncp_hals(t, spec.execution.nprocs, o, hooks);
+}
+
+const std::vector<MethodEntry>& registry() {
+  static const std::vector<MethodEntry> entries{
+      {Method::kAls, to_string(Method::kAls), run_als, run_par_als},
+      {Method::kPp, to_string(Method::kPp), run_pp, run_par_pp},
+      {Method::kNncpHals, to_string(Method::kNncpHals), run_nncp,
+       run_par_nncp},
+      {Method::kPpNncp, to_string(Method::kPpNncp), run_pp_nncp,
+       run_par_pp_nncp},
+  };
+  return entries;
+}
+
+}  // namespace
+
+const MethodEntry& method_entry(Method method) {
+  for (const MethodEntry& e : registry()) {
+    if (e.method == method) return e;
+  }
+  PARPP_CHECK(false, "solve: unregistered method ",
+              static_cast<int>(method));
+  return registry().front();  // unreachable
+}
+
+const std::vector<MethodEntry>& registered_methods() { return registry(); }
+
+}  // namespace parpp::solver

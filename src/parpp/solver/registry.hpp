@@ -1,0 +1,39 @@
+// Method registry: dispatches a SolverSpec to the existing driver cores.
+//
+// Each Method owns one MethodEntry with a sequential and a parallel runner.
+// parpp::solve() looks the entry up and calls the runner matching the
+// Execution axis — adding a CP variant means registering one entry here,
+// not growing another free-function cross-product.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "parpp/solver/spec.hpp"
+
+namespace parpp::solver {
+
+struct MethodEntry {
+  Method method;
+  std::string_view name;
+  /// Runs the sequential driver core with the legacy options derived from
+  /// the spec plus the facade's hooks.
+  core::CpResult (*sequential)(const tensor::DenseTensor&, const SolverSpec&,
+                               const core::DriverHooks&);
+  /// Runs the simulated-parallel driver core on execution.nprocs ranks.
+  par::ParResult (*parallel)(const tensor::DenseTensor&, const SolverSpec&,
+                             const core::DriverHooks&);
+};
+
+/// The entry for `method`; throws parpp::error for an unregistered method.
+[[nodiscard]] const MethodEntry& method_entry(Method method);
+
+/// All registered methods, in enum order (CLI help, bench sweeps).
+[[nodiscard]] const std::vector<MethodEntry>& registered_methods();
+
+/// Legacy option structs derived from a spec — shared by the registry
+/// runners and exposed for tests that compare facade vs legacy drivers.
+[[nodiscard]] core::CpOptions base_options(const SolverSpec& spec);
+[[nodiscard]] par::ParOptions par_options(const SolverSpec& spec, int order);
+
+}  // namespace parpp::solver

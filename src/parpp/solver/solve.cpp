@@ -1,0 +1,123 @@
+#include "parpp/solver/solve.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "parpp/solver/registry.hpp"
+#include "parpp/util/timer.hpp"
+
+namespace parpp {
+
+namespace {
+
+using solver::SolveReport;
+using solver::SolverSpec;
+using solver::StopReason;
+
+SolveReport from_cp_result(core::CpResult&& r) {
+  SolveReport report;
+  report.factors = std::move(r.factors);
+  report.residual = r.residual;
+  report.fitness = r.fitness;
+  report.sweeps = r.sweeps;
+  report.history = std::move(r.history);
+  report.profile = r.profile;
+  report.num_als_sweeps = r.num_als_sweeps;
+  report.num_pp_init = r.num_pp_init;
+  report.num_pp_approx = r.num_pp_approx;
+  if (!report.history.empty() && report.sweeps > 0) {
+    report.mean_sweep_seconds =
+        report.history.back().seconds / static_cast<double>(report.sweeps);
+  }
+  return report;
+}
+
+SolveReport from_par_result(par::ParResult&& r) {
+  SolveReport report;
+  report.factors = std::move(r.factors);
+  report.residual = r.residual;
+  report.fitness = r.fitness;
+  report.sweeps = r.sweeps;
+  report.history = std::move(r.history);
+  report.num_als_sweeps = r.num_als_sweeps;
+  report.num_pp_init = r.num_pp_init;
+  report.num_pp_approx = r.num_pp_approx;
+  report.comm_cost = r.comm_cost;
+  report.mean_sweep_seconds = r.mean_sweep_seconds;
+  report.sweep_profiles = std::move(r.sweep_profiles);
+  // The parallel cores report per-sweep slices of the slowest rank;
+  // aggregate them so report.profile is populated for both executions.
+  for (const Profile& p : report.sweep_profiles) report.profile.accumulate(p);
+  return report;
+}
+
+}  // namespace
+
+solver::SolveReport solve(const tensor::DenseTensor& t,
+                          const solver::SolverSpec& spec) {
+  PARPP_CHECK(spec.rank >= 1, "solve: rank must be positive");
+  PARPP_CHECK(spec.execution.nprocs >= 1,
+              "solve: execution.nprocs must be >= 1");
+  PARPP_CHECK(spec.stopping.max_sweeps >= 1,
+              "solve: stopping.max_sweeps must be >= 1");
+
+  const solver::MethodEntry& entry = solver::method_entry(spec.method);
+
+  core::DriverHooks hooks;
+  if (!spec.initial_factors.empty())
+    hooks.initial_factors = &spec.initial_factors;
+
+  // One driver hook folds the facade-level stopping criteria and the
+  // observer; when none is active the drivers run their legacy path with
+  // zero callbacks (and, in parallel, zero extra collectives).
+  StopReason abort_reason = StopReason::kConverged;
+  bool aborted = false;
+  WallTimer budget_timer;
+  const bool needs_hook = spec.stopping.max_seconds > 0.0 ||
+                          static_cast<bool>(spec.stopping.predicate) ||
+                          static_cast<bool>(spec.observer);
+  if (needs_hook) {
+    hooks.on_sweep = [&](const core::SweepRecord& rec,
+                         const std::vector<la::Matrix>& factors) {
+      if (spec.stopping.max_seconds > 0.0 &&
+          budget_timer.seconds() >= spec.stopping.max_seconds) {
+        abort_reason = StopReason::kTimeBudget;
+        aborted = true;
+      } else if (spec.stopping.predicate && spec.stopping.predicate(rec)) {
+        abort_reason = StopReason::kPredicate;
+        aborted = true;
+      } else if (spec.observer &&
+                 spec.observer(rec, factors) ==
+                     solver::ObserverAction::kStop) {
+        abort_reason = StopReason::kObserver;
+        aborted = true;
+      }
+      return !aborted;
+    };
+  }
+
+  SolveReport report =
+      spec.execution.is_parallel()
+          ? from_par_result(entry.parallel(t, spec, hooks))
+          : from_cp_result(entry.sequential(t, spec, hooks));
+
+  if (aborted) {
+    report.stop_reason = abort_reason;
+  } else if (report.sweeps < spec.stopping.max_sweeps) {
+    report.stop_reason = StopReason::kConverged;
+  } else {
+    // The sweep budget was exhausted, but the run may have converged on
+    // exactly the final permitted sweep: the drivers' criterion compares
+    // the last two sweeps' fitness, which the history preserves.
+    const std::size_t h = report.history.size();
+    const bool converged_on_last =
+        spec.stopping.fitness_tol > 0.0 && h >= 2 &&
+        std::abs(report.history[h - 1].fitness -
+                 report.history[h - 2].fitness) < spec.stopping.fitness_tol;
+    report.stop_reason = converged_on_last ? StopReason::kConverged
+                                           : StopReason::kMaxSweeps;
+  }
+  return report;
+}
+
+}  // namespace parpp

@@ -1,0 +1,24 @@
+// parpp::solve() — the single front door for every CP decomposition.
+//
+//   solver::SolverSpec spec;
+//   spec.method = solver::Method::kPp;
+//   spec.rank = 32;
+//   auto report = parpp::solve(tensor, spec);
+//
+// Composes method x execution x engine with pluggable stopping, warm start
+// and per-sweep observation; see spec.hpp for the axes and registry.hpp for
+// how methods plug in. The legacy free functions (core::cp_als,
+// core::pp_cp_als, core::nncp_hals, par::par_cp_als, par::par_pp_cp_als,
+// par::par_nncp_hals) remain as thin shims over the same driver cores.
+#pragma once
+
+#include "parpp/solver/spec.hpp"
+
+namespace parpp {
+
+/// Runs the solve described by `spec` on `t`. Throws parpp::error on an
+/// invalid spec (bad rank, warm-start shape mismatch, bad grid).
+[[nodiscard]] solver::SolveReport solve(const tensor::DenseTensor& t,
+                                        const solver::SolverSpec& spec);
+
+}  // namespace parpp

@@ -1,0 +1,146 @@
+// SolverSpec / SolveReport — the one composable description of a CP solve.
+//
+// The paper's observation is that every CP variant — plain ALS (Alg. 1),
+// pairwise perturbation (Alg. 2/4) and the nonnegative HALS the PLANC
+// baseline runs — shares the same MTTKRP bottleneck. The spec below makes
+// the variants composable instead of multiplicative: `Method` picks the
+// update rule, `Execution` picks sequential vs the simulated
+// message-passing runtime, `engine` picks the MTTKRP amortization, and
+// stopping / warm start / observation are orthogonal to all three. Every
+// cell of the method × execution matrix runs through parpp::solve(),
+// including PP × NNCP, which no legacy entry point offered.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "parpp/core/cp_als.hpp"
+#include "parpp/core/nncp.hpp"
+#include "parpp/core/pp_als.hpp"
+#include "parpp/mpsim/cost.hpp"
+#include "parpp/par/par_cp_als.hpp"
+
+namespace parpp::solver {
+
+/// The factor-update rule (one axis of the solver matrix).
+enum class Method {
+  kAls,       ///< CP-ALS, normal-equations solve (Algorithm 1 / 3)
+  kPp,        ///< pairwise-perturbation-accelerated ALS (Algorithm 2 / 4)
+  kNncpHals,  ///< nonnegative CP via HALS column updates
+  kPpNncp,    ///< PP-accelerated nonnegative HALS (new: PP × NNCP)
+};
+
+/// Where the sweeps run. nprocs <= 1 is the sequential driver; nprocs > 1
+/// runs the simulated message-passing runtime (Algorithm 3/4) with one
+/// thread-rank per processor.
+struct Execution {
+  int nprocs = 1;
+  /// Processor grid; empty picks mpsim::ProcessorGrid::balanced_dims.
+  std::vector<int> grid_dims = {};
+  /// How the R x R normal equations are solved on the grid (ignored by the
+  /// HALS methods, whose update is row-local).
+  par::SolveMode solve_mode = par::SolveMode::kDistributedRows;
+  int threads_per_rank = 1;
+
+  [[nodiscard]] bool is_parallel() const { return nprocs > 1; }
+
+  [[nodiscard]] static Execution sequential() { return {}; }
+  [[nodiscard]] static Execution simulated_parallel(
+      int nprocs, std::vector<int> grid_dims = {},
+      par::SolveMode solve_mode = par::SolveMode::kDistributedRows,
+      int threads_per_rank = 1) {
+    Execution e;
+    e.nprocs = nprocs;
+    e.grid_dims = std::move(grid_dims);
+    e.solve_mode = solve_mode;
+    e.threads_per_rank = threads_per_rank;
+    return e;
+  }
+};
+
+/// Composable stopping criteria; the run stops at the first one that fires.
+struct StoppingRule {
+  int max_sweeps = 300;
+  /// Stop when |fitness(t) - fitness(t-1)| < tol (the paper's criterion).
+  double fitness_tol = 1e-5;
+  /// Wall-clock budget in seconds; <= 0 means unlimited.
+  double max_seconds = 0.0;
+  /// Arbitrary user criterion, checked once per sweep; true stops the run.
+  std::function<bool(const core::SweepRecord&)> predicate = {};
+};
+
+/// Why a solve returned.
+enum class StopReason {
+  kConverged,   ///< fitness delta fell below fitness_tol
+  kMaxSweeps,   ///< sweep budget exhausted
+  kTimeBudget,  ///< wall-clock budget exhausted
+  kPredicate,   ///< StoppingRule::predicate fired
+  kObserver,    ///< the observer requested a stop
+};
+
+enum class ObserverAction { kContinue, kStop };
+
+/// Per-sweep callback: receives the record just produced and a view of the
+/// current factors (empty for simulated-parallel runs, whose factors live
+/// distributed until the run assembles them). Subsumes record_history for
+/// streaming progress and enables early abort.
+using Observer = std::function<ObserverAction(
+    const core::SweepRecord&, const std::vector<la::Matrix>&)>;
+
+/// Everything parpp::solve() needs. The defaults run sequential MSDT ALS
+/// with the paper's stopping rule on a cold start.
+struct SolverSpec {
+  Method method = Method::kAls;
+  index_t rank = 16;
+  std::uint64_t seed = 42;
+
+  /// MTTKRP engine for the regular sweeps — one engine axis for every
+  /// method (overrides PpOptions::regular_engine / NncpOptions::engine).
+  /// The PP methods need a tree engine for their operator-build
+  /// amortization, so kNaive is promoted to kMsdt for them, identically in
+  /// sequential and parallel execution.
+  core::EngineKind engine = core::EngineKind::kMsdt;
+  core::EngineOptions engine_options = {};
+
+  Execution execution = {};
+  StoppingRule stopping = {};
+
+  /// PP knobs; used by kPp and kPpNncp (regular_engine is overridden by
+  /// `engine` above).
+  core::PpOptions pp = {};
+  /// HALS knobs; used by kNncpHals and kPpNncp (engine is overridden by
+  /// `engine` above).
+  core::NncpOptions nncp = {};
+
+  /// Warm start: when non-empty, used instead of the seeded initialization
+  /// (one matrix per mode, extent x rank). Enables rank continuation and
+  /// restart scenarios; pair with the factors of a previous SolveReport.
+  std::vector<la::Matrix> initial_factors = {};
+
+  bool record_history = true;
+  Observer observer = {};
+};
+
+/// Result of a solve; the union of what the sequential and parallel driver
+/// cores report (parallel-only fields stay default for sequential runs).
+struct SolveReport {
+  std::vector<la::Matrix> factors;
+  double residual = 1.0;
+  double fitness = 0.0;
+  int sweeps = 0;  ///< total sweeps of any kind
+  StopReason stop_reason = StopReason::kConverged;
+  std::vector<core::SweepRecord> history;
+  Profile profile;
+
+  // Sweep counts by kind (PP statistics zero for the plain methods).
+  int num_als_sweeps = 0;
+  int num_pp_init = 0;
+  int num_pp_approx = 0;
+
+  // Simulated-parallel extras.
+  mpsim::CostCounter comm_cost;
+  double mean_sweep_seconds = 0.0;
+  std::vector<Profile> sweep_profiles;
+};
+
+}  // namespace parpp::solver

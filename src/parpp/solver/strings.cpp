@@ -1,0 +1,82 @@
+#include "parpp/solver/strings.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace parpp::solver {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(Method method) {
+  switch (method) {
+    case Method::kAls: return "als";
+    case Method::kPp: return "pp";
+    case Method::kNncpHals: return "nncp";
+    case Method::kPpNncp: return "pp-nncp";
+  }
+  return "?";
+}
+
+std::string_view to_string(core::EngineKind kind) {
+  switch (kind) {
+    case core::EngineKind::kNaive: return "naive";
+    case core::EngineKind::kDt: return "dt";
+    case core::EngineKind::kMsdt: return "msdt";
+  }
+  return "?";
+}
+
+std::string_view to_string(par::SolveMode mode) {
+  switch (mode) {
+    case par::SolveMode::kDistributedRows: return "distributed-rows";
+    case par::SolveMode::kReplicatedSequential: return "replicated-sequential";
+  }
+  return "?";
+}
+
+std::string_view to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged: return "converged";
+    case StopReason::kMaxSweeps: return "max-sweeps";
+    case StopReason::kTimeBudget: return "time-budget";
+    case StopReason::kPredicate: return "predicate";
+    case StopReason::kObserver: return "observer";
+  }
+  return "?";
+}
+
+std::optional<Method> method_from_string(std::string_view s) {
+  const std::string t = lower(s);
+  if (t == "als") return Method::kAls;
+  if (t == "pp") return Method::kPp;
+  if (t == "nncp") return Method::kNncpHals;
+  if (t == "pp-nncp") return Method::kPpNncp;
+  return std::nullopt;
+}
+
+std::optional<core::EngineKind> engine_from_string(std::string_view s) {
+  const std::string t = lower(s);
+  if (t == "naive") return core::EngineKind::kNaive;
+  if (t == "dt") return core::EngineKind::kDt;
+  if (t == "msdt") return core::EngineKind::kMsdt;
+  return std::nullopt;
+}
+
+std::optional<par::SolveMode> solve_mode_from_string(std::string_view s) {
+  const std::string t = lower(s);
+  if (t == "distributed-rows") return par::SolveMode::kDistributedRows;
+  if (t == "replicated-sequential")
+    return par::SolveMode::kReplicatedSequential;
+  return std::nullopt;
+}
+
+}  // namespace parpp::solver

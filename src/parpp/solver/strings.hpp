@@ -1,0 +1,29 @@
+// Canonical string forms of the solver-axis enums — single source of truth
+// for CLI flag parsing and bench JSON emission.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "parpp/solver/spec.hpp"
+
+namespace parpp::solver {
+
+/// Canonical lowercase tokens: "als" | "pp" | "nncp" | "pp-nncp".
+[[nodiscard]] std::string_view to_string(Method method);
+/// "naive" | "dt" | "msdt" — the parse/emit tokens (CLI flags, bench JSON).
+/// core::engine_kind_name stays the human-facing display form.
+[[nodiscard]] std::string_view to_string(core::EngineKind kind);
+/// "distributed-rows" | "replicated-sequential".
+[[nodiscard]] std::string_view to_string(par::SolveMode mode);
+/// "converged" | "max-sweeps" | "time-budget" | "predicate" | "observer".
+[[nodiscard]] std::string_view to_string(StopReason reason);
+
+/// Case-insensitive parses of the tokens above; nullopt on unknown input.
+[[nodiscard]] std::optional<Method> method_from_string(std::string_view s);
+[[nodiscard]] std::optional<core::EngineKind> engine_from_string(
+    std::string_view s);
+[[nodiscard]] std::optional<par::SolveMode> solve_mode_from_string(
+    std::string_view s);
+
+}  // namespace parpp::solver

@@ -1,27 +1,24 @@
 // parpp_cli — command-line front end for the parpp library.
 //
 // Decomposes a built-in synthetic dataset (or a tensor file written with
-// parpp::io) using any engine/driver combination, optionally in parallel
-// on the simulated runtime, and can save the resulting factors.
+// parpp::io) through the parpp::solve() facade: any method (als, pp, nncp,
+// pp-nncp) x any engine x sequential or simulated-parallel execution.
 //
 //   parpp_cli --dataset lowrank --size 64 --rank 16 --engine msdt
 //   parpp_cli --dataset chem --rank 32 --pp --save factors.bin
 //   parpp_cli --dataset collinear --procs 8 --engine dt
 //   parpp_cli --load tensor.bin --rank 8 --nonneg
+//   parpp_cli --dataset timelapse --pp --nonneg          # PP x NNCP
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "parpp/core/cp_als.hpp"
-#include "parpp/core/nncp.hpp"
 #include "parpp/core/normalize.hpp"
-#include "parpp/core/pp_als.hpp"
 #include "parpp/data/chemistry.hpp"
 #include "parpp/data/coil.hpp"
 #include "parpp/data/collinearity.hpp"
 #include "parpp/data/hyperspectral.hpp"
-#include "parpp/mpsim/grid.hpp"
-#include "parpp/par/par_pp.hpp"
+#include "parpp/solver/solver.hpp"
 #include "parpp/tensor/reconstruct.hpp"
 #include "parpp/util/serialize.hpp"
 #include "parpp/util/timer.hpp"
@@ -35,12 +32,14 @@ struct Cli {
   std::string load_path;
   std::string save_path;
   std::string engine = "msdt";
+  std::string method;  ///< empty: derived from --pp / --nonneg
   index_t size = 64;
   index_t rank = 16;
   int procs = 1;
   int max_sweeps = 200;
   double tol = 1e-6;
   double pp_tol = 0.1;
+  double max_seconds = 0.0;
   std::uint64_t seed = 42;
   bool pp = false;
   bool nonneg = false;
@@ -62,12 +61,14 @@ Cli parse(int argc, char** argv) {
     else if (flag == "--load") cli.load_path = next();
     else if (flag == "--save") cli.save_path = next();
     else if (flag == "--engine") cli.engine = next();
+    else if (flag == "--method") cli.method = next();
     else if (flag == "--size") cli.size = std::atol(next());
     else if (flag == "--rank") cli.rank = std::atol(next());
     else if (flag == "--procs") cli.procs = std::atoi(next());
     else if (flag == "--max-sweeps") cli.max_sweeps = std::atoi(next());
     else if (flag == "--tol") cli.tol = std::atof(next());
     else if (flag == "--pp-tol") cli.pp_tol = std::atof(next());
+    else if (flag == "--max-seconds") cli.max_seconds = std::atof(next());
     else if (flag == "--seed") cli.seed = std::strtoull(next(), nullptr, 10);
     else if (flag == "--pp") cli.pp = true;
     else if (flag == "--nonneg") cli.nonneg = true;
@@ -88,14 +89,17 @@ void usage() {
       "timelapse (default lowrank)\n"
       "  --load FILE     read a tensor written with parpp::io instead\n"
       "  --save FILE     write the resulting factors (parpp::io format)\n"
+      "  --method M      als | pp | nncp | pp-nncp (default als; --pp and\n"
+      "                  --nonneg compose to the same four methods)\n"
       "  --engine E      naive | dt | msdt (default msdt)\n"
       "  --size S        synthetic mode size (default 64)\n"
       "  --rank R        CP rank (default 16)\n"
       "  --procs P       simulated ranks; P > 1 runs Algorithm 3/4\n"
       "  --pp            use the pairwise-perturbation driver\n"
-      "  --nonneg        nonnegative CP via HALS (sequential only)\n"
+      "  --nonneg        nonnegative CP via HALS\n"
       "  --max-sweeps N  (default 200)   --tol T (default 1e-6)\n"
       "  --pp-tol E      PP tolerance epsilon (default 0.1)\n"
+      "  --max-seconds S wall-clock budget, 0 = unlimited (default 0)\n"
       "  --seed N        RNG seed (default 42)\n");
 }
 
@@ -141,12 +145,25 @@ tensor::DenseTensor make_dataset(const Cli& cli) {
   std::exit(2);
 }
 
-core::EngineKind engine_of(const std::string& name) {
-  if (name == "naive") return core::EngineKind::kNaive;
-  if (name == "dt") return core::EngineKind::kDt;
-  if (name == "msdt") return core::EngineKind::kMsdt;
-  std::fprintf(stderr, "unknown engine %s\n", name.c_str());
-  std::exit(2);
+solver::Method method_of(const Cli& cli) {
+  if (!cli.method.empty()) {
+    if (cli.pp || cli.nonneg) {
+      std::fprintf(stderr,
+                   "--method cannot be combined with --pp/--nonneg (pick "
+                   "one way to select the method)\n");
+      std::exit(2);
+    }
+    const auto m = solver::method_from_string(cli.method);
+    if (!m) {
+      std::fprintf(stderr, "unknown method %s\n", cli.method.c_str());
+      std::exit(2);
+    }
+    return *m;
+  }
+  if (cli.pp && cli.nonneg) return solver::Method::kPpNncp;
+  if (cli.pp) return solver::Method::kPp;
+  if (cli.nonneg) return solver::Method::kNncpHals;
+  return solver::Method::kAls;
 }
 
 }  // namespace
@@ -158,71 +175,56 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Validate flag combinations before the (possibly expensive) dataset.
+  const solver::Method method = method_of(cli);
+  const auto engine = solver::engine_from_string(cli.engine);
+  if (!engine) {
+    std::fprintf(stderr, "unknown engine %s\n", cli.engine.c_str());
+    return 2;
+  }
+
   const tensor::DenseTensor t = make_dataset(cli);
   std::printf("tensor:");
   for (index_t e : t.shape()) std::printf(" %lld", static_cast<long long>(e));
   std::printf("  |T| = %.4e\n", t.frobenius_norm());
 
-  core::CpOptions opt;
-  opt.rank = cli.rank;
-  opt.max_sweeps = cli.max_sweeps;
-  opt.tol = cli.tol;
-  opt.seed = cli.seed;
-  opt.engine = engine_of(cli.engine);
+  solver::SolverSpec spec;
+  spec.method = method;
+  spec.engine = *engine;
+  spec.rank = cli.rank;
+  spec.seed = cli.seed;
+  spec.stopping.max_sweeps = cli.max_sweeps;
+  spec.stopping.fitness_tol = cli.tol;
+  spec.stopping.max_seconds = cli.max_seconds;
+  spec.pp.pp_tol = cli.pp_tol;
+  if (cli.procs > 1)
+    spec.execution = solver::Execution::simulated_parallel(cli.procs);
+
+  std::printf("method %s, engine %s, %s\n",
+              std::string(solver::to_string(spec.method)).c_str(),
+              std::string(solver::to_string(spec.engine)).c_str(),
+              cli.procs > 1 ? "simulated-parallel" : "sequential");
 
   WallTimer timer;
-  std::vector<la::Matrix> factors;
-  double fitness = 0.0;
-  int sweeps = 0;
+  solver::SolveReport report = parpp::solve(t, spec);
 
-  if (cli.procs > 1) {
-    par::ParOptions popt;
-    popt.base = opt;
-    popt.local_engine = opt.engine;
-    popt.grid_dims =
-        mpsim::ProcessorGrid::balanced_dims(cli.procs, t.order());
-    par::ParResult r;
-    if (cli.pp) {
-      par::ParPpOptions ppopt;
-      ppopt.par = popt;
-      ppopt.pp.pp_tol = cli.pp_tol;
-      r = par::par_pp_cp_als(t, cli.procs, ppopt);
-    } else {
-      r = par::par_cp_als(t, cli.procs, popt);
-    }
-    factors = std::move(r.factors);
-    fitness = r.fitness;
-    sweeps = r.sweeps;
-    std::printf("parallel run on %d ranks (grid", cli.procs);
-    for (int d : popt.grid_dims) std::printf(" %d", d);
-    std::printf("): comm %.0f msgs, %.3e words per rank\n",
-                r.comm_cost.total().messages,
-                r.comm_cost.total().words_horizontal);
-  } else if (cli.nonneg) {
-    const auto r = core::nncp_hals(t, opt);
-    factors = std::move(r.factors);
-    fitness = r.fitness;
-    sweeps = r.sweeps;
-  } else if (cli.pp) {
-    core::PpOptions pp;
-    pp.pp_tol = cli.pp_tol;
-    const auto r = core::pp_cp_als(t, opt, pp);
-    factors = std::move(r.factors);
-    fitness = r.fitness;
-    sweeps = r.sweeps;
-    std::printf("sweeps: %d ALS + %d PP-init + %d PP-approx\n",
-                r.num_als_sweeps, r.num_pp_init, r.num_pp_approx);
-  } else {
-    auto r = core::cp_als(t, opt);
-    factors = std::move(r.factors);
-    fitness = r.fitness;
-    sweeps = r.sweeps;
+  if (spec.execution.is_parallel()) {
+    std::printf("parallel run on %d ranks: comm %.0f msgs, %.3e words per "
+                "rank\n",
+                cli.procs, report.comm_cost.total().messages,
+                report.comm_cost.total().words_horizontal);
   }
-
-  std::printf("fitness %.8f after %d sweeps in %.3fs\n", fitness, sweeps,
-              timer.seconds());
+  if (report.num_pp_init > 0 || report.num_pp_approx > 0) {
+    std::printf("sweeps: %d regular + %d PP-init + %d PP-approx\n",
+                report.num_als_sweeps, report.num_pp_init,
+                report.num_pp_approx);
+  }
+  std::printf("fitness %.8f after %d sweeps in %.3fs (stop: %s)\n",
+              report.fitness, report.sweeps, timer.seconds(),
+              std::string(solver::to_string(report.stop_reason)).c_str());
 
   if (!cli.save_path.empty()) {
+    auto factors = std::move(report.factors);
     const auto lambda = core::normalize_columns(factors);
     core::absorb_weights(factors, lambda, 0);
     io::save_factors_file(cli.save_path, factors);
