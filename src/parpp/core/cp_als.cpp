@@ -5,6 +5,7 @@
 #include "parpp/core/fitness.hpp"
 #include "parpp/core/gram.hpp"
 #include "parpp/core/solve_update.hpp"
+#include "parpp/core/sparse_engine.hpp"
 #include "parpp/la/gemm.hpp"
 #include "parpp/util/timer.hpp"
 
@@ -40,26 +41,36 @@ std::vector<la::Matrix> resolve_init_factors(const std::vector<index_t>& shape,
 }
 
 CpResult cp_als(const tensor::DenseTensor& t, const CpOptions& options) {
-  return cp_als(t, options, DriverHooks{});
+  return cp_als(make_problem(t), options, DriverHooks{});
 }
 
 CpResult cp_als(const tensor::DenseTensor& t, const CpOptions& options,
                 const DriverHooks& hooks) {
-  const int n = t.order();
+  return cp_als(make_problem(t), options, hooks);
+}
+
+CpResult cp_als(const tensor::CsfTensor& t, const CpOptions& options,
+                const DriverHooks& hooks) {
+  return cp_als(make_problem(t), options, hooks);
+}
+
+CpResult cp_als(const TensorProblem& problem, const CpOptions& options,
+                const DriverHooks& hooks) {
+  const int n = problem.order();
   PARPP_CHECK(n >= 2, "cp_als: tensor order must be >= 2");
   PARPP_CHECK(options.rank >= 1, "cp_als: rank must be positive");
 
   CpResult result;
   Profile profile;
   result.factors =
-      resolve_init_factors(t.shape(), options.rank, options.seed, hooks);
+      resolve_init_factors(problem.shape, options.rank, options.seed, hooks);
   auto& factors = result.factors;
   std::vector<la::Matrix> grams = all_grams(factors, &profile);
 
-  auto engine =
-      make_engine(options.engine, t, factors, &profile, options.engine_options);
+  auto engine = problem.make_engine(options.engine, factors, &profile,
+                                    options.engine_options);
 
-  const double t_sq = t.squared_norm();
+  const double t_sq = problem.squared_norm;
   WallTimer timer;
   double fit = 0.0, fit_old = -1.0;
   int sweep = 0;

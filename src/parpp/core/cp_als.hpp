@@ -74,11 +74,21 @@ struct DriverHooks {
     const DriverHooks& hooks);
 
 /// Runs CP-ALS with the selected MTTKRP engine until the fitness change
-/// falls below `tol` or `max_sweeps` is reached.
+/// falls below `tol` or `max_sweeps` is reached. The storage-agnostic
+/// TensorProblem overload is the driver core; the DenseTensor and CsfTensor
+/// overloads are adapters over core::make_problem, so dense and sparse
+/// storage run the identical sweep (including the Eq. (3) residual, which
+/// reuses the last MTTKRP and never reconstructs the tensor).
+[[nodiscard]] CpResult cp_als(const TensorProblem& problem,
+                              const CpOptions& options,
+                              const DriverHooks& hooks = {});
 [[nodiscard]] CpResult cp_als(const tensor::DenseTensor& t,
                               const CpOptions& options);
 [[nodiscard]] CpResult cp_als(const tensor::DenseTensor& t,
                               const CpOptions& options,
                               const DriverHooks& hooks);
+[[nodiscard]] CpResult cp_als(const tensor::CsfTensor& t,
+                              const CpOptions& options,
+                              const DriverHooks& hooks = {});
 
 }  // namespace parpp::core

@@ -15,6 +15,7 @@ const char* engine_kind_name(EngineKind kind) {
     case EngineKind::kNaive: return "naive";
     case EngineKind::kDt: return "DT";
     case EngineKind::kMsdt: return "MSDT";
+    case EngineKind::kSparse: return "sparse";
   }
   return "?";
 }
@@ -322,9 +323,24 @@ std::unique_ptr<MttkrpEngine> make_engine(EngineKind kind,
       return std::make_unique<DtEngine>(t, factors, profile, options);
     case EngineKind::kMsdt:
       return std::make_unique<MsdtEngine>(t, factors, profile, options);
+    case EngineKind::kSparse:
+      PARPP_CHECK(false,
+                  "make_engine: the sparse engine needs CSF storage — build "
+                  "a tensor::CsfTensor and use the sparse_engine.hpp overload");
   }
   PARPP_CHECK(false, "make_engine: unknown kind");
   return nullptr;
+}
+
+TensorProblem make_problem(const tensor::DenseTensor& t) {
+  TensorProblem p;
+  p.shape = t.shape();
+  p.squared_norm = t.squared_norm();
+  p.make_engine = [&t](EngineKind kind, const std::vector<la::Matrix>& factors,
+                       Profile* profile, const EngineOptions& options) {
+    return make_engine(kind, t, factors, profile, options);
+  };
+  return p;
 }
 
 }  // namespace parpp::core

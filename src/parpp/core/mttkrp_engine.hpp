@@ -8,6 +8,7 @@
 // claimed flop savings simply rely on the standard sweep order.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -15,6 +16,10 @@
 #include "parpp/la/matrix.hpp"
 #include "parpp/tensor/dense_tensor.hpp"
 #include "parpp/util/profile.hpp"
+
+namespace parpp::tensor {
+class CsfTensor;
+}
 
 namespace parpp::core {
 
@@ -37,9 +42,10 @@ class MttkrpEngine {
 };
 
 enum class EngineKind {
-  kNaive,  ///< KRP + GEMM per mode; no amortization (reference)
-  kDt,     ///< standard binary dimension tree (Sec. II-C)
-  kMsdt,   ///< multi-sweep dimension tree (Sec. III)
+  kNaive,   ///< fused MTTKRP per mode; no amortization (reference)
+  kDt,      ///< standard binary dimension tree (Sec. II-C)
+  kMsdt,    ///< multi-sweep dimension tree (Sec. III)
+  kSparse,  ///< CSF fiber-tree walk; requires sparse (CsfTensor) storage
 };
 
 /// Human-facing display name ("naive"/"DT"/"MSDT") for logs and reports.
@@ -68,9 +74,34 @@ struct EngineOptions {
 
 /// Creates an engine bound to `t` and `factors`; both must outlive the
 /// engine. `profile` may be null (thread-default profile is charged).
+/// kSparse is rejected here — it needs CSF storage (see sparse_engine.hpp
+/// for the CsfTensor overload).
 [[nodiscard]] std::unique_ptr<MttkrpEngine> make_engine(
     EngineKind kind, const tensor::DenseTensor& t,
     const std::vector<la::Matrix>& factors, Profile* profile = nullptr,
     const EngineOptions& options = {});
+
+/// Storage-agnostic view of a decomposition input — the complete contract
+/// between a tensor storage format and the sequential driver cores: the
+/// shape, the squared Frobenius norm feeding the Eq. (3) residual identity
+/// ||T - [[A]]||^2 = ||T||^2 - 2<M(N), A(N)> + <Γ(N), S(N)> (which reuses
+/// the sweep's last MTTKRP and never reconstructs the tensor), and an
+/// engine factory bound to the storage. Drivers written against
+/// TensorProblem cannot see the storage class, so they cannot densify.
+struct TensorProblem {
+  std::vector<index_t> shape;
+  double squared_norm = 0.0;
+  std::function<std::unique_ptr<MttkrpEngine>(
+      EngineKind, const std::vector<la::Matrix>&, Profile*,
+      const EngineOptions&)>
+      make_engine;
+
+  [[nodiscard]] int order() const { return static_cast<int>(shape.size()); }
+};
+
+/// Views a tensor as a TensorProblem (non-owning: `t` must outlive the
+/// problem and every engine made from it). The CsfTensor adapter lives in
+/// sparse_engine.hpp.
+[[nodiscard]] TensorProblem make_problem(const tensor::DenseTensor& t);
 
 }  // namespace parpp::core

@@ -5,6 +5,7 @@
 
 #include "parpp/core/fitness.hpp"
 #include "parpp/core/gram.hpp"
+#include "parpp/core/sparse_engine.hpp"
 #include "parpp/la/gemm.hpp"
 #include "parpp/util/timer.hpp"
 
@@ -40,12 +41,22 @@ void hals_update(la::Matrix& a, const la::Matrix& m, const la::Matrix& gamma,
 
 CpResult nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
                    const NncpOptions& nn_options) {
-  return nncp_hals(t, options, nn_options, DriverHooks{});
+  return nncp_hals(make_problem(t), options, nn_options, DriverHooks{});
 }
 
 CpResult nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
                    const NncpOptions& nn_options, const DriverHooks& hooks) {
-  const int n = t.order();
+  return nncp_hals(make_problem(t), options, nn_options, hooks);
+}
+
+CpResult nncp_hals(const tensor::CsfTensor& t, const CpOptions& options,
+                   const NncpOptions& nn_options, const DriverHooks& hooks) {
+  return nncp_hals(make_problem(t), options, nn_options, hooks);
+}
+
+CpResult nncp_hals(const TensorProblem& problem, const CpOptions& options,
+                   const NncpOptions& nn_options, const DriverHooks& hooks) {
+  const int n = problem.order();
   PARPP_CHECK(n >= 2, "nncp_hals: tensor order must be >= 2");
   PARPP_CHECK(nn_options.inner_iterations >= 1,
               "nncp_hals: need at least one inner iteration");
@@ -53,14 +64,13 @@ CpResult nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
   CpResult result;
   Profile profile;
   result.factors =
-      resolve_init_factors(t.shape(), options.rank, options.seed, hooks);
+      resolve_init_factors(problem.shape, options.rank, options.seed, hooks);
   auto& factors = result.factors;
   std::vector<la::Matrix> grams = all_grams(factors, &profile);
-  auto engine =
-      make_engine(nn_options.engine, t, factors, &profile,
-                  options.engine_options);
+  auto engine = problem.make_engine(nn_options.engine, factors, &profile,
+                                    options.engine_options);
 
-  const double t_sq = t.squared_norm();
+  const double t_sq = problem.squared_norm;
   WallTimer timer;
   double fit = 0.0, fit_old = -1.0;
   int sweep = 0;

@@ -36,7 +36,14 @@ void hals_update(la::Matrix& a, const la::Matrix& m, const la::Matrix& gamma,
 
 /// Runs nonnegative CP-ALS (HALS) until the fitness change drops below
 /// options.tol or max_sweeps is reached. Factors are initialized uniform
-/// in [0,1) (already nonnegative) and stay entrywise >= 0.
+/// in [0,1) (already nonnegative) and stay entrywise >= 0. Like cp_als, the
+/// TensorProblem overload is the storage-agnostic core (HALS consumes only
+/// the MTTKRP and the grams, so sparse storage plugs in unchanged); the
+/// DenseTensor/CsfTensor overloads adapt via core::make_problem.
+[[nodiscard]] CpResult nncp_hals(const TensorProblem& problem,
+                                 const CpOptions& options,
+                                 const NncpOptions& nn_options = {},
+                                 const DriverHooks& hooks = {});
 [[nodiscard]] CpResult nncp_hals(const tensor::DenseTensor& t,
                                  const CpOptions& options,
                                  const NncpOptions& nn_options = {});
@@ -44,5 +51,9 @@ void hals_update(la::Matrix& a, const la::Matrix& m, const la::Matrix& gamma,
                                  const CpOptions& options,
                                  const NncpOptions& nn_options,
                                  const DriverHooks& hooks);
+[[nodiscard]] CpResult nncp_hals(const tensor::CsfTensor& t,
+                                 const CpOptions& options,
+                                 const NncpOptions& nn_options = {},
+                                 const DriverHooks& hooks = {});
 
 }  // namespace parpp::core

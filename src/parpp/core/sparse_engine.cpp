@@ -1,0 +1,42 @@
+#include "parpp/core/sparse_engine.hpp"
+
+#include "parpp/tensor/mttkrp_sparse.hpp"
+
+namespace parpp::core {
+
+SparseEngine::SparseEngine(const tensor::CsfTensor& t,
+                           const std::vector<la::Matrix>& factors,
+                           Profile* profile)
+    : t_(&t), factors_(&factors), profile_(profile) {
+  PARPP_CHECK(static_cast<int>(factors.size()) == t.order(),
+              "engine: factor count mismatch");
+  for (int m = 0; m < t.order(); ++m) {
+    PARPP_CHECK(factors[static_cast<std::size_t>(m)].rows() == t.extent(m),
+                "engine: factor ", m, " rows mismatch");
+  }
+}
+
+la::Matrix SparseEngine::mttkrp(int mode) {
+  return tensor::mttkrp_csf(*t_, *factors_, mode, profile_, &ws_);
+}
+
+std::unique_ptr<MttkrpEngine> make_engine(EngineKind /*kind*/,
+                                          const tensor::CsfTensor& t,
+                                          const std::vector<la::Matrix>& factors,
+                                          Profile* profile,
+                                          const EngineOptions& /*options*/) {
+  return std::make_unique<SparseEngine>(t, factors, profile);
+}
+
+TensorProblem make_problem(const tensor::CsfTensor& t) {
+  TensorProblem p;
+  p.shape = t.shape();
+  p.squared_norm = t.squared_norm();
+  p.make_engine = [&t](EngineKind kind, const std::vector<la::Matrix>& factors,
+                       Profile* profile, const EngineOptions& options) {
+    return make_engine(kind, t, factors, profile, options);
+  };
+  return p;
+}
+
+}  // namespace parpp::core

@@ -1,0 +1,38 @@
+// Synthetic sparse tensors (workload generators for the sparse backend).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/coo_tensor.hpp"
+#include "parpp/util/common.hpp"
+
+namespace parpp::data {
+
+struct SparseLowRankData {
+  tensor::CooTensor tensor;          ///< coalesced, exactly rank <= rank
+  std::vector<la::Matrix> factors;   ///< the generating factors
+};
+
+/// Exactly-low-rank sparse tensor: each factor column has a random sparse
+/// support of per-mode density ~ (density/rank)^(1/order), and the tensor
+/// is the exact reconstruction [[A(1)..A(N)]] restricted to the union of
+/// the rank-one support cross-products — everywhere else every term
+/// carries a zero factor entry, so the COO *is* the full reconstruction
+/// and the tensor has CP rank <= rank exactly. Total nnz lands near
+/// density * prod(shape) (up to per-mode rounding and overlap). CP-ALS at
+/// `rank` can therefore reach fitness 1, which makes this the convergence
+/// workload for sparse-vs-densified equivalence tests and CLI smoke runs
+/// (--density).
+[[nodiscard]] SparseLowRankData make_sparse_lowrank(
+    const std::vector<index_t>& shape, index_t rank, double density,
+    std::uint64_t seed);
+
+/// Unstructured uniform sparse tensor: ~density * prod(shape) entries at
+/// uniformly random coordinates (coalesced, so collisions merge), values
+/// uniform in [0, 1). The MTTKRP/bench workload.
+[[nodiscard]] tensor::CooTensor make_sparse_random(
+    const std::vector<index_t>& shape, double density, std::uint64_t seed);
+
+}  // namespace parpp::data

@@ -81,6 +81,22 @@ core::CpResult run_pp_nncp(const tensor::DenseTensor& t,
                             nncp_options(spec), hooks);
 }
 
+// --- sparse sequential runners --------------------------------------------
+// The engine axis collapses for sparse storage (every kind resolves to the
+// CSF engine), so the runners reuse base_options unchanged.
+
+core::CpResult run_sparse_als(const tensor::CsfTensor& t,
+                              const SolverSpec& spec,
+                              const core::DriverHooks& hooks) {
+  return core::cp_als(t, base_options(spec), hooks);
+}
+
+core::CpResult run_sparse_nncp(const tensor::CsfTensor& t,
+                               const SolverSpec& spec,
+                               const core::DriverHooks& hooks) {
+  return core::nncp_hals(t, base_options(spec), nncp_options(spec), hooks);
+}
+
 // --- parallel runners -----------------------------------------------------
 
 par::ParResult run_par_als(const tensor::DenseTensor& t,
@@ -122,12 +138,13 @@ par::ParResult run_par_pp_nncp(const tensor::DenseTensor& t,
 
 const std::vector<MethodEntry>& registry() {
   static const std::vector<MethodEntry> entries{
-      {Method::kAls, to_string(Method::kAls), run_als, run_par_als},
-      {Method::kPp, to_string(Method::kPp), run_pp, run_par_pp},
+      {Method::kAls, to_string(Method::kAls), run_als, run_par_als,
+       run_sparse_als},
+      {Method::kPp, to_string(Method::kPp), run_pp, run_par_pp, nullptr},
       {Method::kNncpHals, to_string(Method::kNncpHals), run_nncp,
-       run_par_nncp},
+       run_par_nncp, run_sparse_nncp},
       {Method::kPpNncp, to_string(Method::kPpNncp), run_pp_nncp,
-       run_par_pp_nncp},
+       run_par_pp_nncp, nullptr},
   };
   return entries;
 }

@@ -23,6 +23,12 @@ struct MethodEntry {
   /// Runs the simulated-parallel driver core on execution.nprocs ranks.
   par::ParResult (*parallel)(const tensor::DenseTensor&, const SolverSpec&,
                              const core::DriverHooks&);
+  /// Runs the sequential core on CSF sparse storage; nullptr when the
+  /// method cannot (the PP methods build their operators from dense
+  /// dimension-tree intermediates). solve() reports the gap as an error.
+  core::CpResult (*sparse_sequential)(const tensor::CsfTensor&,
+                                      const SolverSpec&,
+                                      const core::DriverHooks&) = nullptr;
 };
 
 /// The entry for `method`; throws parpp::error for an unregistered method.

@@ -53,7 +53,7 @@ SolveReport from_par_result(par::ParResult&& r) {
 
 }  // namespace
 
-solver::SolveReport solve(const tensor::DenseTensor& t,
+solver::SolveReport solve(const solver::TensorSource& t,
                           const solver::SolverSpec& spec) {
   PARPP_CHECK(spec.rank >= 1, "solve: rank must be positive");
   PARPP_CHECK(spec.execution.nprocs >= 1,
@@ -62,6 +62,15 @@ solver::SolveReport solve(const tensor::DenseTensor& t,
               "solve: stopping.max_sweeps must be >= 1");
 
   const solver::MethodEntry& entry = solver::method_entry(spec.method);
+  if (t.is_sparse()) {
+    PARPP_CHECK(!spec.execution.is_parallel(),
+                "solve: sparse tensors run sequentially (distributing CSF "
+                "over the simulated grid is an open roadmap item)");
+    PARPP_CHECK(entry.sparse_sequential != nullptr, "solve: method ",
+                entry.name,
+                " has no sparse driver (the PP operators are built from "
+                "dense dimension-tree intermediates)");
+  }
 
   core::DriverHooks hooks;
   if (!spec.initial_factors.empty())
@@ -97,9 +106,11 @@ solver::SolveReport solve(const tensor::DenseTensor& t,
   }
 
   SolveReport report =
-      spec.execution.is_parallel()
-          ? from_par_result(entry.parallel(t, spec, hooks))
-          : from_cp_result(entry.sequential(t, spec, hooks));
+      t.is_sparse()
+          ? from_cp_result(entry.sparse_sequential(t.sparse(), spec, hooks))
+      : spec.execution.is_parallel()
+          ? from_par_result(entry.parallel(t.dense(), spec, hooks))
+          : from_cp_result(entry.sequential(t.dense(), spec, hooks));
 
   if (aborted) {
     report.stop_reason = abort_reason;
@@ -118,6 +129,16 @@ solver::SolveReport solve(const tensor::DenseTensor& t,
                                            : StopReason::kMaxSweeps;
   }
   return report;
+}
+
+solver::SolveReport solve(const tensor::DenseTensor& t,
+                          const solver::SolverSpec& spec) {
+  return solve(solver::TensorSource(t), spec);
+}
+
+solver::SolveReport solve(const tensor::CsfTensor& t,
+                          const solver::SolverSpec& spec) {
+  return solve(solver::TensorSource(t), spec);
 }
 
 }  // namespace parpp

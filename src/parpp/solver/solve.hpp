@@ -16,9 +16,20 @@
 
 namespace parpp {
 
-/// Runs the solve described by `spec` on `t`. Throws parpp::error on an
-/// invalid spec (bad rank, warm-start shape mismatch, bad grid).
+/// Runs the solve described by `spec` on any tensor source — dense or CSF
+/// sparse storage, uniformly (TensorSource converts implicitly from both).
+/// Sparse sources run the storage-agnostic sequential cores through the
+/// CSF engine with the no-densification fitness identity; they currently
+/// require sequential execution and a non-PP method (parpp::error
+/// otherwise). Also throws on an invalid spec (bad rank, warm-start shape
+/// mismatch, bad grid).
+[[nodiscard]] solver::SolveReport solve(const solver::TensorSource& t,
+                                        const solver::SolverSpec& spec);
+
+/// Storage-typed conveniences (exact-match overloads for existing callers).
 [[nodiscard]] solver::SolveReport solve(const tensor::DenseTensor& t,
+                                        const solver::SolverSpec& spec);
+[[nodiscard]] solver::SolveReport solve(const tensor::CsfTensor& t,
                                         const solver::SolverSpec& spec);
 
 }  // namespace parpp

@@ -22,6 +22,32 @@
 
 namespace parpp::solver {
 
+/// Non-owning view of the decomposition input — the storage axis of the
+/// solve. Implicitly constructible from either storage class, so
+/// parpp::solve(tensor, spec) reads the same for dense and sparse callers;
+/// the facade dispatches on is_sparse() to the matching driver adapter
+/// (sparse runs never densify — they go through core::TensorProblem and
+/// the CSF engine). The referenced tensor must outlive the solve call.
+class TensorSource {
+ public:
+  /*implicit*/ TensorSource(const tensor::DenseTensor& t) : dense_(&t) {}
+  /*implicit*/ TensorSource(const tensor::CsfTensor& t) : sparse_(&t) {}
+
+  [[nodiscard]] bool is_sparse() const { return sparse_ != nullptr; }
+  [[nodiscard]] const tensor::DenseTensor& dense() const {
+    PARPP_CHECK(dense_ != nullptr, "TensorSource: not a dense tensor");
+    return *dense_;
+  }
+  [[nodiscard]] const tensor::CsfTensor& sparse() const {
+    PARPP_CHECK(sparse_ != nullptr, "TensorSource: not a sparse tensor");
+    return *sparse_;
+  }
+
+ private:
+  const tensor::DenseTensor* dense_ = nullptr;
+  const tensor::CsfTensor* sparse_ = nullptr;
+};
+
 /// The factor-update rule (one axis of the solver matrix).
 enum class Method {
   kAls,       ///< CP-ALS, normal-equations solve (Algorithm 1 / 3)

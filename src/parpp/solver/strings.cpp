@@ -31,6 +31,7 @@ std::string_view to_string(core::EngineKind kind) {
     case core::EngineKind::kNaive: return "naive";
     case core::EngineKind::kDt: return "dt";
     case core::EngineKind::kMsdt: return "msdt";
+    case core::EngineKind::kSparse: return "sparse";
   }
   return "?";
 }
@@ -68,6 +69,7 @@ std::optional<core::EngineKind> engine_from_string(std::string_view s) {
   if (t == "naive") return core::EngineKind::kNaive;
   if (t == "dt") return core::EngineKind::kDt;
   if (t == "msdt") return core::EngineKind::kMsdt;
+  if (t == "sparse") return core::EngineKind::kSparse;
   return std::nullopt;
 }
 

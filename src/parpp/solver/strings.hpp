@@ -11,8 +11,8 @@ namespace parpp::solver {
 
 /// Canonical lowercase tokens: "als" | "pp" | "nncp" | "pp-nncp".
 [[nodiscard]] std::string_view to_string(Method method);
-/// "naive" | "dt" | "msdt" — the parse/emit tokens (CLI flags, bench JSON).
-/// core::engine_kind_name stays the human-facing display form.
+/// "naive" | "dt" | "msdt" | "sparse" — the parse/emit tokens (CLI flags,
+/// bench JSON). core::engine_kind_name stays the human-facing display form.
 [[nodiscard]] std::string_view to_string(core::EngineKind kind);
 /// "distributed-rows" | "replicated-sequential".
 [[nodiscard]] std::string_view to_string(par::SolveMode mode);

@@ -1,0 +1,121 @@
+#include "parpp/tensor/coo_tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace parpp::tensor {
+
+CooTensor::CooTensor(std::vector<index_t> shape) : shape_(std::move(shape)) {
+  PARPP_CHECK(!shape_.empty(), "CooTensor: empty shape");
+  for (index_t e : shape_) PARPP_CHECK(e >= 0, "CooTensor: negative extent");
+}
+
+double CooTensor::dense_size() const {
+  double prod = 1.0;
+  for (index_t e : shape_) prod *= static_cast<double>(e);
+  return prod;
+}
+
+double CooTensor::density() const {
+  const double denom = dense_size();
+  return denom > 0.0 ? static_cast<double>(nnz()) / denom : 0.0;
+}
+
+void CooTensor::reserve(index_t nnz) {
+  idx_.reserve(static_cast<std::size_t>(nnz * order()));
+  vals_.reserve(static_cast<std::size_t>(nnz));
+}
+
+void CooTensor::push(std::span<const index_t> idx, double value) {
+  PARPP_CHECK(static_cast<int>(idx.size()) == order(),
+              "CooTensor::push: expected ", order(), " coordinates, got ",
+              idx.size());
+  for (int m = 0; m < order(); ++m) {
+    PARPP_CHECK(idx[static_cast<std::size_t>(m)] >= 0 &&
+                    idx[static_cast<std::size_t>(m)] < extent(m),
+                "CooTensor::push: coordinate ", idx[static_cast<std::size_t>(m)],
+                " out of range for mode ", m);
+  }
+  idx_.insert(idx_.end(), idx.begin(), idx.end());
+  vals_.push_back(value);
+  coalesced_ = false;
+}
+
+void CooTensor::coalesce() {
+  if (coalesced_) return;
+  const int n = order();
+  const index_t count = nnz();
+  std::vector<index_t> perm(static_cast<std::size_t>(count));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  // stable_sort keeps duplicates in push order, so their merged sum is
+  // deterministic regardless of the sort implementation.
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+    const index_t* pa = idx_.data() + a * n;
+    const index_t* pb = idx_.data() + b * n;
+    return std::lexicographical_compare(pa, pa + n, pb, pb + n);
+  });
+
+  std::vector<index_t> new_idx;
+  std::vector<double> new_vals;
+  new_idx.reserve(idx_.size());
+  new_vals.reserve(vals_.size());
+  auto same = [&](index_t a, const index_t* tuple) {
+    const index_t* pa = idx_.data() + a * n;
+    return std::equal(pa, pa + n, tuple);
+  };
+  for (index_t p = 0; p < count; ++p) {
+    const index_t e = perm[static_cast<std::size_t>(p)];
+    const index_t* tuple = idx_.data() + e * n;
+    double v = vals_[static_cast<std::size_t>(e)];
+    while (p + 1 < count && same(perm[static_cast<std::size_t>(p + 1)], tuple)) {
+      ++p;
+      v += vals_[static_cast<std::size_t>(perm[static_cast<std::size_t>(p)])];
+    }
+    if (v == 0.0) continue;  // drop entries that cancel (or explicit zeros)
+    new_idx.insert(new_idx.end(), tuple, tuple + n);
+    new_vals.push_back(v);
+  }
+  idx_ = std::move(new_idx);
+  vals_ = std::move(new_vals);
+  coalesced_ = true;
+}
+
+double CooTensor::squared_norm() const {
+  PARPP_CHECK(coalesced_,
+              "CooTensor::squared_norm: coalesce() first (duplicate "
+              "coordinates would be double-counted)");
+  double sq = 0.0;
+  for (double v : vals_) sq += v * v;
+  return sq;
+}
+
+double CooTensor::frobenius_norm() const { return std::sqrt(squared_norm()); }
+
+DenseTensor CooTensor::densify() const {
+  DenseTensor t(shape_);
+  const int n = order();
+  std::vector<index_t> tuple(static_cast<std::size_t>(n));
+  for (index_t e = 0; e < nnz(); ++e) {
+    for (int m = 0; m < n; ++m)
+      tuple[static_cast<std::size_t>(m)] = index(e, m);
+    t.at(tuple) += value(e);
+  }
+  return t;
+}
+
+CooTensor CooTensor::from_dense(const DenseTensor& t, double threshold) {
+  CooTensor coo(t.shape());
+  std::vector<index_t> tuple(static_cast<std::size_t>(t.order()), 0);
+  if (t.size() == 0) return coo;
+  do {
+    const double v = t.at(tuple);
+    if (std::abs(v) > threshold) coo.push(tuple, v);
+  } while (next_index(t.shape(), tuple));
+  // Row-major traversal pushes coordinates in lexicographic order with no
+  // duplicates, so the result is coalesced by construction.
+  coo.coalesced_ = true;
+  return coo;
+}
+
+}  // namespace parpp::tensor

@@ -1,0 +1,93 @@
+#include "parpp/tensor/csf_tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace parpp::tensor {
+
+namespace {
+
+CsfTensor::Tree build_tree(const CooTensor& coo, int root_mode) {
+  const int n = coo.order();
+  const index_t nnz = coo.nnz();
+
+  CsfTensor::Tree tree;
+  tree.mode_order.reserve(static_cast<std::size_t>(n));
+  tree.mode_order.push_back(root_mode);
+  for (int m = 0; m < n; ++m)
+    if (m != root_mode) tree.mode_order.push_back(m);
+
+  // Entry order for this tree: lexicographic in the permuted coordinates.
+  // The COO is coalesced (sorted, duplicate-free), so for root_mode == 0
+  // the identity permutation already sorts; other roots re-sort.
+  std::vector<index_t> perm(static_cast<std::size_t>(nnz));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  if (root_mode != 0) {
+    std::sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+      for (int l = 0; l < n; ++l) {
+        const int m = tree.mode_order[static_cast<std::size_t>(l)];
+        const index_t ia = coo.index(a, m), ib = coo.index(b, m);
+        if (ia != ib) return ia < ib;
+      }
+      return false;
+    });
+  }
+
+  tree.fids.resize(static_cast<std::size_t>(n));
+  tree.fptr.resize(static_cast<std::size_t>(n - 1));
+  tree.vals.reserve(static_cast<std::size_t>(nnz));
+  for (index_t p = 0; p < nnz; ++p) {
+    const index_t e = perm[static_cast<std::size_t>(p)];
+    // First level whose coordinate differs from the previous entry: that
+    // node and everything below it open fresh.
+    int open_from = 0;
+    if (p > 0) {
+      const index_t prev = perm[static_cast<std::size_t>(p - 1)];
+      while (open_from < n - 1 &&
+             coo.index(e, tree.mode_order[static_cast<std::size_t>(open_from)]) ==
+                 coo.index(prev,
+                           tree.mode_order[static_cast<std::size_t>(open_from)]))
+        ++open_from;
+    }
+    for (int l = open_from; l < n; ++l) {
+      auto& fids = tree.fids[static_cast<std::size_t>(l)];
+      if (l < n - 1) {
+        // New node's children start where level l+1 currently ends.
+        tree.fptr[static_cast<std::size_t>(l)].push_back(
+            static_cast<index_t>(tree.fids[static_cast<std::size_t>(l + 1)].size()));
+      }
+      fids.push_back(coo.index(e, tree.mode_order[static_cast<std::size_t>(l)]));
+    }
+    tree.vals.push_back(coo.value(e));
+  }
+  for (int l = 0; l < n - 1; ++l) {
+    tree.fptr[static_cast<std::size_t>(l)].push_back(
+        static_cast<index_t>(tree.fids[static_cast<std::size_t>(l + 1)].size()));
+  }
+  for (int l = 1; l < n - 1; ++l)
+    tree.internal_nodes +=
+        static_cast<index_t>(tree.fids[static_cast<std::size_t>(l)].size());
+  return tree;
+}
+
+}  // namespace
+
+CsfTensor::CsfTensor(const CooTensor& coo)
+    : shape_(coo.shape()), nnz_(coo.nnz()), dense_size_(coo.dense_size()) {
+  PARPP_CHECK(order() >= 2, "CsfTensor: tensor order must be >= 2");
+  PARPP_CHECK(coo.coalesced(),
+              "CsfTensor: COO input must be coalesced (sorted, no duplicate "
+              "coordinates) — call CooTensor::coalesce() first");
+  squared_norm_ = coo.squared_norm();
+  trees_.reserve(static_cast<std::size_t>(order()));
+  for (int m = 0; m < order(); ++m) trees_.push_back(build_tree(coo, m));
+}
+
+double CsfTensor::frobenius_norm() const { return std::sqrt(squared_norm_); }
+
+double CsfTensor::density() const {
+  return dense_size_ > 0.0 ? static_cast<double>(nnz_) / dense_size_ : 0.0;
+}
+
+}  // namespace parpp::tensor

@@ -1,0 +1,71 @@
+// Compressed sparse fiber (CSF) tensor with per-mode orderings.
+#pragma once
+
+#include <vector>
+
+#include "parpp/tensor/coo_tensor.hpp"
+#include "parpp/util/common.hpp"
+
+namespace parpp::tensor {
+
+/// SPLATT-style compressed sparse fiber storage. One fiber tree is kept per
+/// root mode (mode order: root first, remaining modes ascending), so the
+/// MTTKRP of any mode walks a tree rooted at that mode and parallelizes
+/// over its root fibers without write conflicts. The N-tree layout trades
+/// memory (N copies of the pattern, still O(N * nnz) words versus the dense
+/// prod(shape)) for a branch-free, mode-symmetric kernel — the right trade
+/// for the repeated sweeps of ALS.
+///
+/// Immutable once built: construct from a coalesced CooTensor.
+class CsfTensor {
+ public:
+  /// One fiber tree. Level l stores one node per distinct coordinate prefix
+  /// of length l+1 (modes taken in mode_order): fids[l][j] is node j's
+  /// coordinate in mode mode_order[l], its children occupy
+  /// [fptr[l][j], fptr[l][j+1]) at level l+1, and the leaf level (order-1)
+  /// carries vals aligned with its fids.
+  struct Tree {
+    std::vector<int> mode_order;             ///< size order, root first
+    std::vector<std::vector<index_t>> fptr;  ///< levels 0 .. order-2
+    std::vector<std::vector<index_t>> fids;  ///< levels 0 .. order-1
+    std::vector<double> vals;                ///< aligned with fids.back()
+    /// Nodes strictly between root and leaf levels — the Hadamard-add count
+    /// of a root-mode MTTKRP walk (flop accounting).
+    index_t internal_nodes = 0;
+
+    [[nodiscard]] index_t root_count() const {
+      return static_cast<index_t>(fids.front().size());
+    }
+  };
+
+  /// Builds the per-mode trees. `coo` must be coalesced (sorted entries,
+  /// no duplicate coordinates) — call CooTensor::coalesce() first.
+  explicit CsfTensor(const CooTensor& coo);
+
+  [[nodiscard]] int order() const { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] const std::vector<index_t>& shape() const { return shape_; }
+  [[nodiscard]] index_t extent(int mode) const {
+    PARPP_ASSERT(mode >= 0 && mode < order(), "extent: bad mode ", mode);
+    return shape_[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] index_t nnz() const { return nnz_; }
+  [[nodiscard]] double squared_norm() const { return squared_norm_; }
+  [[nodiscard]] double frobenius_norm() const;
+  [[nodiscard]] double density() const;
+
+  /// The fiber tree rooted at `root_mode`.
+  [[nodiscard]] const Tree& tree(int root_mode) const {
+    PARPP_ASSERT(root_mode >= 0 && root_mode < order(),
+                 "tree: bad root mode ", root_mode);
+    return trees_[static_cast<std::size_t>(root_mode)];
+  }
+
+ private:
+  std::vector<index_t> shape_;
+  index_t nnz_ = 0;
+  double dense_size_ = 0.0;  ///< CooTensor::dense_size() of the source
+  double squared_norm_ = 0.0;
+  std::vector<Tree> trees_;  ///< one per root mode
+};
+
+}  // namespace parpp::tensor

@@ -1,0 +1,135 @@
+#include "parpp/tensor/mttkrp_sparse.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+namespace parpp::tensor {
+
+namespace {
+
+template <typename Tensor>
+void check_factors(const Tensor& t, const std::vector<la::Matrix>& factors,
+                   int n) {
+  PARPP_CHECK(n >= 0 && n < t.order(), "mttkrp: bad mode ", n);
+  PARPP_CHECK(static_cast<int>(factors.size()) == t.order(),
+              "mttkrp: factor count mismatch");
+  const index_t r = factors.empty() ? 0 : factors.front().cols();
+  for (int m = 0; m < t.order(); ++m) {
+    const auto& f = factors[static_cast<std::size_t>(m)];
+    PARPP_CHECK(f.rows() == t.extent(m) && f.cols() == r,
+                "mttkrp: factor ", m, " shape mismatch");
+  }
+}
+
+void prepare_out(la::Matrix& out, index_t rows, index_t cols) {
+  if (out.rows() != rows || out.cols() != cols) out = la::Matrix(rows, cols);
+  out.set_zero();
+}
+
+/// Sums the contributions of the level-`lv` nodes [begin, end) into `dst`
+/// (length R). `acc` holds one R-vector per interior level (lv in
+/// [1, order-2]), indexed acc + (lv-1)*R.
+void accumulate_children(const CsfTensor::Tree& tree,
+                         const std::vector<la::Matrix>& factors, int lv,
+                         index_t begin, index_t end, index_t r, double* acc,
+                         double* dst) {
+  const int leaf = static_cast<int>(tree.mode_order.size()) - 1;
+  const auto& fids = tree.fids[static_cast<std::size_t>(lv)];
+  const la::Matrix& factor =
+      factors[static_cast<std::size_t>(tree.mode_order[static_cast<std::size_t>(lv)])];
+  if (lv == leaf) {
+    for (index_t k = begin; k < end; ++k) {
+      const double v = tree.vals[static_cast<std::size_t>(k)];
+      const double* arow = factor.row(fids[static_cast<std::size_t>(k)]);
+      for (index_t j = 0; j < r; ++j) dst[j] += v * arow[j];
+    }
+    return;
+  }
+  const auto& fptr = tree.fptr[static_cast<std::size_t>(lv)];
+  double* mine = acc + static_cast<std::size_t>((lv - 1) * r);
+  for (index_t k = begin; k < end; ++k) {
+    std::fill(mine, mine + r, 0.0);
+    accumulate_children(tree, factors, lv + 1,
+                        fptr[static_cast<std::size_t>(k)],
+                        fptr[static_cast<std::size_t>(k + 1)], r, acc, mine);
+    const double* arow = factor.row(fids[static_cast<std::size_t>(k)]);
+    for (index_t j = 0; j < r; ++j) dst[j] += mine[j] * arow[j];
+  }
+}
+
+}  // namespace
+
+la::Matrix mttkrp_coo(const CooTensor& t, const std::vector<la::Matrix>& factors,
+                      int n, Profile* profile) {
+  check_factors(t, factors, n);
+  const int order = t.order();
+  const index_t r = factors.front().cols();
+  ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                   Kernel::kTTM,
+                   2.0 * static_cast<double>(t.nnz()) * static_cast<double>(r) *
+                       (order - 1));
+  la::Matrix out(t.extent(n), r);
+  std::vector<double> w(static_cast<std::size_t>(r));
+  for (index_t e = 0; e < t.nnz(); ++e) {
+    std::fill(w.begin(), w.end(), t.value(e));
+    for (int m = 0; m < order; ++m) {
+      if (m == n) continue;
+      const double* arow =
+          factors[static_cast<std::size_t>(m)].row(t.index(e, m));
+      for (index_t j = 0; j < r; ++j) w[static_cast<std::size_t>(j)] *= arow[j];
+    }
+    double* orow = out.row(t.index(e, n));
+    for (index_t j = 0; j < r; ++j) orow[j] += w[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+void mttkrp_csf_into(const CsfTensor& t, const std::vector<la::Matrix>& factors,
+                     int n, la::Matrix& out, Profile* profile,
+                     util::KernelWorkspace* ws) {
+  check_factors(t, factors, n);
+  const int order = t.order();
+  const index_t r = factors.front().cols();
+  const CsfTensor::Tree& tree = t.tree(n);
+  ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                   Kernel::kTTM,
+                   2.0 * static_cast<double>(r) *
+                       static_cast<double>(t.nnz() + tree.internal_nodes));
+  prepare_out(out, t.extent(n), r);
+
+  util::KernelWorkspace& wsp =
+      ws != nullptr ? *ws : util::KernelWorkspace::thread_default();
+  const index_t levels = std::max(order - 2, 0);
+  const int maxt = omp_get_max_threads();
+  // One slab of interior-level accumulators per thread, leased up front so
+  // the parallel region never touches the pool (it is not synchronized).
+  auto slab = wsp.lease(static_cast<index_t>(maxt) * levels * r);
+
+  const index_t roots = tree.root_count();
+  const auto& root_fids = tree.fids.front();
+  const auto& root_fptr = tree.fptr.front();
+#pragma omp parallel
+  {
+    double* acc = slab.data() + static_cast<index_t>(omp_get_thread_num()) *
+                                    levels * r;
+    // Root fibers can be heavily skewed in real sparse tensors; dynamic
+    // scheduling keeps the long ones from serializing the sweep.
+#pragma omp for schedule(dynamic, 32)
+    for (index_t j = 0; j < roots; ++j) {
+      accumulate_children(tree, factors, 1,
+                          root_fptr[static_cast<std::size_t>(j)],
+                          root_fptr[static_cast<std::size_t>(j + 1)], r, acc,
+                          out.row(root_fids[static_cast<std::size_t>(j)]));
+    }
+  }
+}
+
+la::Matrix mttkrp_csf(const CsfTensor& t, const std::vector<la::Matrix>& factors,
+                      int n, Profile* profile, util::KernelWorkspace* ws) {
+  la::Matrix out;
+  mttkrp_csf_into(t, factors, n, out, profile, ws);
+  return out;
+}
+
+}  // namespace parpp::tensor

@@ -1,0 +1,45 @@
+// Sparse MTTKRP kernels over COO (reference) and CSF (execution) storage.
+//
+// The CSF path walks the fiber tree rooted at the requested mode: leaves
+// contribute val * A(last).row, interior levels Hadamard the accumulated
+// child sum with their own factor row, and the root scatters into the
+// output row — 2R(nnz + interior nodes) flops, nothing proportional to the
+// dense size. Parallelism is over root fibers (distinct output rows, so no
+// write conflicts); per-thread accumulators are leased from the workspace,
+// making steady-state sweeps allocation-free exactly like the dense fused
+// path.
+#pragma once
+
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/tensor/coo_tensor.hpp"
+#include "parpp/tensor/csf_tensor.hpp"
+#include "parpp/util/profile.hpp"
+#include "parpp/util/workspace.hpp"
+
+namespace parpp::tensor {
+
+/// Entry-wise COO reference: M(n).row(i_n) += v * hadamard of the other
+/// factor rows, per nonzero. Sequential, O(R) scratch — the validation
+/// oracle for the CSF walk, not a performance path.
+[[nodiscard]] la::Matrix mttkrp_coo(const CooTensor& t,
+                                    const std::vector<la::Matrix>& factors,
+                                    int n, Profile* profile = nullptr);
+
+/// CSF MTTKRP of mode `n` (tree rooted at n, OpenMP over root fibers).
+/// `ws` defaults to the calling thread's workspace. Charged to Kernel::kTTM
+/// with the exact sparse flop count, like the dense engines.
+[[nodiscard]] la::Matrix mttkrp_csf(const CsfTensor& t,
+                                    const std::vector<la::Matrix>& factors,
+                                    int n, Profile* profile = nullptr,
+                                    util::KernelWorkspace* ws = nullptr);
+
+/// Out-parameter variant: reuses `out`'s storage when the shape already
+/// matches (the per-mode steady state of an ALS sweep).
+void mttkrp_csf_into(const CsfTensor& t,
+                     const std::vector<la::Matrix>& factors, int n,
+                     la::Matrix& out, Profile* profile = nullptr,
+                     util::KernelWorkspace* ws = nullptr);
+
+}  // namespace parpp::tensor

@@ -1,10 +1,14 @@
 #include "parpp/util/serialize.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <string>
 
 namespace parpp::io {
 
@@ -125,6 +129,120 @@ std::vector<la::Matrix> load_factors_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   PARPP_CHECK(is.is_open(), "cannot open ", path, " for reading");
   return load_factors(is);
+}
+
+void save_tns(std::ostream& os, const tensor::CooTensor& t) {
+  os << "# dims";
+  for (index_t e : t.shape()) os << ' ' << e;
+  os << '\n';
+  const int n = t.order();
+  for (index_t e = 0; e < t.nnz(); ++e) {
+    for (int m = 0; m < n; ++m) os << t.index(e, m) + 1 << ' ';  // 1-indexed
+    // max_digits10 round-trips every double exactly through text.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", t.value(e));
+    os << buf << '\n';
+  }
+  PARPP_CHECK(os.good(), "save_tns: write failed");
+}
+
+tensor::CooTensor load_tns(std::istream& is) {
+  std::vector<index_t> dims_header;
+  std::vector<index_t> idx;      // entry-major coordinates, 0-indexed
+  std::vector<double> vals;
+  std::vector<index_t> max_idx;  // per-mode maxima (0-indexed)
+  int order = 0;
+
+  std::string line;
+  index_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    // FROSTT comment lines start with '#'; our writer stashes the shape in
+    // a "# dims ..." comment that plain FROSTT readers simply skip.
+    ls >> std::ws;
+    if (ls.peek() == '#') {
+      ls.get();
+      std::string key;
+      if (ls >> key && key == "dims") {
+        index_t d = 0;
+        while (ls >> d) {
+          PARPP_CHECK(d >= 0, "load_tns: negative extent in dims header");
+          dims_header.push_back(d);
+        }
+      }
+      continue;
+    }
+    std::vector<double> fields;
+    double v = 0.0;
+    while (ls >> v) fields.push_back(v);
+    if (fields.empty()) continue;  // blank line
+    PARPP_CHECK(fields.size() >= 2, "load_tns: line ", line_no,
+                ": need at least one coordinate and a value");
+    if (order == 0) {
+      order = static_cast<int>(fields.size()) - 1;
+      max_idx.assign(static_cast<std::size_t>(order), -1);
+    }
+    PARPP_CHECK(static_cast<int>(fields.size()) == order + 1, "load_tns: line ",
+                line_no, ": expected ", order + 1, " fields, got ",
+                fields.size());
+    for (int m = 0; m < order; ++m) {
+      const double c = fields[static_cast<std::size_t>(m)];
+      PARPP_CHECK(c >= 1.0 && c == static_cast<double>(static_cast<index_t>(c)),
+                  "load_tns: line ", line_no,
+                  ": coordinates must be positive integers (1-indexed)");
+      const index_t i = static_cast<index_t>(c) - 1;
+      idx.push_back(i);
+      max_idx[static_cast<std::size_t>(m)] =
+          std::max(max_idx[static_cast<std::size_t>(m)], i);
+    }
+    vals.push_back(fields.back());
+  }
+  if (order == 0) {
+    // No data lines: still a valid (empty) tensor when the dims header
+    // pins down the shape — save_tns always writes one, so nnz == 0
+    // round-trips.
+    PARPP_CHECK(!dims_header.empty(),
+                "load_tns: no nonzero entries and no '# dims' header");
+    return tensor::CooTensor(dims_header);
+  }
+  PARPP_CHECK(dims_header.empty() ||
+                  static_cast<int>(dims_header.size()) == order,
+              "load_tns: dims header order mismatch");
+
+  std::vector<index_t> shape(static_cast<std::size_t>(order));
+  for (int m = 0; m < order; ++m) {
+    const index_t seen = max_idx[static_cast<std::size_t>(m)] + 1;
+    if (!dims_header.empty()) {
+      PARPP_CHECK(dims_header[static_cast<std::size_t>(m)] >= seen,
+                  "load_tns: mode ", m, " index exceeds dims header");
+      shape[static_cast<std::size_t>(m)] =
+          dims_header[static_cast<std::size_t>(m)];
+    } else {
+      shape[static_cast<std::size_t>(m)] = seen;
+    }
+  }
+  tensor::CooTensor t(shape);
+  t.reserve(static_cast<index_t>(vals.size()));
+  for (std::size_t e = 0; e < vals.size(); ++e) {
+    t.push({idx.data() + e * static_cast<std::size_t>(order),
+            static_cast<std::size_t>(order)},
+           vals[e]);
+  }
+  t.coalesce();
+  return t;
+}
+
+void save_tns_file(const std::string& path, const tensor::CooTensor& t) {
+  std::ofstream os(path);
+  PARPP_CHECK(os.is_open(), "cannot open ", path, " for writing");
+  save_tns(os, t);
+}
+
+tensor::CooTensor load_tns_file(const std::string& path) {
+  std::ifstream is(path);
+  PARPP_CHECK(is.is_open(), "cannot open ", path, " for reading");
+  return load_tns(is);
 }
 
 }  // namespace parpp::io

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "parpp/la/matrix.hpp"
+#include "parpp/tensor/coo_tensor.hpp"
 #include "parpp/tensor/dense_tensor.hpp"
 
 namespace parpp::io {
@@ -31,5 +32,17 @@ void save_factors_file(const std::string& path,
                        const std::vector<la::Matrix>& factors);
 [[nodiscard]] std::vector<la::Matrix> load_factors_file(
     const std::string& path);
+
+/// FROSTT `.tns` text format: one "i1 i2 ... iN value" line per nonzero,
+/// 1-indexed coordinates, '#' comment lines tolerated anywhere. save_tns
+/// additionally writes a "# dims s1 ... sN" comment (still a valid FROSTT
+/// comment) so all-zero trailing slices survive a round-trip; load_tns
+/// honors it when present and otherwise infers each extent as the per-mode
+/// maximum index. The loaded tensor is coalesced (duplicate coordinates
+/// sum, FROSTT convention).
+void save_tns(std::ostream& os, const tensor::CooTensor& t);
+[[nodiscard]] tensor::CooTensor load_tns(std::istream& is);
+void save_tns_file(const std::string& path, const tensor::CooTensor& t);
+[[nodiscard]] tensor::CooTensor load_tns_file(const std::string& path);
 
 }  // namespace parpp::io

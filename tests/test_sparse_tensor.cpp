@@ -1,0 +1,180 @@
+// CooTensor / CsfTensor storage and FROSTT .tns round-trip tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "parpp/data/sparse_synthetic.hpp"
+#include "parpp/tensor/csf_tensor.hpp"
+#include "parpp/util/serialize.hpp"
+#include "test_util.hpp"
+
+namespace parpp {
+namespace {
+
+TEST(CooTensor, PushCoalesceMergesDuplicatesAndDropsZeros) {
+  tensor::CooTensor t({3, 4, 5});
+  const std::vector<index_t> a{2, 1, 0}, b{0, 0, 0}, c{1, 3, 4};
+  t.push(a, 1.5);
+  t.push(b, 2.0);
+  t.push(a, 0.25);   // duplicate of a: sums to 1.75
+  t.push(c, 3.0);
+  t.push(c, -3.0);   // cancels exactly: dropped
+  EXPECT_FALSE(t.coalesced());
+  EXPECT_EQ(t.nnz(), 5);
+
+  t.coalesce();
+  EXPECT_TRUE(t.coalesced());
+  ASSERT_EQ(t.nnz(), 2);
+  // Lexicographic order: (0,0,0) then (2,1,0).
+  EXPECT_EQ(t.index(0, 0), 0);
+  EXPECT_DOUBLE_EQ(t.value(0), 2.0);
+  EXPECT_EQ(t.index(1, 0), 2);
+  EXPECT_EQ(t.index(1, 1), 1);
+  EXPECT_DOUBLE_EQ(t.value(1), 1.75);
+
+  EXPECT_DOUBLE_EQ(t.squared_norm(), 2.0 * 2.0 + 1.75 * 1.75);
+}
+
+TEST(CooTensor, DensifyAccumulatesDuplicates) {
+  tensor::CooTensor t({2, 2});
+  const std::vector<index_t> a{1, 0};
+  t.push(a, 1.0);
+  t.push(a, 2.5);
+  const tensor::DenseTensor d = t.densify();
+  EXPECT_DOUBLE_EQ(d.at(std::vector<index_t>{1, 0}), 3.5);
+  EXPECT_DOUBLE_EQ(d.at(std::vector<index_t>{0, 0}), 0.0);
+}
+
+TEST(CooTensor, FromDenseRoundTrip) {
+  const tensor::DenseTensor dense = test::random_tensor({4, 3, 5}, 11);
+  const tensor::CooTensor coo = tensor::CooTensor::from_dense(dense);
+  EXPECT_TRUE(coo.coalesced());
+  EXPECT_EQ(coo.nnz(), dense.size());  // uniform [0,1): no exact zeros
+  test::expect_tensor_near(coo.densify(), dense, 0.0, "from_dense round trip");
+  EXPECT_NEAR(coo.squared_norm(), dense.squared_norm(), 1e-12);
+}
+
+TEST(CsfTensor, RequiresCoalescedInput) {
+  tensor::CooTensor t({2, 2});
+  const std::vector<index_t> a{0, 1};
+  t.push(a, 1.0);
+  EXPECT_THROW((void)tensor::CsfTensor(t), parpp::error);
+  t.coalesce();
+  EXPECT_NO_THROW((void)tensor::CsfTensor(t));
+}
+
+TEST(CsfTensor, TreeStructureMatchesPattern) {
+  // 2x3x2 tensor with nonzeros (0,0,0) (0,0,1) (0,2,0) (1,1,1).
+  tensor::CooTensor coo({2, 3, 2});
+  for (const auto& e : std::vector<std::vector<index_t>>{
+           {0, 0, 0}, {0, 0, 1}, {0, 2, 0}, {1, 1, 1}}) {
+    coo.push(e, 1.0);
+  }
+  coo.coalesce();
+  const tensor::CsfTensor csf(coo);
+  EXPECT_EQ(csf.nnz(), 4);
+
+  const auto& tr0 = csf.tree(0);
+  ASSERT_EQ(tr0.mode_order, (std::vector<int>{0, 1, 2}));
+  // Root slices: i=0 (3 nnz, fibers (0,0),(0,2)) and i=1 (1 nnz).
+  EXPECT_EQ(tr0.root_count(), 2);
+  EXPECT_EQ(tr0.fids[1].size(), 3u);  // fibers (0,0) (0,2) (1,1)
+  EXPECT_EQ(tr0.vals.size(), 4u);
+  EXPECT_EQ(tr0.fptr[0], (std::vector<index_t>{0, 2, 3}));
+  EXPECT_EQ(tr0.fptr[1], (std::vector<index_t>{0, 2, 3, 4}));
+  EXPECT_EQ(tr0.internal_nodes, 3);
+
+  // Tree rooted at mode 2: slices k=0 (2 nnz) and k=1 (2 nnz).
+  const auto& tr2 = csf.tree(2);
+  ASSERT_EQ(tr2.mode_order, (std::vector<int>{2, 0, 1}));
+  EXPECT_EQ(tr2.root_count(), 2);
+  EXPECT_EQ(tr2.fids[0], (std::vector<index_t>{0, 1}));
+}
+
+TEST(CsfTensor, StatsMatchCoo) {
+  const tensor::CooTensor coo =
+      data::make_sparse_random({6, 7, 5, 4}, 0.07, 3);
+  const tensor::CsfTensor csf(coo);
+  EXPECT_EQ(csf.order(), 4);
+  EXPECT_EQ(csf.nnz(), coo.nnz());
+  EXPECT_DOUBLE_EQ(csf.squared_norm(), coo.squared_norm());
+  for (int m = 0; m < 4; ++m) {
+    const auto& tree = csf.tree(m);
+    EXPECT_EQ(tree.mode_order.front(), m);
+    EXPECT_EQ(static_cast<index_t>(tree.vals.size()), coo.nnz());
+    // Every level is weakly smaller than the one below (prefix counts).
+    for (std::size_t l = 1; l < tree.fids.size(); ++l)
+      EXPECT_LE(tree.fids[l - 1].size(), tree.fids[l].size());
+  }
+}
+
+TEST(SerializeTns, FileRoundTrip) {
+  const tensor::CooTensor original =
+      data::make_sparse_random({9, 5, 12}, 0.05, 21);
+  const std::string path = "/tmp/parpp_test_tensor.tns";
+  io::save_tns_file(path, original);
+  const tensor::CooTensor loaded = io::load_tns_file(path);
+  std::remove(path.c_str());
+
+  // The dims header preserves the exact shape even if trailing slices are
+  // empty; entries and values round-trip bit-for-bit via %.17g.
+  EXPECT_EQ(loaded.shape(), original.shape());
+  ASSERT_EQ(loaded.nnz(), original.nnz());
+  for (index_t e = 0; e < original.nnz(); ++e) {
+    for (int m = 0; m < original.order(); ++m)
+      EXPECT_EQ(loaded.index(e, m), original.index(e, m));
+    EXPECT_DOUBLE_EQ(loaded.value(e), original.value(e));
+  }
+}
+
+TEST(SerializeTns, ToleratesCommentsDuplicatesAndInfersShape) {
+  // FROSTT-style: 1-indexed, '#' comments anywhere, duplicates sum.
+  std::istringstream is(
+      "# a comment line\n"
+      "1 1 1 2.0\n"
+      "\n"
+      "3 2 1 -1.5\n"
+      "# another comment\n"
+      "1 1 1 0.5\n");
+  const tensor::CooTensor t = io::load_tns(is);
+  EXPECT_EQ(t.shape(), (std::vector<index_t>{3, 2, 1}));
+  ASSERT_EQ(t.nnz(), 2);
+  EXPECT_TRUE(t.coalesced());
+  EXPECT_DOUBLE_EQ(t.value(0), 2.5);   // (0,0,0): 2.0 + 0.5
+  EXPECT_DOUBLE_EQ(t.value(1), -1.5);  // (2,1,0)
+}
+
+TEST(SerializeTns, EmptyTensorRoundTripsViaDimsHeader) {
+  const tensor::CooTensor empty({3, 4, 5});
+  std::ostringstream os;
+  io::save_tns(os, empty);
+  std::istringstream is(os.str());
+  const tensor::CooTensor loaded = io::load_tns(is);
+  EXPECT_EQ(loaded.shape(), empty.shape());
+  EXPECT_EQ(loaded.nnz(), 0);
+}
+
+TEST(SerializeTns, RejectsMalformedInput) {
+  std::istringstream zero_indexed("0 1 1.0\n");
+  EXPECT_THROW((void)io::load_tns(zero_indexed), parpp::error);
+  std::istringstream ragged("1 1 1 2.0\n1 1 3.0\n");
+  EXPECT_THROW((void)io::load_tns(ragged), parpp::error);
+  std::istringstream empty("# nothing here\n");
+  EXPECT_THROW((void)io::load_tns(empty), parpp::error);
+}
+
+TEST(SparseSynthetic, LowRankMatchesExplicitReconstruction) {
+  const auto gen = data::make_sparse_lowrank({8, 9, 7}, 4, 0.1, 17);
+  EXPECT_TRUE(gen.tensor.coalesced());
+  ASSERT_EQ(gen.factors.size(), 3u);
+  // The COO is exactly [[A]]: densifying must reproduce the dense
+  // reconstruction of the generating factors.
+  test::expect_tensor_near(gen.tensor.densify(),
+                           tensor::reconstruct(gen.factors), 1e-12,
+                           "sparse lowrank == [[A]]");
+}
+
+}  // namespace
+}  // namespace parpp

@@ -9,6 +9,8 @@
 //   parpp_cli --dataset collinear --procs 8 --engine dt
 //   parpp_cli --load tensor.bin --rank 8 --nonneg
 //   parpp_cli --dataset timelapse --pp --nonneg          # PP x NNCP
+//   parpp_cli --input amazon.tns --rank 16               # sparse (FROSTT)
+//   parpp_cli --density 0.01 --size 64 --engine sparse   # synthetic sparse
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -18,7 +20,9 @@
 #include "parpp/data/coil.hpp"
 #include "parpp/data/collinearity.hpp"
 #include "parpp/data/hyperspectral.hpp"
+#include "parpp/data/sparse_synthetic.hpp"
 #include "parpp/solver/solver.hpp"
+#include "parpp/tensor/csf_tensor.hpp"
 #include "parpp/tensor/reconstruct.hpp"
 #include "parpp/util/serialize.hpp"
 #include "parpp/util/timer.hpp"
@@ -30,7 +34,11 @@ namespace {
 struct Cli {
   std::string dataset = "lowrank";
   std::string load_path;
+  std::string input_path;  ///< FROSTT .tns (sparse path)
   std::string save_path;
+  double density = 0.0;  ///< selects the synthetic sparse generator
+  bool density_set = false;
+  bool dataset_set = false;
   std::string engine = "msdt";
   std::string method;  ///< empty: derived from --pp / --nonneg
   index_t size = 64;
@@ -57,8 +65,13 @@ Cli parse(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (flag == "--dataset") cli.dataset = next();
+    if (flag == "--dataset") { cli.dataset = next(); cli.dataset_set = true; }
     else if (flag == "--load") cli.load_path = next();
+    else if (flag == "--input") cli.input_path = next();
+    else if (flag == "--density") {
+      cli.density = std::atof(next());
+      cli.density_set = true;
+    }
     else if (flag == "--save") cli.save_path = next();
     else if (flag == "--engine") cli.engine = next();
     else if (flag == "--method") cli.method = next();
@@ -88,10 +101,15 @@ void usage() {
       "  --dataset D     lowrank | random | collinear | chem | coil | "
       "timelapse (default lowrank)\n"
       "  --load FILE     read a tensor written with parpp::io instead\n"
+      "  --input FILE    read a sparse FROSTT .tns tensor (CSF storage,\n"
+      "                  sparse engine; methods als | nncp, sequential)\n"
+      "  --density D     synthetic sparse low-rank tensor at density D\n"
+      "                  (same sparse path as --input)\n"
       "  --save FILE     write the resulting factors (parpp::io format)\n"
       "  --method M      als | pp | nncp | pp-nncp (default als; --pp and\n"
       "                  --nonneg compose to the same four methods)\n"
-      "  --engine E      naive | dt | msdt (default msdt)\n"
+      "  --engine E      naive | dt | msdt | sparse (default msdt; sparse\n"
+      "                  inputs always run the sparse engine)\n"
       "  --size S        synthetic mode size (default 64)\n"
       "  --rank R        CP rank (default 16)\n"
       "  --procs P       simulated ranks; P > 1 runs Algorithm 3/4\n"
@@ -176,17 +194,45 @@ int main(int argc, char** argv) {
   }
 
   // Validate flag combinations before the (possibly expensive) dataset.
+  if (cli.density_set && !(cli.density > 0.0 && cli.density <= 1.0)) {
+    std::fprintf(stderr, "--density must be in (0, 1]\n");
+    return 2;
+  }
+  const bool sparse_mode = !cli.input_path.empty() || cli.density_set;
+  if (sparse_mode && (!cli.load_path.empty() || cli.dataset_set)) {
+    std::fprintf(stderr,
+                 "--input/--density selects the sparse path; it cannot be "
+                 "combined with --load or --dataset\n");
+    return 2;
+  }
+  if (!cli.input_path.empty() && cli.density_set) {
+    std::fprintf(stderr, "pick one of --input and --density\n");
+    return 2;
+  }
   const solver::Method method = method_of(cli);
   const auto engine = solver::engine_from_string(cli.engine);
   if (!engine) {
     std::fprintf(stderr, "unknown engine %s\n", cli.engine.c_str());
     return 2;
   }
-
-  const tensor::DenseTensor t = make_dataset(cli);
-  std::printf("tensor:");
-  for (index_t e : t.shape()) std::printf(" %lld", static_cast<long long>(e));
-  std::printf("  |T| = %.4e\n", t.frobenius_norm());
+  if (*engine == core::EngineKind::kSparse && !sparse_mode) {
+    std::fprintf(stderr,
+                 "--engine sparse needs sparse storage: pass --input "
+                 "FILE.tns or --density D\n");
+    return 2;
+  }
+  if (sparse_mode && cli.procs > 1) {
+    std::fprintf(stderr,
+                 "sparse tensors run sequentially (drop --procs)\n");
+    return 2;
+  }
+  if (sparse_mode && (method == solver::Method::kPp ||
+                      method == solver::Method::kPpNncp)) {
+    std::fprintf(stderr,
+                 "the PP methods have no sparse driver; use --method als "
+                 "or nncp with sparse inputs\n");
+    return 2;
+  }
 
   solver::SolverSpec spec;
   spec.method = method;
@@ -200,13 +246,43 @@ int main(int argc, char** argv) {
   if (cli.procs > 1)
     spec.execution = solver::Execution::simulated_parallel(cli.procs);
 
-  std::printf("method %s, engine %s, %s\n",
-              std::string(solver::to_string(spec.method)).c_str(),
-              std::string(solver::to_string(spec.engine)).c_str(),
-              cli.procs > 1 ? "simulated-parallel" : "sequential");
+  auto print_run = [&](const char* engine_name) {
+    std::printf("method %s, engine %s, %s\n",
+                std::string(solver::to_string(spec.method)).c_str(),
+                engine_name,
+                cli.procs > 1 ? "simulated-parallel" : "sequential");
+  };
 
   WallTimer timer;
-  solver::SolveReport report = parpp::solve(t, spec);
+  solver::SolveReport report;
+  if (sparse_mode) {
+    const tensor::CooTensor coo =
+        !cli.input_path.empty()
+            ? io::load_tns_file(cli.input_path)
+            : data::make_sparse_lowrank({cli.size, cli.size, cli.size},
+                                        cli.rank, cli.density, cli.seed)
+                  .tensor;
+    const tensor::CsfTensor t(coo);
+    std::printf("tensor:");
+    for (index_t e : t.shape())
+      std::printf(" %lld", static_cast<long long>(e));
+    std::printf("  nnz = %lld (density %.3e)  |T| = %.4e\n",
+                static_cast<long long>(t.nnz()), t.density(),
+                t.frobenius_norm());
+    spec.engine = core::EngineKind::kSparse;
+    print_run("sparse");
+    timer.reset();
+    report = parpp::solve(t, spec);
+  } else {
+    const tensor::DenseTensor t = make_dataset(cli);
+    std::printf("tensor:");
+    for (index_t e : t.shape())
+      std::printf(" %lld", static_cast<long long>(e));
+    std::printf("  |T| = %.4e\n", t.frobenius_norm());
+    print_run(std::string(solver::to_string(spec.engine)).c_str());
+    timer.reset();
+    report = parpp::solve(t, spec);
+  }
 
   if (spec.execution.is_parallel()) {
     std::printf("parallel run on %d ranks: comm %.0f msgs, %.3e words per "
