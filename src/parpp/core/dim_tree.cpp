@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "parpp/core/msdt.hpp"
+#include "parpp/core/pp_operators.hpp"
 #include "parpp/tensor/mttkrp_fused.hpp"
 #include "parpp/tensor/mttv.hpp"
 #include "parpp/tensor/transpose.hpp"
@@ -339,6 +340,10 @@ TensorProblem make_problem(const tensor::DenseTensor& t) {
   p.make_engine = [&t](EngineKind kind, const std::vector<la::Matrix>& factors,
                        Profile* profile, const EngineOptions& options) {
     return make_engine(kind, t, factors, profile, options);
+  };
+  p.make_pp_operators = [&t](const std::vector<la::Matrix>& factors,
+                             Profile* profile) {
+    return std::make_unique<PpOperators>(t, factors, profile);
   };
   return p;
 }

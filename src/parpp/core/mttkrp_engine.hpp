@@ -81,13 +81,16 @@ struct EngineOptions {
     const std::vector<la::Matrix>& factors, Profile* profile = nullptr,
     const EngineOptions& options = {});
 
+class PpOperators;
+
 /// Storage-agnostic view of a decomposition input — the complete contract
 /// between a tensor storage format and the sequential driver cores: the
 /// shape, the squared Frobenius norm feeding the Eq. (3) residual identity
 /// ||T - [[A]]||^2 = ||T||^2 - 2<M(N), A(N)> + <Γ(N), S(N)> (which reuses
-/// the sweep's last MTTKRP and never reconstructs the tensor), and an
-/// engine factory bound to the storage. Drivers written against
-/// TensorProblem cannot see the storage class, so they cannot densify.
+/// the sweep's last MTTKRP and never reconstructs the tensor), an engine
+/// factory bound to the storage, and a pairwise-perturbation operator
+/// factory for the PP drivers. Drivers written against TensorProblem
+/// cannot see the storage class, so they cannot densify.
 struct TensorProblem {
   std::vector<index_t> shape;
   double squared_norm = 0.0;
@@ -95,6 +98,12 @@ struct TensorProblem {
       EngineKind, const std::vector<la::Matrix>&, Profile*,
       const EngineOptions&)>
       make_engine;
+  /// PP operators bound to the storage (dense dimension-tree chains or
+  /// sparse CSF pair walks); both emit the same dense pair operators, so
+  /// PpApprox and the Algorithm 2/4 loops are storage-blind.
+  std::function<std::unique_ptr<PpOperators>(const std::vector<la::Matrix>&,
+                                             Profile*)>
+      make_pp_operators;
 
   [[nodiscard]] int order() const { return static_cast<int>(shape.size()); }
 };

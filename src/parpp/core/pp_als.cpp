@@ -8,6 +8,7 @@
 #include "parpp/core/pp_engine.hpp"
 #include "parpp/core/pp_operators.hpp"
 #include "parpp/core/solve_update.hpp"
+#include "parpp/core/sparse_engine.hpp"
 #include "parpp/la/gemm.hpp"
 #include "parpp/util/timer.hpp"
 
@@ -31,38 +32,53 @@ CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
   return pp_cp_als(t, options, pp_options, DriverHooks{});
 }
 
+namespace {
+
+detail::FactorUpdate als_update() {
+  return [](la::Matrix& a, const la::Matrix& gamma, const la::Matrix& m,
+            Profile& profile) { a = update_factor(gamma, m, &profile); };
+}
+
+}  // namespace
+
 CpResult pp_cp_als(const tensor::DenseTensor& t, const CpOptions& options,
                    const PpOptions& pp_options, const DriverHooks& hooks) {
-  return detail::run_pp_driver(
-      t, options, pp_options, hooks,
-      [](la::Matrix& a, const la::Matrix& gamma, const la::Matrix& m,
-         Profile& profile) { a = update_factor(gamma, m, &profile); },
-      "als");
+  return detail::run_pp_driver(make_problem(t), options, pp_options, hooks,
+                               als_update(), "als");
+}
+
+CpResult pp_cp_als(const tensor::CsfTensor& t, const CpOptions& options,
+                   const PpOptions& pp_options, const DriverHooks& hooks) {
+  return detail::run_pp_driver(make_problem(t), options, pp_options, hooks,
+                               als_update(), "als");
 }
 
 namespace detail {
 
-CpResult run_pp_driver(const tensor::DenseTensor& t, const CpOptions& options,
+CpResult run_pp_driver(const TensorProblem& problem, const CpOptions& options,
                        const PpOptions& pp_options, const DriverHooks& hooks,
                        const FactorUpdate& update,
                        const char* regular_phase) {
-  const int n = t.order();
+  const int n = problem.order();
   PARPP_CHECK(n >= 3, "pp driver: order must be >= 3");
   PARPP_CHECK(pp_options.pp_tol > 0.0 && pp_options.pp_tol < 1.0,
               "pp driver: pp_tol must be in (0,1)");
+  PARPP_CHECK(problem.make_pp_operators != nullptr,
+              "pp driver: storage provides no PP operator factory");
 
   CpResult result;
   Profile profile;
   result.factors =
-      resolve_init_factors(t.shape(), options.rank, options.seed, hooks);
+      resolve_init_factors(problem.shape, options.rank, options.seed, hooks);
   auto& factors = result.factors;
   std::vector<la::Matrix> grams = all_grams(factors, &profile);
 
   EngineOptions eopt = options.engine_options;
-  auto engine = make_engine(pp_options.regular_engine, t, factors, &profile,
-                            eopt);
+  auto engine = problem.make_engine(pp_options.regular_engine, factors,
+                                    &profile, eopt);
   auto* tree_engine = dynamic_cast<TreeEngineBase*>(engine.get());
-  PpOperators ops(t, factors, &profile);
+  auto ops_ptr = problem.make_pp_operators(factors, &profile);
+  PpOperators& ops = *ops_ptr;
 
   // One mode update: apply the method's factor update, then refresh the
   // engine and Gram state (identical for exact and approximated MTTKRPs).
@@ -73,7 +89,7 @@ CpResult run_pp_driver(const tensor::DenseTensor& t, const CpOptions& options,
         la::gram(factors[static_cast<std::size_t>(i)], &profile);
   };
 
-  const double t_sq = t.squared_norm();
+  const double t_sq = problem.squared_norm;
   WallTimer timer;
 
   // dA across the latest regular sweep; seeded with A itself so the PP

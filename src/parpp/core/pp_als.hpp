@@ -22,7 +22,11 @@ struct PpOptions {
 
 /// Runs PP-CP-ALS: regular sweeps until the factors move slowly, then PP
 /// initialization + approximated sweeps, falling back to regular sweeps
-/// whenever the perturbation grows past pp_tol (Algorithm 2).
+/// whenever the perturbation grows past pp_tol (Algorithm 2). Like cp_als,
+/// the TensorProblem overload is the storage-agnostic core; the
+/// DenseTensor and CsfTensor overloads adapt via core::make_problem (the
+/// sparse path builds its operators with CSF pair walks and never
+/// densifies).
 [[nodiscard]] CpResult pp_cp_als(const tensor::DenseTensor& t,
                                  const CpOptions& options,
                                  const PpOptions& pp_options = {});
@@ -30,6 +34,10 @@ struct PpOptions {
                                  const CpOptions& options,
                                  const PpOptions& pp_options,
                                  const DriverHooks& hooks);
+[[nodiscard]] CpResult pp_cp_als(const tensor::CsfTensor& t,
+                                 const CpOptions& options,
+                                 const PpOptions& pp_options = {},
+                                 const DriverHooks& hooks = {});
 
 namespace detail {
 
@@ -43,7 +51,8 @@ using FactorUpdate = std::function<void(
 /// PP-phase trigger, divergence guard, stopping comparison and final exact
 /// residual are identical for both; only the factor update differs.
 /// `regular_phase` labels the exact sweeps in the history ("als"/"nncp").
-[[nodiscard]] CpResult run_pp_driver(const tensor::DenseTensor& t,
+/// `problem` must provide make_pp_operators.
+[[nodiscard]] CpResult run_pp_driver(const TensorProblem& problem,
                                      const CpOptions& options,
                                      const PpOptions& pp_options,
                                      const DriverHooks& hooks,

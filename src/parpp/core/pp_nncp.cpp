@@ -1,6 +1,31 @@
 #include "parpp/core/pp_nncp.hpp"
 
+#include "parpp/core/sparse_engine.hpp"
+
 namespace parpp::core {
+
+namespace {
+
+CpResult run_pp_nncp(const TensorProblem& problem, const CpOptions& options,
+                     const PpOptions& pp_options,
+                     const NncpOptions& nn_options,
+                     const DriverHooks& hooks) {
+  PARPP_CHECK(nn_options.inner_iterations >= 1,
+              "pp_nncp_hals: need at least one inner iteration");
+  // The shared Algorithm-2 loop with the projected HALS passes substituted
+  // for the normal-equations solve; the PP machinery is untouched because
+  // it only produces the (approximated) MTTKRP the update consumes.
+  return detail::run_pp_driver(
+      problem, options, pp_options, hooks,
+      [&nn_options](la::Matrix& a, const la::Matrix& gamma,
+                    const la::Matrix& m, Profile& profile) {
+        for (int pass = 0; pass < nn_options.inner_iterations; ++pass)
+          hals_update(a, m, gamma, nn_options.epsilon, profile);
+      },
+      "nncp");
+}
+
+}  // namespace
 
 CpResult pp_nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
                       const PpOptions& pp_options,
@@ -12,19 +37,14 @@ CpResult pp_nncp_hals(const tensor::DenseTensor& t, const CpOptions& options,
                       const PpOptions& pp_options,
                       const NncpOptions& nn_options,
                       const DriverHooks& hooks) {
-  PARPP_CHECK(nn_options.inner_iterations >= 1,
-              "pp_nncp_hals: need at least one inner iteration");
-  // The shared Algorithm-2 loop with the projected HALS passes substituted
-  // for the normal-equations solve; the PP machinery is untouched because
-  // it only produces the (approximated) MTTKRP the update consumes.
-  return detail::run_pp_driver(
-      t, options, pp_options, hooks,
-      [&nn_options](la::Matrix& a, const la::Matrix& gamma,
-                    const la::Matrix& m, Profile& profile) {
-        for (int pass = 0; pass < nn_options.inner_iterations; ++pass)
-          hals_update(a, m, gamma, nn_options.epsilon, profile);
-      },
-      "nncp");
+  return run_pp_nncp(make_problem(t), options, pp_options, nn_options, hooks);
+}
+
+CpResult pp_nncp_hals(const tensor::CsfTensor& t, const CpOptions& options,
+                      const PpOptions& pp_options,
+                      const NncpOptions& nn_options,
+                      const DriverHooks& hooks) {
+  return run_pp_nncp(make_problem(t), options, pp_options, nn_options, hooks);
 }
 
 }  // namespace parpp::core

@@ -28,5 +28,10 @@ namespace parpp::core {
                                     const PpOptions& pp_options,
                                     const NncpOptions& nn_options,
                                     const DriverHooks& hooks);
+[[nodiscard]] CpResult pp_nncp_hals(const tensor::CsfTensor& t,
+                                    const CpOptions& options,
+                                    const PpOptions& pp_options = {},
+                                    const NncpOptions& nn_options = {},
+                                    const DriverHooks& hooks = {});
 
 }  // namespace parpp::core

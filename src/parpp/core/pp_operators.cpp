@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parpp/tensor/csf_tensor.hpp"
+#include "parpp/tensor/mttkrp_sparse.hpp"
 #include "parpp/tensor/mttv.hpp"
 #include "parpp/tensor/ttm.hpp"
 
@@ -11,6 +13,15 @@ PpOperators::PpOperators(const tensor::DenseTensor& t,
                          const std::vector<la::Matrix>& factors,
                          Profile* profile)
     : t_(&t), factors_(&factors), profile_(profile), n_(t.order()) {
+  PARPP_CHECK(n_ >= 3, "pairwise perturbation requires order >= 3");
+  PARPP_CHECK(static_cast<int>(factors.size()) == n_,
+              "PpOperators: factor count mismatch");
+}
+
+PpOperators::PpOperators(const tensor::CsfTensor& t,
+                         const std::vector<la::Matrix>& factors,
+                         Profile* profile)
+    : sparse_t_(&t), factors_(&factors), profile_(profile), n_(t.order()) {
   PARPP_CHECK(n_ >= 3, "pairwise perturbation requires order >= 3");
   PARPP_CHECK(static_cast<int>(factors.size()) == n_,
               "PpOperators: factor count mismatch");
@@ -89,7 +100,40 @@ const PpOperators::Node& PpOperators::ensure_set(int c,
   return memo_.emplace(set, std::move(node)).first->second;
 }
 
+void PpOperators::build_sparse() {
+  if (mp_.size() != static_cast<std::size_t>(n_))
+    mp_.resize(static_cast<std::size_t>(n_));
+  last_build_ttms_ = 0;
+  Profile& prof = profile_ ? *profile_ : Profile::thread_default();
+
+  // Pair operators via the two-free-mode CSF walk. The map entries keep
+  // workspace-backed storage across rebuilds (shapes are build-invariant),
+  // so the periodic PP initializations never allocate after the first.
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      PairOp& op = pairs_[std::make_pair(i, j)];
+      if (op.modes.empty()) op.data = tensor::DenseTensor(ws_);
+      tensor::pair_mttkrp_csf_into(*sparse_t_, *factors_, i, j, op.data,
+                                   &prof, &ws_);
+      op.modes = {i, j};
+    }
+  }
+  built_ = true;
+
+  // Leaves M_p(n): the sparse engine's exact MTTKRP at the snapshot
+  // factors (the CSF analogue of contracting the partner mode out of a
+  // pair operator, with the same no-densification guarantee).
+  for (int m = 0; m < n_; ++m) {
+    tensor::mttkrp_csf_into(*sparse_t_, *factors_, m,
+                            mp_[static_cast<std::size_t>(m)], &prof, &ws_);
+  }
+}
+
 void PpOperators::build(const TreeEngineBase* donor) {
+  if (sparse_t_ != nullptr) {
+    build_sparse();
+    return;
+  }
   memo_.clear();
   if (mp_.size() != static_cast<std::size_t>(n_))
     mp_.resize(static_cast<std::size_t>(n_));

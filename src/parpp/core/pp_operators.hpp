@@ -33,12 +33,32 @@ class PpOperators {
               const std::vector<la::Matrix>& factors,
               Profile* profile = nullptr);
 
+  /// Sparse storage: pair operators come from two-free-mode CSF walks
+  /// (tensor::pair_mttkrp_csf_into) and the leaves M_p(n) are the sparse
+  /// engine's exact MTTKRPs — nothing is densified, and the approximated
+  /// sweeps downstream (PpApprox, the Algorithm 4 corrections) consume the
+  /// same dense pair operators either storage produces.
+  PpOperators(const tensor::CsfTensor& t,
+              const std::vector<la::Matrix>& factors,
+              Profile* profile = nullptr);
+
   /// (Re)builds all operators at the current factor values. `donor` may be
-  /// the regular-sweep tree engine (or null).
+  /// the regular-sweep tree engine (or null; sparse builds have no tree
+  /// cache to amortize against and ignore it).
   void build(const TreeEngineBase* donor = nullptr);
 
   [[nodiscard]] bool built() const { return built_; }
   [[nodiscard]] int order() const { return n_; }
+  [[nodiscard]] bool sparse() const { return sparse_t_ != nullptr; }
+
+  /// Build-arena counters: steady-state rebuilds must hold both flat
+  /// (tests assert the PP phase never allocates after the first build).
+  [[nodiscard]] std::size_t workspace_bytes() const {
+    return ws_.total_bytes();
+  }
+  [[nodiscard]] std::size_t workspace_allocations() const {
+    return ws_.allocation_count();
+  }
 
   /// Pair operator for i < j; `modes` reports the storage order of its two
   /// tensor modes (the rank mode is always last).
@@ -76,7 +96,10 @@ class PpOperators {
   const Node& ensure_set(int c, const std::vector<int>& set,
                          const TreeEngineBase* donor);
 
-  const tensor::DenseTensor* t_;
+  void build_sparse();
+
+  const tensor::DenseTensor* t_ = nullptr;
+  const tensor::CsfTensor* sparse_t_ = nullptr;
   const std::vector<la::Matrix>* factors_;
   Profile* profile_;
   int n_;

@@ -1,5 +1,6 @@
 #include "parpp/core/sparse_engine.hpp"
 
+#include "parpp/core/pp_operators.hpp"
 #include "parpp/tensor/mttkrp_sparse.hpp"
 
 namespace parpp::core {
@@ -35,6 +36,10 @@ TensorProblem make_problem(const tensor::CsfTensor& t) {
   p.make_engine = [&t](EngineKind kind, const std::vector<la::Matrix>& factors,
                        Profile* profile, const EngineOptions& options) {
     return make_engine(kind, t, factors, profile, options);
+  };
+  p.make_pp_operators = [&t](const std::vector<la::Matrix>& factors,
+                             Profile* profile) {
+    return std::make_unique<PpOperators>(t, factors, profile);
   };
   return p;
 }

@@ -1,0 +1,45 @@
+#include "parpp/dist/local_problem.hpp"
+
+#include "parpp/core/pp_operators.hpp"
+
+namespace parpp::dist {
+
+namespace {
+
+class DenseLocalProblem final : public LocalProblem {
+ public:
+  explicit DenseLocalProblem(tensor::DenseTensor block)
+      : block_(std::move(block)), sq_norm_(block_.squared_norm()) {}
+
+  [[nodiscard]] const std::vector<index_t>& shape() const override {
+    return block_.shape();
+  }
+  [[nodiscard]] double squared_norm() const override { return sq_norm_; }
+
+  [[nodiscard]] std::unique_ptr<core::MttkrpEngine> make_engine(
+      core::EngineKind kind, const std::vector<la::Matrix>& slice_factors,
+      Profile* profile, const core::EngineOptions& options) const override {
+    return core::make_engine(kind, block_, slice_factors, profile, options);
+  }
+
+  [[nodiscard]] std::unique_ptr<core::PpOperators> make_pp_operators(
+      const std::vector<la::Matrix>& slice_factors,
+      Profile* profile) const override {
+    return std::make_unique<core::PpOperators>(block_, slice_factors,
+                                               profile);
+  }
+
+ private:
+  tensor::DenseTensor block_;
+  double sq_norm_;
+};
+
+}  // namespace
+
+std::unique_ptr<LocalProblem> DenseBlockProblem::make_local(
+    const BlockDist& dist, const std::vector<int>& coords) const {
+  return std::make_unique<DenseLocalProblem>(
+      extract_local_block(*t_, dist, coords));
+}
+
+}  // namespace parpp::dist

@@ -1,0 +1,80 @@
+// Storage-agnostic distributed tensor problems for the parallel drivers.
+//
+// dist::LocalProblem is the per-rank analogue of core::TensorProblem: the
+// complete contract between one grid block's storage and the Algorithm 3/4
+// driver loop — the (padded) block shape the slice factors must match, the
+// block's squared Frobenius norm feeding the Eq. (3) residual reductions,
+// the local MTTKRP engine factory, and the pairwise-perturbation operator
+// factory for the Algorithm 4 initialization. dist::DistProblem hands out
+// LocalProblems per grid coordinate; the historical dense slab extraction
+// (extract_local_block) is one implementation (DenseBlockProblem, bit for
+// bit the old behavior), the sparse COO partition another
+// (SparseBlockDist, sparse_dist.hpp). Drivers written against these
+// interfaces cannot see the storage class, so they cannot densify.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "parpp/core/mttkrp_engine.hpp"
+#include "parpp/dist/dist_tensor.hpp"
+
+namespace parpp::dist {
+
+class LocalProblem {
+ public:
+  virtual ~LocalProblem() = default;
+
+  /// Padded block extents; equals BlockDist::local_shape() of the build.
+  [[nodiscard]] virtual const std::vector<index_t>& shape() const = 0;
+
+  /// Squared Frobenius norm of the block (padding contributes zero); the
+  /// world All-Reduce of these is ||T||^2 in Eq. (3).
+  [[nodiscard]] virtual double squared_norm() const = 0;
+
+  /// Engine over the block storage, bound to the slice factor matrices
+  /// (dist::FactorDist::slices(); both must outlive the engine).
+  [[nodiscard]] virtual std::unique_ptr<core::MttkrpEngine> make_engine(
+      core::EngineKind kind, const std::vector<la::Matrix>& slice_factors,
+      Profile* profile, const core::EngineOptions& options) const = 0;
+
+  /// PP operators over the block storage (Algorithm 4 line 2); bound like
+  /// the engine. The LocalProblem must outlive the returned operators.
+  [[nodiscard]] virtual std::unique_ptr<core::PpOperators> make_pp_operators(
+      const std::vector<la::Matrix>& slice_factors,
+      Profile* profile) const = 0;
+};
+
+/// A global decomposition input that knows how to carve itself into
+/// per-rank local problems over a BlockDist.
+class DistProblem {
+ public:
+  virtual ~DistProblem() = default;
+
+  [[nodiscard]] virtual const std::vector<index_t>& global_shape() const = 0;
+
+  /// Builds the local problem for the block at grid coordinates `coords`.
+  /// Called concurrently from every simulated rank body — implementations
+  /// must be thread-safe (const reads of the shared global storage).
+  [[nodiscard]] virtual std::unique_ptr<LocalProblem> make_local(
+      const BlockDist& dist, const std::vector<int>& coords) const = 0;
+};
+
+/// Dense storage: hyper-rectangular zero-padded slabs via
+/// extract_local_block (Sec. II-A). Non-owning — `t` must outlive this and
+/// every local problem made from it.
+class DenseBlockProblem final : public DistProblem {
+ public:
+  explicit DenseBlockProblem(const tensor::DenseTensor& t) : t_(&t) {}
+
+  [[nodiscard]] const std::vector<index_t>& global_shape() const override {
+    return t_->shape();
+  }
+  [[nodiscard]] std::unique_ptr<LocalProblem> make_local(
+      const BlockDist& dist, const std::vector<int>& coords) const override;
+
+ private:
+  const tensor::DenseTensor* t_;
+};
+
+}  // namespace parpp::dist

@@ -1,0 +1,51 @@
+// Sparse block distribution over the processor grid (the sparse sibling of
+// extract_local_block).
+//
+// Nonzeros are partitioned by the grid's hyper-rectangular blocks — entry
+// ownership follows the same padded BlockDist geometry the dense path and
+// the factor distribution use, so the medium-grained collective pattern of
+// Algorithm 3 (slice All-Gather, Reduce-Scatter of slice-shaped MTTKRP
+// contributions) carries over unchanged. Each rank's block becomes a local
+// CsfTensor with block-relative coordinates; blocks that own no nonzeros
+// still get a valid (empty) CSF tensor whose MTTKRP contributes zeros.
+//
+// Partitioning is a plain geometric split of the coalesced entry list; a
+// load-balanced (nnz-aware) partition is a ROADMAP item.
+#pragma once
+
+#include "parpp/dist/local_problem.hpp"
+#include "parpp/tensor/coo_tensor.hpp"
+#include "parpp/tensor/csf_tensor.hpp"
+
+namespace parpp::dist {
+
+class SparseBlockDist final : public DistProblem {
+ public:
+  /// Non-owning view of a coalesced COO tensor (must outlive this and
+  /// every local problem made from it).
+  explicit SparseBlockDist(const tensor::CooTensor& coo);
+
+  /// Owning adapter for already-compressed storage: reconstructs the
+  /// coalesced entry list from `t`'s mode-0 fiber tree. `t` may be
+  /// discarded afterwards.
+  explicit SparseBlockDist(const tensor::CsfTensor& t);
+
+  // coo_ may point into owned_, so default copies/moves would leave the
+  // new object aimed at the source's storage.
+  SparseBlockDist(const SparseBlockDist&) = delete;
+  SparseBlockDist& operator=(const SparseBlockDist&) = delete;
+
+  [[nodiscard]] const std::vector<index_t>& global_shape() const override;
+
+  /// Scans the entry list for the nonzeros inside the block at `coords`
+  /// and builds a local CsfTensor with reindexed (block-relative)
+  /// coordinates. Thread-safe: concurrent calls only read the shared list.
+  [[nodiscard]] std::unique_ptr<LocalProblem> make_local(
+      const BlockDist& dist, const std::vector<int>& coords) const override;
+
+ private:
+  tensor::CooTensor owned_;  ///< engaged by the CsfTensor constructor
+  const tensor::CooTensor* coo_;
+};
+
+}  // namespace parpp::dist

@@ -6,6 +6,7 @@
 #include "parpp/core/fitness.hpp"
 #include "parpp/core/gram.hpp"
 #include "parpp/core/solve_update.hpp"
+#include "parpp/dist/sparse_dist.hpp"
 #include "parpp/la/gemm.hpp"
 #include "parpp/util/timer.hpp"
 
@@ -27,6 +28,25 @@ void hals_update_rows(la::Matrix& a, const la::Matrix& m,
   }
 }
 
+bool rescue_zero_columns(mpsim::Comm& comm, dist::FactorDist& fd, int mode,
+                         la::Matrix& s, double eps_floor) {
+  bool any_zero = false;
+  for (index_t j = 0; j < s.cols(); ++j)
+    if (s(j, j) == 0.0) any_zero = true;
+  // `s` is replicated (post All-Reduce), so every rank takes this branch
+  // identically and the extra collective below stays matched.
+  if (!any_zero) return false;
+  la::Matrix& q = fd.q(mode);
+  for (index_t j = 0; j < s.cols(); ++j) {
+    if (s(j, j) != 0.0) continue;
+    for (index_t r = 0; r < q.rows(); ++r)
+      if (fd.q_row_global(mode, r) >= 0) q(r, j) = eps_floor;
+  }
+  s = la::gram(q);
+  comm.allreduce_sum(s.data(), s.size());
+  return true;
+}
+
 bool hooks_continue_collective(mpsim::Comm& comm,
                                const core::DriverHooks& hooks,
                                const core::SweepRecord& rec) {
@@ -38,16 +58,31 @@ bool hooks_continue_collective(mpsim::Comm& comm,
   return stop == 0.0;
 }
 
+ParCpContext::ParCpContext(mpsim::Comm& comm, const dist::DistProblem& problem,
+                           const ParOptions& options,
+                           const std::vector<la::Matrix>* initial_factors)
+    : ParCpContext(comm, options, nullptr, &problem, initial_factors) {}
+
 ParCpContext::ParCpContext(mpsim::Comm& comm,
                            const tensor::DenseTensor& global_t,
                            const ParOptions& options,
                            const std::vector<la::Matrix>* initial_factors)
+    : ParCpContext(comm, options,
+                   std::make_unique<dist::DenseBlockProblem>(global_t),
+                   nullptr, initial_factors) {}
+
+ParCpContext::ParCpContext(mpsim::Comm& comm, const ParOptions& options,
+                           std::unique_ptr<dist::DistProblem> owned,
+                           const dist::DistProblem* problem,
+                           const std::vector<la::Matrix>* initial_factors)
     : comm_(comm),
       options_(options),
-      n_(global_t.order()),
+      owned_problem_(std::move(owned)),
+      problem_(owned_problem_ ? owned_problem_.get() : problem),
+      n_(static_cast<int>(problem_->global_shape().size())),
       grid_(comm, options.grid_dims),
-      dist_(grid_, global_t.shape()),
-      local_(dist::extract_local_block(global_t, dist_, grid_.coords())),
+      dist_(grid_, problem_->global_shape()),
+      local_(problem_->make_local(dist_, grid_.coords())),
       fd_(grid_, dist_, options.base.rank) {
   // Deterministic global initialization so any grid reproduces the
   // sequential run bit-for-bit (each rank generates — or, for a warm
@@ -55,7 +90,8 @@ ParCpContext::ParCpContext(mpsim::Comm& comm,
   core::DriverHooks init_hooks;
   init_hooks.initial_factors = initial_factors;
   const auto global_factors = core::resolve_init_factors(
-      global_t.shape(), options_.base.rank, options_.base.seed, init_hooks);
+      dist_.global_shape(), options_.base.rank, options_.base.seed,
+      init_hooks);
   grams_.resize(static_cast<std::size_t>(n_));
   for (int m = 0; m < n_; ++m) {
     fd_.set_q_from_global(m, global_factors[static_cast<std::size_t>(m)]);
@@ -64,10 +100,10 @@ ParCpContext::ParCpContext(mpsim::Comm& comm,
     grams_[static_cast<std::size_t>(m)] = std::move(s);
     fd_.gather_slice(m);
   }
-  engine_ = core::make_engine(options_.local_engine, local_, fd_.slices(),
-                              nullptr, options_.engine_options);
+  engine_ = local_->make_engine(options_.local_engine, fd_.slices(), nullptr,
+                                options_.engine_options);
 
-  double sq = local_.squared_norm();
+  double sq = local_->squared_norm();
   comm_.allreduce_sum(&sq, 1);
   t_sq_ = sq;
 }
@@ -91,6 +127,7 @@ void ParCpContext::solve_and_propagate(int mode, const la::Matrix& m_q,
       hals_update_rows(q, m_q, gamma, hals_epsilon_);
     la::Matrix s = la::gram(q);
     comm_.allreduce_sum(s.data(), s.size());
+    rescue_zero_columns(comm_, fd_, mode, s, hals_epsilon_);
     grams_[static_cast<std::size_t>(mode)] = std::move(s);
     fd_.gather_slice(mode);
     engine_->notify_update(mode);
@@ -183,6 +220,20 @@ ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
 ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
                      const ParOptions& options,
                      const core::DriverHooks& hooks) {
+  const dist::DenseBlockProblem problem(global_t);
+  return par_cp_als(problem, nprocs, options, hooks);
+}
+
+ParResult par_cp_als(const tensor::CsfTensor& global_t, int nprocs,
+                     const ParOptions& options,
+                     const core::DriverHooks& hooks) {
+  const dist::SparseBlockDist problem(global_t);
+  return par_cp_als(problem, nprocs, options, hooks);
+}
+
+ParResult par_cp_als(const dist::DistProblem& problem, int nprocs,
+                     const ParOptions& options,
+                     const core::DriverHooks& hooks) {
   ParResult result;
   std::vector<std::vector<Profile>> sweep_profiles(
       static_cast<std::size_t>(nprocs));
@@ -192,7 +243,7 @@ ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
   auto run_result = mpsim::run(
       nprocs,
       [&](mpsim::Comm& comm) {
-        ParCpContext ctx(comm, global_t, options, hooks.initial_factors);
+        ParCpContext ctx(comm, problem, options, hooks.initial_factors);
         const int n = ctx.order();
         WallTimer timer;
         double fit = 0.0, fit_old = -1.0;

@@ -1,11 +1,13 @@
 // Parallel CP-ALS (Algorithm 3) over the mpsim runtime.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "parpp/core/cp_als.hpp"
 #include "parpp/dist/dist_tensor.hpp"
 #include "parpp/dist/factor_dist.hpp"
+#include "parpp/dist/local_problem.hpp"
 #include "parpp/mpsim/runtime.hpp"
 #include "parpp/tensor/dense_tensor.hpp"
 
@@ -41,11 +43,29 @@ struct ParResult {
 };
 
 /// Row-local HALS pass over the Q-distributed rows (see core::hals_update):
-/// columns sequentially (Gauss-Seidel), rows independent, no zero-column
-/// rescue (columns are only locally visible). Shared by the nonnegative
+/// columns sequentially (Gauss-Seidel), rows independent. The zero-column
+/// rescue is global — see rescue_zero_columns. Shared by the nonnegative
 /// parallel drivers.
 void hals_update_rows(la::Matrix& a, const la::Matrix& m,
                       const la::Matrix& gamma, double eps_floor);
+
+/// Global zero-column rescue matching core::hals_update: `s` is the
+/// already All-Reduced Gram of factor `mode`, whose diagonal is the global
+/// squared column norm — an exactly-zero entry means the column died on
+/// every rank. Each rank then refloors its true (non-padding) Q rows to
+/// eps_floor and `s` is rebuilt with one extra All-Reduce. Returns whether
+/// a rescue fired; when none does (the common case) no additional
+/// communication happens, preserving the legacy collective pattern.
+///
+/// Runs once per mode update (after the final inner pass), whereas the
+/// sequential hals_update rescues inside every inner pass — detecting a
+/// mid-iteration collapse globally would cost one collective per pass
+/// unconditionally. Parallel NNCP therefore matches sequential exactly
+/// for inner_iterations == 1 (the default); with more passes the two can
+/// differ only in the rare event that a column hits exactly zero on an
+/// inner pass that is not the last.
+bool rescue_zero_columns(mpsim::Comm& comm, dist::FactorDist& fd, int mode,
+                         la::Matrix& s, double eps_floor);
 
 /// Collective verdict of `hooks.on_sweep`: rank 0 evaluates the hook, the
 /// verdict is all-reduced so every rank agrees on continuing. A no-op — and
@@ -60,9 +80,16 @@ void hals_update_rows(la::Matrix& a, const la::Matrix& m,
 /// nonnegative parallel drivers. Constructed inside a rank body.
 class ParCpContext {
  public:
+  /// Storage-agnostic form: `problem` must outlive the context.
   /// `initial_factors`, when non-null, replaces the seeded deterministic
   /// initialization with a (validated) global warm start; every rank keeps
   /// its own block of the same matrices.
+  ParCpContext(mpsim::Comm& comm, const dist::DistProblem& problem,
+               const ParOptions& options,
+               const std::vector<la::Matrix>* initial_factors = nullptr);
+
+  /// Dense convenience (the historical signature): wraps `global_t` in an
+  /// owned DenseBlockProblem — behavior is bit for bit the old dense path.
   ParCpContext(mpsim::Comm& comm, const tensor::DenseTensor& global_t,
                const ParOptions& options,
                const std::vector<la::Matrix>* initial_factors = nullptr);
@@ -74,8 +101,10 @@ class ParCpContext {
 
   [[nodiscard]] int order() const { return n_; }
   [[nodiscard]] const mpsim::ProcessorGrid& grid() const { return grid_; }
-  [[nodiscard]] const tensor::DenseTensor& local_tensor() const {
-    return local_;
+  /// This rank's block as a storage-agnostic local problem (engine and PP
+  /// operator factories bound to the block storage).
+  [[nodiscard]] const dist::LocalProblem& local_problem() const {
+    return *local_;
   }
   [[nodiscard]] dist::FactorDist& factor_dist() { return fd_; }
   [[nodiscard]] std::vector<la::Matrix>& grams() { return grams_; }
@@ -110,6 +139,13 @@ class ParCpContext {
   }
 
  private:
+  /// Delegation target of the two public constructors: exactly one of
+  /// `owned` and `problem` is set.
+  ParCpContext(mpsim::Comm& comm, const ParOptions& options,
+               std::unique_ptr<dist::DistProblem> owned,
+               const dist::DistProblem* problem,
+               const std::vector<la::Matrix>* initial_factors);
+
   void solve_and_propagate(int mode, const la::Matrix& m_q,
                            const la::Matrix& gamma);
 
@@ -118,10 +154,12 @@ class ParCpContext {
   bool hals_ = false;
   double hals_epsilon_ = 1e-12;
   int hals_inner_ = 1;
+  std::unique_ptr<dist::DistProblem> owned_problem_;
+  const dist::DistProblem* problem_;  ///< owned_problem_ or the caller's
   int n_;
   mpsim::ProcessorGrid grid_;
   dist::BlockDist dist_;
-  tensor::DenseTensor local_;
+  std::unique_ptr<dist::LocalProblem> local_;
   dist::FactorDist fd_;
   std::vector<la::Matrix> grams_;
   std::unique_ptr<core::MttkrpEngine> engine_;
@@ -129,11 +167,20 @@ class ParCpContext {
   la::Matrix gamma_last_, mq_last_;
 };
 
-/// Runs Algorithm 3 end to end on `nprocs` simulated ranks.
+/// Runs Algorithm 3 end to end on `nprocs` simulated ranks. The
+/// DistProblem overload is the storage-agnostic driver core; the
+/// DenseTensor overloads are unchanged shims over DenseBlockProblem and
+/// the CsfTensor overload partitions the nonzeros with SparseBlockDist.
+[[nodiscard]] ParResult par_cp_als(const dist::DistProblem& problem,
+                                   int nprocs, const ParOptions& options,
+                                   const core::DriverHooks& hooks = {});
 [[nodiscard]] ParResult par_cp_als(const tensor::DenseTensor& global_t,
                                    int nprocs, const ParOptions& options);
 [[nodiscard]] ParResult par_cp_als(const tensor::DenseTensor& global_t,
                                    int nprocs, const ParOptions& options,
                                    const core::DriverHooks& hooks);
+[[nodiscard]] ParResult par_cp_als(const tensor::CsfTensor& global_t,
+                                   int nprocs, const ParOptions& options,
+                                   const core::DriverHooks& hooks = {});
 
 }  // namespace parpp::par

@@ -5,6 +5,7 @@
 
 #include "parpp/core/fitness.hpp"
 #include "parpp/core/gram.hpp"
+#include "parpp/dist/sparse_dist.hpp"
 #include "parpp/la/gemm.hpp"
 #include "parpp/util/timer.hpp"
 
@@ -18,6 +19,20 @@ ParResult par_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
 ParResult par_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
                         const ParNncpOptions& options,
                         const core::DriverHooks& hooks) {
+  const dist::DenseBlockProblem problem(global_t);
+  return par_nncp_hals(problem, nprocs, options, hooks);
+}
+
+ParResult par_nncp_hals(const tensor::CsfTensor& global_t, int nprocs,
+                        const ParNncpOptions& options,
+                        const core::DriverHooks& hooks) {
+  const dist::SparseBlockDist problem(global_t);
+  return par_nncp_hals(problem, nprocs, options, hooks);
+}
+
+ParResult par_nncp_hals(const dist::DistProblem& problem, int nprocs,
+                        const ParNncpOptions& options,
+                        const core::DriverHooks& hooks) {
   ParResult result;
   const ParOptions& par = options.par;
 
@@ -28,30 +43,18 @@ ParResult par_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
       [&](mpsim::Comm& comm) {
         ParOptions local = par;
         local.local_engine = options.nn.engine;
-        ParCpContext ctx(comm, global_t, local, hooks.initial_factors);
+        ParCpContext ctx(comm, problem, local, hooks.initial_factors);
+        // MTTKRP + Reduce-Scatter exactly as Algorithm 3, with the factor
+        // update swapped for the projected HALS passes (row-local, so zero
+        // extra communication) — the same hook the PP-NNCP driver uses.
+        ctx.enable_hals(options.nn.epsilon, options.nn.inner_iterations);
         const int n = ctx.order();
         WallTimer timer;
         double fit = 0.0, fit_old = -1.0;
         int sweep = 0;
         while (sweep < par.base.max_sweeps &&
                std::abs(fit - fit_old) > par.base.tol) {
-          for (int i = 0; i < n; ++i) {
-            // MTTKRP + Reduce-Scatter exactly as Algorithm 3...
-            la::Matrix gamma = core::gamma_chain(ctx.grams(), i);
-            la::Matrix m_local = ctx.engine().mttkrp(i);
-            la::Matrix m_q = ctx.factor_dist().reduce_scatter(i, m_local);
-            // ...but the update is the projected HALS pass on the Q rows
-            // (zero extra communication: rows are independent).
-            la::Matrix& a_q = ctx.factor_dist().q(i);
-            for (int pass = 0; pass < options.nn.inner_iterations; ++pass)
-              hals_update_rows(a_q, m_q, gamma, options.nn.epsilon);
-            // Gram + slice propagation as usual.
-            la::Matrix s = la::gram(a_q);
-            comm.allreduce_sum(s.data(), s.size());
-            ctx.grams()[static_cast<std::size_t>(i)] = std::move(s);
-            ctx.factor_dist().gather_slice(i);
-            ctx.engine().notify_update(i);
-          }
+          for (int i = 0; i < n; ++i) ctx.update_mode(i);
           ++sweep;
           fit_old = fit;
           const double r = ctx.measure_residual();

@@ -18,6 +18,10 @@ struct ParNncpOptions {
   core::NncpOptions nn;
 };
 
+[[nodiscard]] ParResult par_nncp_hals(const dist::DistProblem& problem,
+                                      int nprocs,
+                                      const ParNncpOptions& options,
+                                      const core::DriverHooks& hooks = {});
 [[nodiscard]] ParResult par_nncp_hals(const tensor::DenseTensor& global_t,
                                       int nprocs,
                                       const ParNncpOptions& options);
@@ -25,5 +29,9 @@ struct ParNncpOptions {
                                       int nprocs,
                                       const ParNncpOptions& options,
                                       const core::DriverHooks& hooks);
+[[nodiscard]] ParResult par_nncp_hals(const tensor::CsfTensor& global_t,
+                                      int nprocs,
+                                      const ParNncpOptions& options,
+                                      const core::DriverHooks& hooks = {});
 
 }  // namespace parpp::par

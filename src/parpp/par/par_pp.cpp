@@ -8,6 +8,7 @@
 #include "parpp/core/gram.hpp"
 #include "parpp/core/pp_engine.hpp"
 #include "parpp/core/pp_operators.hpp"
+#include "parpp/dist/sparse_dist.hpp"
 #include "parpp/la/gemm.hpp"
 #include "parpp/tensor/mttv.hpp"
 #include "parpp/util/timer.hpp"
@@ -21,14 +22,16 @@ class LocalPp {
  public:
   LocalPp(mpsim::Comm& comm, ParCpContext& ctx)
       : comm_(comm), ctx_(ctx), n_(ctx.order()),
-        ops_(ctx.local_tensor(), ctx.factor_dist().slices()) {}
+        ops_(ctx.local_problem().make_pp_operators(
+            ctx.factor_dist().slices(), nullptr)) {}
 
   /// Algorithm 4 line 2: local PP initialization. The donor is the local
-  /// regular-sweep tree engine (footnote-1 amortization applies per rank).
+  /// regular-sweep tree engine (footnote-1 amortization applies per rank;
+  /// sparse blocks have no tree cache and the cast yields null).
   void build() {
     const auto* donor =
         dynamic_cast<const core::TreeEngineBase*>(&ctx_.engine());
-    ops_.build(donor);
+    ops_->build(donor);
     // Snapshot A_p in both layouts; dS starts at zero.
     a_p_slice_.clear();
     a_p_q_.clear();
@@ -56,10 +59,10 @@ class LocalPp {
   /// (Algorithm 4 lines 5-8). The V(n) term is added after the
   /// Reduce-Scatter by the caller (line 10-11) via second_order_term().
   [[nodiscard]] la::Matrix local_correction(int n) const {
-    la::Matrix m = ops_.mttkrp_p(n);
+    la::Matrix m = ops_->mttkrp_p(n);
     for (int i = 0; i < n_; ++i) {
       if (i == n) continue;
-      const auto& op = ops_.pair_op(std::min(n, i), std::max(n, i));
+      const auto& op = ops_->pair_op(std::min(n, i), std::max(n, i));
       const auto it = std::find(op.modes.begin(), op.modes.end(), i);
       const int pos = static_cast<int>(it - op.modes.begin());
       la::Matrix d_slice = ctx_.factor_dist().slice(i);
@@ -133,7 +136,7 @@ class LocalPp {
   mpsim::Comm& comm_;
   ParCpContext& ctx_;
   int n_;
-  core::PpOperators ops_;
+  std::unique_ptr<core::PpOperators> ops_;
   std::vector<la::Matrix> a_p_slice_, a_p_q_;
   std::vector<la::Matrix> d_grams_;
 };
@@ -146,7 +149,9 @@ bool all_below(const std::vector<double>& rel, double eps) {
 
 /// Shared Algorithm 2/4 loop: the factor update is the SPD solve when
 /// `nn` is null, the row-local HALS passes otherwise (parallel PP-NNCP).
-ParResult run_par_pp(const tensor::DenseTensor& global_t, int nprocs,
+/// Storage-agnostic: `problem` supplies each rank's engine and PP operator
+/// factories (dense slabs or sparse CSF blocks).
+ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
                      const ParOptions& par_in, const core::PpOptions& pp_opt,
                      const core::NncpOptions* nn,
                      const core::DriverHooks& hooks) {
@@ -164,7 +169,7 @@ ParResult run_par_pp(const tensor::DenseTensor& global_t, int nprocs,
   auto run_result = mpsim::run(
       nprocs,
       [&](mpsim::Comm& comm) {
-        ParCpContext ctx(comm, global_t, par, hooks.initial_factors);
+        ParCpContext ctx(comm, problem, par, hooks.initial_factors);
         if (nn) ctx.enable_hals(nn->epsilon, nn->inner_iterations);
         const int n = ctx.order();
         LocalPp pp(comm, ctx);
@@ -320,22 +325,53 @@ ParResult run_par_pp(const tensor::DenseTensor& global_t, int nprocs,
 
 }  // namespace
 
+ParResult par_pp_cp_als(const dist::DistProblem& problem, int nprocs,
+                        const ParPpOptions& options,
+                        const core::DriverHooks& hooks) {
+  return run_par_pp(problem, nprocs, options.par, options.pp, nullptr, hooks);
+}
+
 ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
                         const ParPpOptions& options) {
-  return run_par_pp(global_t, nprocs, options.par, options.pp, nullptr, {});
+  return par_pp_cp_als(global_t, nprocs, options, core::DriverHooks{});
 }
 
 ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
                         const ParPpOptions& options,
                         const core::DriverHooks& hooks) {
-  return run_par_pp(global_t, nprocs, options.par, options.pp, nullptr,
+  const dist::DenseBlockProblem problem(global_t);
+  return run_par_pp(problem, nprocs, options.par, options.pp, nullptr,
+                    hooks);
+}
+
+ParResult par_pp_cp_als(const tensor::CsfTensor& global_t, int nprocs,
+                        const ParPpOptions& options,
+                        const core::DriverHooks& hooks) {
+  const dist::SparseBlockDist problem(global_t);
+  return run_par_pp(problem, nprocs, options.par, options.pp, nullptr,
+                    hooks);
+}
+
+ParResult par_pp_nncp_hals(const dist::DistProblem& problem, int nprocs,
+                           const ParPpNncpOptions& options,
+                           const core::DriverHooks& hooks) {
+  return run_par_pp(problem, nprocs, options.par, options.pp, &options.nn,
                     hooks);
 }
 
 ParResult par_pp_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
                            const ParPpNncpOptions& options,
                            const core::DriverHooks& hooks) {
-  return run_par_pp(global_t, nprocs, options.par, options.pp, &options.nn,
+  const dist::DenseBlockProblem problem(global_t);
+  return run_par_pp(problem, nprocs, options.par, options.pp, &options.nn,
+                    hooks);
+}
+
+ParResult par_pp_nncp_hals(const tensor::CsfTensor& global_t, int nprocs,
+                           const ParPpNncpOptions& options,
+                           const core::DriverHooks& hooks) {
+  const dist::SparseBlockDist problem(global_t);
+  return run_par_pp(problem, nprocs, options.par, options.pp, &options.nn,
                     hooks);
 }
 

@@ -21,13 +21,22 @@ struct ParPpOptions {
 };
 
 /// Runs PP-CP-ALS (Algorithm 2 with the Algorithm 4 subroutine) on
-/// `nprocs` simulated ranks.
+/// `nprocs` simulated ranks. The DistProblem overload is the
+/// storage-agnostic core; DenseTensor overloads are unchanged shims and
+/// the CsfTensor overload runs the same loop over SparseBlockDist blocks
+/// (sparse PP operators, identical collective pattern).
+[[nodiscard]] ParResult par_pp_cp_als(const dist::DistProblem& problem,
+                                      int nprocs, const ParPpOptions& options,
+                                      const core::DriverHooks& hooks = {});
 [[nodiscard]] ParResult par_pp_cp_als(const tensor::DenseTensor& global_t,
                                       int nprocs,
                                       const ParPpOptions& options);
 [[nodiscard]] ParResult par_pp_cp_als(const tensor::DenseTensor& global_t,
                                       int nprocs, const ParPpOptions& options,
                                       const core::DriverHooks& hooks);
+[[nodiscard]] ParResult par_pp_cp_als(const tensor::CsfTensor& global_t,
+                                      int nprocs, const ParPpOptions& options,
+                                      const core::DriverHooks& hooks = {});
 
 struct ParPpNncpOptions {
   ParOptions par;
@@ -39,7 +48,15 @@ struct ParPpNncpOptions {
 /// row-local HALS update substituted for the SPD solve (see
 /// core::pp_nncp_hals for why the composition is exact to PP's usual
 /// guarantees). Identical collective pattern and costs to par_pp_cp_als.
+[[nodiscard]] ParResult par_pp_nncp_hals(const dist::DistProblem& problem,
+                                         int nprocs,
+                                         const ParPpNncpOptions& options,
+                                         const core::DriverHooks& hooks = {});
 [[nodiscard]] ParResult par_pp_nncp_hals(const tensor::DenseTensor& global_t,
+                                         int nprocs,
+                                         const ParPpNncpOptions& options,
+                                         const core::DriverHooks& hooks = {});
+[[nodiscard]] ParResult par_pp_nncp_hals(const tensor::CsfTensor& global_t,
                                          int nprocs,
                                          const ParPpNncpOptions& options,
                                          const core::DriverHooks& hooks = {});

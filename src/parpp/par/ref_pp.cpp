@@ -19,7 +19,8 @@ class RefPp {
  public:
   RefPp(mpsim::Comm& comm, ParCpContext& ctx)
       : comm_(comm), ctx_(ctx), n_(ctx.order()),
-        ops_(ctx.local_tensor(), ctx.factor_dist().slices()) {
+        ops_(ctx.local_problem().make_pp_operators(
+            ctx.factor_dist().slices(), nullptr)) {
     // Sub-communicators of ranks sharing both the i-slab and the j-slab:
     // the group over which the reference implementation reduces the
     // operator output. Built collectively, identical order on all ranks.
@@ -38,13 +39,13 @@ class RefPp {
   }
 
   void build() {
-    ops_.build(nullptr);  // no donor: the reference recomputes everything
+    ops_->build(nullptr);  // no donor: the reference recomputes everything
     // "Reduction on the output tensor": All-Reduce every pair operator over
     // the ranks sharing its slabs — the dominant communication of
     // PP-init-ref (Table II).
     for (int i = 0; i < n_; ++i) {
       for (int j = i + 1; j < n_; ++j) {
-        auto& op = ops_.mutable_pair_op(i, j);
+        auto& op = ops_->mutable_pair_op(i, j);
         const auto& pc = pair_comms_.at(std::make_pair(i, j));
         pc.allreduce_sum(op.data.data(), op.data.size());
       }
@@ -59,12 +60,12 @@ class RefPp {
     for (int j = 0; j < n_; ++j) {
       // Base term: M_p(n) local + its own Reduce-Scatter.
       la::Matrix m_q =
-          ctx_.factor_dist().reduce_scatter(j, ops_.mttkrp_p(j));
+          ctx_.factor_dist().reduce_scatter(j, ops_->mttkrp_p(j));
       // Each first-order correction is reduced separately (N-1 extra
       // collectives per mode — the N^2 pattern of the reference).
       for (int i = 0; i < n_; ++i) {
         if (i == j) continue;
-        const auto& op = ops_.pair_op(std::min(j, i), std::max(j, i));
+        const auto& op = ops_->pair_op(std::min(j, i), std::max(j, i));
         const auto it = std::find(op.modes.begin(), op.modes.end(), i);
         const int pos = static_cast<int>(it - op.modes.begin());
         la::Matrix d_slice = ctx_.factor_dist().slice(i);
@@ -97,7 +98,7 @@ class RefPp {
   mpsim::Comm& comm_;
   ParCpContext& ctx_;
   int n_;
-  core::PpOperators ops_;
+  std::unique_ptr<core::PpOperators> ops_;
   std::map<std::pair<int, int>, mpsim::Comm> pair_comms_;
   std::vector<la::Matrix> a_p_slice_;
 };

@@ -2,6 +2,7 @@
 
 #include "parpp/core/pp_nncp.hpp"
 #include "parpp/mpsim/grid.hpp"
+#include "parpp/tensor/csf_tensor.hpp"
 #include "parpp/par/par_nncp.hpp"
 #include "parpp/par/par_pp.hpp"
 #include "parpp/solver/strings.hpp"
@@ -97,6 +98,19 @@ core::CpResult run_sparse_nncp(const tensor::CsfTensor& t,
   return core::nncp_hals(t, base_options(spec), nncp_options(spec), hooks);
 }
 
+core::CpResult run_sparse_pp(const tensor::CsfTensor& t,
+                             const SolverSpec& spec,
+                             const core::DriverHooks& hooks) {
+  return core::pp_cp_als(t, base_options(spec), pp_options(spec), hooks);
+}
+
+core::CpResult run_sparse_pp_nncp(const tensor::CsfTensor& t,
+                                  const SolverSpec& spec,
+                                  const core::DriverHooks& hooks) {
+  return core::pp_nncp_hals(t, base_options(spec), pp_options(spec),
+                            nncp_options(spec), hooks);
+}
+
 // --- parallel runners -----------------------------------------------------
 
 par::ParResult run_par_als(const tensor::DenseTensor& t,
@@ -136,15 +150,58 @@ par::ParResult run_par_pp_nncp(const tensor::DenseTensor& t,
   return par::par_pp_nncp_hals(t, spec.execution.nprocs, o, hooks);
 }
 
+// --- sparse parallel runners ----------------------------------------------
+// Identical driver cores to the dense parallel runners; the CsfTensor
+// overloads partition the nonzeros with dist::SparseBlockDist and run the
+// same Algorithm 3/4 loops over sparse local blocks.
+
+par::ParResult run_par_sparse_als(const tensor::CsfTensor& t,
+                                  const SolverSpec& spec,
+                                  const core::DriverHooks& hooks) {
+  return par::par_cp_als(t, spec.execution.nprocs,
+                         par_options(spec, t.order()), hooks);
+}
+
+par::ParResult run_par_sparse_pp(const tensor::CsfTensor& t,
+                                 const SolverSpec& spec,
+                                 const core::DriverHooks& hooks) {
+  par::ParPpOptions o;
+  o.par = par_options(spec, t.order());
+  o.par.local_engine = pp_engine(spec);
+  o.pp = pp_options(spec);
+  return par::par_pp_cp_als(t, spec.execution.nprocs, o, hooks);
+}
+
+par::ParResult run_par_sparse_nncp(const tensor::CsfTensor& t,
+                                   const SolverSpec& spec,
+                                   const core::DriverHooks& hooks) {
+  par::ParNncpOptions o;
+  o.par = par_options(spec, t.order());
+  o.nn = nncp_options(spec);
+  return par::par_nncp_hals(t, spec.execution.nprocs, o, hooks);
+}
+
+par::ParResult run_par_sparse_pp_nncp(const tensor::CsfTensor& t,
+                                      const SolverSpec& spec,
+                                      const core::DriverHooks& hooks) {
+  par::ParPpNncpOptions o;
+  o.par = par_options(spec, t.order());
+  o.par.local_engine = pp_engine(spec);
+  o.pp = pp_options(spec);
+  o.nn = nncp_options(spec);
+  return par::par_pp_nncp_hals(t, spec.execution.nprocs, o, hooks);
+}
+
 const std::vector<MethodEntry>& registry() {
   static const std::vector<MethodEntry> entries{
       {Method::kAls, to_string(Method::kAls), run_als, run_par_als,
-       run_sparse_als},
-      {Method::kPp, to_string(Method::kPp), run_pp, run_par_pp, nullptr},
+       run_sparse_als, run_par_sparse_als},
+      {Method::kPp, to_string(Method::kPp), run_pp, run_par_pp,
+       run_sparse_pp, run_par_sparse_pp},
       {Method::kNncpHals, to_string(Method::kNncpHals), run_nncp,
-       run_par_nncp, run_sparse_nncp},
+       run_par_nncp, run_sparse_nncp, run_par_sparse_nncp},
       {Method::kPpNncp, to_string(Method::kPpNncp), run_pp_nncp,
-       run_par_pp_nncp, nullptr},
+       run_par_pp_nncp, run_sparse_pp_nncp, run_par_sparse_pp_nncp},
   };
   return entries;
 }

@@ -24,11 +24,17 @@ struct MethodEntry {
   par::ParResult (*parallel)(const tensor::DenseTensor&, const SolverSpec&,
                              const core::DriverHooks&);
   /// Runs the sequential core on CSF sparse storage; nullptr when the
-  /// method cannot (the PP methods build their operators from dense
-  /// dimension-tree intermediates). solve() reports the gap as an error.
+  /// method has no sparse driver. solve() reports the gap as a structured
+  /// error (parpp::error), never a crash.
   core::CpResult (*sparse_sequential)(const tensor::CsfTensor&,
                                       const SolverSpec&,
                                       const core::DriverHooks&) = nullptr;
+  /// Runs the simulated-parallel driver on CSF sparse storage (nonzeros
+  /// partitioned over the grid by dist::SparseBlockDist); nullptr when
+  /// unsupported — solve() reports a structured error.
+  par::ParResult (*sparse_parallel)(const tensor::CsfTensor&,
+                                    const SolverSpec&,
+                                    const core::DriverHooks&) = nullptr;
 };
 
 /// The entry for `method`; throws parpp::error for an unregistered method.

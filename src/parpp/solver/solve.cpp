@@ -63,13 +63,15 @@ solver::SolveReport solve(const solver::TensorSource& t,
 
   const solver::MethodEntry& entry = solver::method_entry(spec.method);
   if (t.is_sparse()) {
-    PARPP_CHECK(!spec.execution.is_parallel(),
-                "solve: sparse tensors run sequentially (distributing CSF "
-                "over the simulated grid is an open roadmap item)");
-    PARPP_CHECK(entry.sparse_sequential != nullptr, "solve: method ",
-                entry.name,
-                " has no sparse driver (the PP operators are built from "
-                "dense dimension-tree intermediates)");
+    // Every current method fills both sparse cells; the checks keep future
+    // methods failing with a structured error instead of a null call.
+    if (spec.execution.is_parallel()) {
+      PARPP_CHECK(entry.sparse_parallel != nullptr, "solve: method ",
+                  entry.name, " has no sparse simulated-parallel driver");
+    } else {
+      PARPP_CHECK(entry.sparse_sequential != nullptr, "solve: method ",
+                  entry.name, " has no sparse sequential driver");
+    }
   }
 
   core::DriverHooks hooks;
@@ -107,7 +109,11 @@ solver::SolveReport solve(const solver::TensorSource& t,
 
   SolveReport report =
       t.is_sparse()
-          ? from_cp_result(entry.sparse_sequential(t.sparse(), spec, hooks))
+          ? (spec.execution.is_parallel()
+                 ? from_par_result(
+                       entry.sparse_parallel(t.sparse(), spec, hooks))
+                 : from_cp_result(
+                       entry.sparse_sequential(t.sparse(), spec, hooks)))
       : spec.execution.is_parallel()
           ? from_par_result(entry.parallel(t.dense(), spec, hooks))
           : from_cp_result(entry.sequential(t.dense(), spec, hooks));

@@ -18,11 +18,12 @@ namespace parpp {
 
 /// Runs the solve described by `spec` on any tensor source — dense or CSF
 /// sparse storage, uniformly (TensorSource converts implicitly from both).
-/// Sparse sources run the storage-agnostic sequential cores through the
-/// CSF engine with the no-densification fitness identity; they currently
-/// require sequential execution and a non-PP method (parpp::error
-/// otherwise). Also throws on an invalid spec (bad rank, warm-start shape
-/// mismatch, bad grid).
+/// Sparse sources run the storage-agnostic cores through the CSF engine
+/// with the no-densification fitness identity, for every method (als, pp,
+/// nncp, pp-nncp) and both executions: simulated-parallel sparse runs
+/// partition the nonzeros over the grid with dist::SparseBlockDist. Throws
+/// parpp::error on an invalid spec (bad rank, warm-start shape mismatch,
+/// bad grid) or an unsupported cell.
 [[nodiscard]] solver::SolveReport solve(const solver::TensorSource& t,
                                         const solver::SolverSpec& spec);
 

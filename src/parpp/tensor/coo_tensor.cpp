@@ -46,6 +46,28 @@ void CooTensor::coalesce() {
   if (coalesced_) return;
   const int n = order();
   const index_t count = nnz();
+  // Fast path: entries pushed in strictly increasing lexicographic order
+  // with no zeros (e.g. a CSF walk or a block extraction from an already
+  // coalesced list) only need the invariant flag restored — one linear
+  // scan instead of a full sort + rebuild.
+  {
+    bool sorted_unique_nonzero = true;
+    for (index_t e = 0; e < count && sorted_unique_nonzero; ++e) {
+      if (vals_[static_cast<std::size_t>(e)] == 0.0) {
+        sorted_unique_nonzero = false;
+        break;
+      }
+      if (e == 0) continue;
+      const index_t* prev = idx_.data() + (e - 1) * n;
+      const index_t* cur = idx_.data() + e * n;
+      if (!std::lexicographical_compare(prev, prev + n, cur, cur + n))
+        sorted_unique_nonzero = false;
+    }
+    if (sorted_unique_nonzero) {
+      coalesced_ = true;
+      return;
+    }
+  }
   std::vector<index_t> perm(static_cast<std::size_t>(count));
   std::iota(perm.begin(), perm.end(), index_t{0});
   // stable_sort keeps duplicates in push order, so their merged sum is

@@ -84,6 +84,33 @@ CsfTensor::CsfTensor(const CooTensor& coo)
   for (int m = 0; m < order(); ++m) trees_.push_back(build_tree(coo, m));
 }
 
+CooTensor CsfTensor::to_coo() const {
+  CooTensor coo(shape_);
+  coo.reserve(nnz_);
+  const Tree& tree = trees_.front();  // mode order is the identity
+  const int n = order();
+  std::vector<index_t> idx(static_cast<std::size_t>(n), 0);
+  // Depth-first walk emitting one entry per leaf; the identity mode order
+  // makes the output lexicographically sorted, so coalesce() below only
+  // restores the invariant flag (no re-sort work, no duplicates to merge).
+  auto walk = [&](auto&& self, int lv, index_t begin, index_t end) -> void {
+    const auto& fids = tree.fids[static_cast<std::size_t>(lv)];
+    for (index_t k = begin; k < end; ++k) {
+      idx[static_cast<std::size_t>(lv)] = fids[static_cast<std::size_t>(k)];
+      if (lv == n - 1) {
+        coo.push(idx, tree.vals[static_cast<std::size_t>(k)]);
+      } else {
+        const auto& fptr = tree.fptr[static_cast<std::size_t>(lv)];
+        self(self, lv + 1, fptr[static_cast<std::size_t>(k)],
+             fptr[static_cast<std::size_t>(k + 1)]);
+      }
+    }
+  };
+  walk(walk, 0, 0, tree.root_count());
+  coo.coalesce();
+  return coo;
+}
+
 double CsfTensor::frobenius_norm() const { return std::sqrt(squared_norm_); }
 
 double CsfTensor::density() const {

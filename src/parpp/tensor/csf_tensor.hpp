@@ -53,6 +53,12 @@ class CsfTensor {
   [[nodiscard]] double frobenius_norm() const;
   [[nodiscard]] double density() const;
 
+  /// Reconstructs the coalesced COO entry list (mode-0 tree walk; entries
+  /// come out lexicographically sorted). The inverse of construction — used
+  /// to re-partition an already-compressed tensor, e.g. for the
+  /// dist::SparseBlockDist grid decomposition.
+  [[nodiscard]] CooTensor to_coo() const;
+
   /// The fiber tree rooted at `root_mode`.
   [[nodiscard]] const Tree& tree(int root_mode) const {
     PARPP_ASSERT(root_mode >= 0 && root_mode < order(),

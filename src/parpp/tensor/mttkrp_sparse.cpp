@@ -58,7 +58,139 @@ void accumulate_children(const CsfTensor::Tree& tree,
   }
 }
 
+/// Downward pass for the pair operator: `prod` carries the Hadamard product
+/// of the factor rows of every *contracted* mode on the path so far, `xj`
+/// the current coordinate of free mode j (valid once the walk passed
+/// j_level). `out_slab` points at out(x_i, 0, 0); per-level product slabs
+/// live at scratch + lv*r.
+void pair_walk(const CsfTensor::Tree& tree,
+               const std::vector<la::Matrix>& factors, int j_level, int lv,
+               index_t begin, index_t end, const double* prod, index_t xj,
+               index_t r, double* scratch, double* out_slab) {
+  const int leaf = static_cast<int>(tree.mode_order.size()) - 1;
+  const auto& fids = tree.fids[static_cast<std::size_t>(lv)];
+  const la::Matrix& factor = factors[static_cast<std::size_t>(
+      tree.mode_order[static_cast<std::size_t>(lv)])];
+  if (lv == leaf) {
+    if (lv == j_level) {
+      for (index_t k = begin; k < end; ++k) {
+        const double v = tree.vals[static_cast<std::size_t>(k)];
+        double* dst = out_slab + fids[static_cast<std::size_t>(k)] * r;
+        for (index_t q = 0; q < r; ++q) dst[q] += v * prod[q];
+      }
+    } else {
+      double* dst = out_slab + xj * r;
+      for (index_t k = begin; k < end; ++k) {
+        const double v = tree.vals[static_cast<std::size_t>(k)];
+        const double* arow = factor.row(fids[static_cast<std::size_t>(k)]);
+        for (index_t q = 0; q < r; ++q) dst[q] += v * arow[q] * prod[q];
+      }
+    }
+    return;
+  }
+  const auto& fptr = tree.fptr[static_cast<std::size_t>(lv)];
+  if (lv == j_level) {
+    for (index_t k = begin; k < end; ++k) {
+      pair_walk(tree, factors, j_level, lv + 1,
+                fptr[static_cast<std::size_t>(k)],
+                fptr[static_cast<std::size_t>(k + 1)], prod,
+                fids[static_cast<std::size_t>(k)], r, scratch, out_slab);
+    }
+    return;
+  }
+  double* mine = scratch + static_cast<index_t>(lv) * r;
+  for (index_t k = begin; k < end; ++k) {
+    const double* arow = factor.row(fids[static_cast<std::size_t>(k)]);
+    for (index_t q = 0; q < r; ++q) mine[q] = prod[q] * arow[q];
+    pair_walk(tree, factors, j_level, lv + 1,
+              fptr[static_cast<std::size_t>(k)],
+              fptr[static_cast<std::size_t>(k + 1)], mine, xj, r, scratch,
+              out_slab);
+  }
+}
+
 }  // namespace
+
+void pair_mttkrp_csf_into(const CsfTensor& t,
+                          const std::vector<la::Matrix>& factors, int i,
+                          int j, DenseTensor& out, Profile* profile,
+                          util::KernelWorkspace* ws) {
+  PARPP_CHECK(t.order() >= 3, "pair_mttkrp: order must be >= 3");
+  PARPP_CHECK(i != j, "pair_mttkrp: free modes must differ");
+  check_factors(t, factors, i);
+  PARPP_CHECK(j >= 0 && j < t.order(), "pair_mttkrp: bad mode ", j);
+  const int order = t.order();
+  const index_t r = factors.front().cols();
+  const CsfTensor::Tree& tree = t.tree(i);
+  ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                   Kernel::kTTM,
+                   2.0 * static_cast<double>(r) *
+                       static_cast<double>(t.nnz() + tree.internal_nodes));
+  out.reshape({t.extent(i), t.extent(j), r});
+  out.set_zero();
+
+  const int j_level = static_cast<int>(
+      std::find(tree.mode_order.begin(), tree.mode_order.end(), j) -
+      tree.mode_order.begin());
+
+  util::KernelWorkspace& wsp =
+      ws != nullptr ? *ws : util::KernelWorkspace::thread_default();
+  const int maxt = omp_get_max_threads();
+  // Per thread: one ones-vector (the root's incoming product) plus one
+  // product slab per level, leased up front like the MTTKRP walk.
+  const index_t per_thread = static_cast<index_t>(order + 1) * r;
+  auto slab = wsp.lease(static_cast<index_t>(maxt) * per_thread);
+
+  const index_t roots = tree.root_count();
+  const auto& root_fids = tree.fids.front();
+  const auto& root_fptr = tree.fptr.front();
+  const index_t slab_stride = t.extent(j) * r;
+  double* const out_base = out.data();
+#pragma omp parallel
+  {
+    double* mine = slab.data() +
+                   static_cast<index_t>(omp_get_thread_num()) * per_thread;
+    double* ones = mine + static_cast<index_t>(order) * r;
+    std::fill(ones, ones + r, 1.0);
+#pragma omp for schedule(dynamic, 32)
+    for (index_t k = 0; k < roots; ++k) {
+      pair_walk(tree, factors, j_level, 1,
+                root_fptr[static_cast<std::size_t>(k)],
+                root_fptr[static_cast<std::size_t>(k + 1)], ones, 0, r, mine,
+                out_base + root_fids[static_cast<std::size_t>(k)] *
+                               slab_stride);
+    }
+  }
+}
+
+DenseTensor pair_mttkrp_coo(const CooTensor& t,
+                            const std::vector<la::Matrix>& factors, int i,
+                            int j, Profile* profile) {
+  PARPP_CHECK(t.order() >= 3, "pair_mttkrp: order must be >= 3");
+  PARPP_CHECK(i != j, "pair_mttkrp: free modes must differ");
+  check_factors(t, factors, i);
+  PARPP_CHECK(j >= 0 && j < t.order(), "pair_mttkrp: bad mode ", j);
+  const int order = t.order();
+  const index_t r = factors.front().cols();
+  ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                   Kernel::kTTM,
+                   2.0 * static_cast<double>(t.nnz()) *
+                       static_cast<double>(r) * (order - 2));
+  DenseTensor out({t.extent(i), t.extent(j), r});
+  std::vector<double> w(static_cast<std::size_t>(r));
+  for (index_t e = 0; e < t.nnz(); ++e) {
+    std::fill(w.begin(), w.end(), t.value(e));
+    for (int m = 0; m < order; ++m) {
+      if (m == i || m == j) continue;
+      const double* arow =
+          factors[static_cast<std::size_t>(m)].row(t.index(e, m));
+      for (index_t q = 0; q < r; ++q) w[static_cast<std::size_t>(q)] *= arow[q];
+    }
+    double* dst = out.data() + (t.index(e, i) * t.extent(j) + t.index(e, j)) * r;
+    for (index_t q = 0; q < r; ++q) dst[q] += w[static_cast<std::size_t>(q)];
+  }
+  return out;
+}
 
 la::Matrix mttkrp_coo(const CooTensor& t, const std::vector<la::Matrix>& factors,
                       int n, Profile* profile) {

@@ -42,4 +42,23 @@ void mttkrp_csf_into(const CsfTensor& t,
                      la::Matrix& out, Profile* profile = nullptr,
                      util::KernelWorkspace* ws = nullptr);
 
+/// Pairwise-perturbation pair operator M_p(i,j) over sparse storage: the
+/// (s_i, s_j, R) dense tensor obtained by contracting every mode except
+/// {i, j} with its factor — an MTTKRP with two free modes. Walks the tree
+/// rooted at `i` carrying a running Hadamard product down each path
+/// (OpenMP over root fibers: distinct roots own distinct (x_i, :, :)
+/// slabs, so there are no write conflicts). `out` is reshaped in place and
+/// may be workspace-backed, which is what keeps periodic PP operator
+/// rebuilds allocation-free. Requires order >= 3 and i != j.
+void pair_mttkrp_csf_into(const CsfTensor& t,
+                          const std::vector<la::Matrix>& factors, int i,
+                          int j, DenseTensor& out, Profile* profile = nullptr,
+                          util::KernelWorkspace* ws = nullptr);
+
+/// Entry-wise COO reference for the pair operator (validation oracle).
+[[nodiscard]] DenseTensor pair_mttkrp_coo(const CooTensor& t,
+                                          const std::vector<la::Matrix>& factors,
+                                          int i, int j,
+                                          Profile* profile = nullptr);
+
 }  // namespace parpp::tensor

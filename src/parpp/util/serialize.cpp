@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -136,11 +137,13 @@ void save_tns(std::ostream& os, const tensor::CooTensor& t) {
   for (index_t e : t.shape()) os << ' ' << e;
   os << '\n';
   const int n = t.order();
+  // max_digits10 (not the default stream precision of 6) round-trips every
+  // double bit-exactly through text.
+  constexpr int kPrecision = std::numeric_limits<double>::max_digits10;
   for (index_t e = 0; e < t.nnz(); ++e) {
     for (int m = 0; m < n; ++m) os << t.index(e, m) + 1 << ' ';  // 1-indexed
-    // max_digits10 round-trips every double exactly through text.
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", t.value(e));
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g", kPrecision, t.value(e));
     os << buf << '\n';
   }
   PARPP_CHECK(os.good(), "save_tns: write failed");

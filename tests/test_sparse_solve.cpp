@@ -137,24 +137,21 @@ TEST(SparseSolve, SteadyStateSweepsNeverDensify) {
             dense_bytes / 8);
 }
 
-TEST(SparseSolve, FacadeRejectsUnsupportedSparseCombinations) {
+TEST(SparseSolve, FacadeAcceptsAllSparseCellsAndRejectsDenseSparseEngine) {
   const auto gen = data::make_sparse_lowrank({8, 8, 8}, 2, 0.1, 1);
   const tensor::CsfTensor csf(gen.tensor);
 
-  // PP methods have no sparse driver.
-  EXPECT_THROW((void)parpp::solve(
-                   csf, base_spec(solver::Method::kPp, 2, 10, 1e-6)),
-               parpp::error);
-  EXPECT_THROW((void)parpp::solve(
-                   csf, base_spec(solver::Method::kPpNncp, 2, 10, 1e-6)),
-               parpp::error);
-
-  // Sparse storage is sequential-only for now.
+  // Since the storage-agnostic parallel layer, PP methods and the
+  // simulated-parallel execution run on sparse storage too.
+  EXPECT_NO_THROW((void)parpp::solve(
+      csf, base_spec(solver::Method::kPp, 2, 10, 1e-6)));
+  EXPECT_NO_THROW((void)parpp::solve(
+      csf, base_spec(solver::Method::kPpNncp, 2, 10, 1e-6)));
   solver::SolverSpec par = base_spec(solver::Method::kAls, 2, 10, 1e-6);
   par.execution = solver::Execution::simulated_parallel(4);
-  EXPECT_THROW((void)parpp::solve(csf, par), parpp::error);
+  EXPECT_NO_THROW((void)parpp::solve(csf, par));
 
-  // A dense tensor cannot run the sparse engine.
+  // A dense tensor still cannot run the sparse engine.
   const tensor::DenseTensor dense = gen.tensor.densify();
   solver::SolverSpec sparse_engine_spec =
       base_spec(solver::Method::kAls, 2, 10, 1e-6);

@@ -1,7 +1,10 @@
 // CooTensor / CsfTensor storage and FROSTT .tns round-trip tests.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 #include <vector>
 
@@ -126,6 +129,39 @@ TEST(SerializeTns, FileRoundTrip) {
     for (int m = 0; m < original.order(); ++m)
       EXPECT_EQ(loaded.index(e, m), original.index(e, m));
     EXPECT_DOUBLE_EQ(loaded.value(e), original.value(e));
+  }
+}
+
+TEST(SerializeTns, IrrationalValuesRoundTripBitExactly) {
+  // Regression: the writer must emit max_digits10 significant digits, not
+  // the default stream precision — otherwise irrational and denormal-ish
+  // values come back off by up to 5e-7 relative and save/load is lossy.
+  const std::vector<double> values{
+      M_PI,          std::sqrt(2.0),     1.0 / 3.0,      std::exp(1.0),
+      -7.1,          6.02214076e23,      1.0e-300,       -M_PI * 1e-17,
+      std::nextafter(1.0, 2.0)};
+  tensor::CooTensor original({4, 3, static_cast<index_t>(values.size())});
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    const std::vector<index_t> idx{static_cast<index_t>(k % 4),
+                                   static_cast<index_t>(k % 3),
+                                   static_cast<index_t>(k)};
+    original.push(idx, values[k]);
+  }
+  original.coalesce();
+
+  std::ostringstream os;
+  io::save_tns(os, original);
+  std::istringstream is(os.str());
+  const tensor::CooTensor loaded = io::load_tns(is);
+
+  ASSERT_EQ(loaded.nnz(), original.nnz());
+  for (index_t e = 0; e < original.nnz(); ++e) {
+    const double want = original.value(e), got = loaded.value(e);
+    // Bit-exact, not merely close: compare the representations.
+    std::uint64_t wbits = 0, gbits = 0;
+    std::memcpy(&wbits, &want, sizeof(want));
+    std::memcpy(&gbits, &got, sizeof(got));
+    EXPECT_EQ(gbits, wbits) << "entry " << e << " value " << want;
   }
 }
 

@@ -6,11 +6,15 @@
 //
 //   parpp_cli --dataset lowrank --size 64 --rank 16 --engine msdt
 //   parpp_cli --dataset chem --rank 32 --pp --save factors.bin
-//   parpp_cli --dataset collinear --procs 8 --engine dt
+//   parpp_cli --dataset collinear --ranks 8 --engine dt
 //   parpp_cli --load tensor.bin --rank 8 --nonneg
 //   parpp_cli --dataset timelapse --pp --nonneg          # PP x NNCP
 //   parpp_cli --input amazon.tns --rank 16               # sparse (FROSTT)
 //   parpp_cli --density 0.01 --size 64 --engine sparse   # synthetic sparse
+//   parpp_cli --density 0.01 --ranks 4 --threads-per-rank 2 --pp
+//                                             # distributed sparse PP
+#include <omp.h>
+
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -44,6 +48,8 @@ struct Cli {
   index_t size = 64;
   index_t rank = 16;
   int procs = 1;
+  int threads_per_rank = 1;
+  bool threads_set = false;
   int max_sweeps = 200;
   double tol = 1e-6;
   double pp_tol = 0.1;
@@ -77,7 +83,12 @@ Cli parse(int argc, char** argv) {
     else if (flag == "--method") cli.method = next();
     else if (flag == "--size") cli.size = std::atol(next());
     else if (flag == "--rank") cli.rank = std::atol(next());
-    else if (flag == "--procs") cli.procs = std::atoi(next());
+    else if (flag == "--procs" || flag == "--ranks")
+      cli.procs = std::atoi(next());
+    else if (flag == "--threads-per-rank") {
+      cli.threads_per_rank = std::atoi(next());
+      cli.threads_set = true;
+    }
     else if (flag == "--max-sweeps") cli.max_sweeps = std::atoi(next());
     else if (flag == "--tol") cli.tol = std::atof(next());
     else if (flag == "--pp-tol") cli.pp_tol = std::atof(next());
@@ -102,7 +113,7 @@ void usage() {
       "timelapse (default lowrank)\n"
       "  --load FILE     read a tensor written with parpp::io instead\n"
       "  --input FILE    read a sparse FROSTT .tns tensor (CSF storage,\n"
-      "                  sparse engine; methods als | nncp, sequential)\n"
+      "                  sparse engine; every method and execution)\n"
       "  --density D     synthetic sparse low-rank tensor at density D\n"
       "                  (same sparse path as --input)\n"
       "  --save FILE     write the resulting factors (parpp::io format)\n"
@@ -112,7 +123,10 @@ void usage() {
       "                  inputs always run the sparse engine)\n"
       "  --size S        synthetic mode size (default 64)\n"
       "  --rank R        CP rank (default 16)\n"
-      "  --procs P       simulated ranks; P > 1 runs Algorithm 3/4\n"
+      "  --ranks N       simulated ranks (alias --procs); N > 1 runs\n"
+      "                  Algorithm 3/4, dense or sparse\n"
+      "  --threads-per-rank T  OpenMP threads inside each rank's kernels\n"
+      "                  (parallel default 1; sequential default: ambient)\n"
       "  --pp            use the pairwise-perturbation driver\n"
       "  --nonneg        nonnegative CP via HALS\n"
       "  --max-sweeps N  (default 200)   --tol T (default 1e-6)\n"
@@ -221,16 +235,8 @@ int main(int argc, char** argv) {
                  "FILE.tns or --density D\n");
     return 2;
   }
-  if (sparse_mode && cli.procs > 1) {
-    std::fprintf(stderr,
-                 "sparse tensors run sequentially (drop --procs)\n");
-    return 2;
-  }
-  if (sparse_mode && (method == solver::Method::kPp ||
-                      method == solver::Method::kPpNncp)) {
-    std::fprintf(stderr,
-                 "the PP methods have no sparse driver; use --method als "
-                 "or nncp with sparse inputs\n");
+  if (cli.procs < 1 || cli.threads_per_rank < 1) {
+    std::fprintf(stderr, "--ranks and --threads-per-rank must be >= 1\n");
     return 2;
   }
 
@@ -243,8 +249,16 @@ int main(int argc, char** argv) {
   spec.stopping.fitness_tol = cli.tol;
   spec.stopping.max_seconds = cli.max_seconds;
   spec.pp.pp_tol = cli.pp_tol;
-  if (cli.procs > 1)
-    spec.execution = solver::Execution::simulated_parallel(cli.procs);
+  if (cli.procs > 1) {
+    spec.execution = solver::Execution::simulated_parallel(
+        cli.procs, {}, par::SolveMode::kDistributedRows,
+        cli.threads_per_rank);
+  } else if (cli.threads_set) {
+    // Sequential runs use the ambient OpenMP thread count unless the flag
+    // is given explicitly — then it caps the kernels the same way the
+    // per-rank limit does in parallel runs.
+    omp_set_num_threads(cli.threads_per_rank);
+  }
 
   auto print_run = [&](const char* engine_name) {
     std::printf("method %s, engine %s, %s\n",
