@@ -1,10 +1,16 @@
-// Distributed sparse scaling bench: ALS vs PP sweep throughput on the
-// simulated grid across rank counts {1, 2, 4, 8}, emitting
-// BENCH_par_sparse.json for cross-PR perf tracking of the storage-agnostic
-// parallel layer (SparseBlockDist + sparse local engines + sparse PP).
+// Distributed sparse scaling bench: (1) ALS vs PP sweep throughput on the
+// simulated grid across rank counts {1, 2, 4, 8}; (2) uniform vs
+// nnz-balanced partitioning on a power-law (Zipf slice density) tensor —
+// critical-path MTTKRP time, sweeps/sec and per-rank nnz imbalance; (3)
+// tiled vs fiber-parallel CSF walk on a short-root-mode tensor. Emits
+// BENCH_par_sparse.json for cross-PR perf tracking of the parallel layer.
 //
 //   bench_par_sparse [--size 48] [--rank 8] [--density 0.02] [--sweeps 8]
-//                    [--out BENCH_par_sparse.json]
+//                    [--skew-size 96] [--skew-density 0.1] [--zipf 1.6]
+//                    [--threads 4] [--out BENCH_par_sparse.json]
+#include <omp.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -13,6 +19,8 @@
 #include "parpp/data/sparse_synthetic.hpp"
 #include "parpp/solver/solver.hpp"
 #include "parpp/tensor/csf_tensor.hpp"
+#include "parpp/tensor/mttkrp_sparse.hpp"
+#include "parpp/util/rng.hpp"
 #include "parpp/util/timer.hpp"
 
 using namespace parpp;
@@ -28,9 +36,18 @@ struct Row {
   double comm_words = 0.0;  ///< busiest rank, ALS run
 };
 
+struct SkewRow {
+  int ranks = 0;
+  std::string partition;
+  double mttkrp_s_per_sweep = 0.0;  ///< critical path (slowest rank)
+  double sweeps_per_sec = 0.0;
+  double nnz_imbalance = 0.0;
+  double fitness = 0.0;
+};
+
 solver::SolveReport run_cell(const tensor::CsfTensor& t, solver::Method method,
                              index_t rank, int sweeps, int nprocs,
-                             double* seconds) {
+                             dist::PartitionKind partition, double* seconds) {
   solver::SolverSpec spec;
   spec.method = method;
   spec.rank = rank;
@@ -38,12 +55,51 @@ solver::SolveReport run_cell(const tensor::CsfTensor& t, solver::Method method,
   spec.stopping.max_sweeps = sweeps;
   spec.stopping.fitness_tol = 0.0;  // run the full sweep budget
   spec.record_history = false;
-  if (nprocs > 1)
+  if (nprocs > 1) {
     spec.execution = solver::Execution::simulated_parallel(nprocs);
+    spec.execution.partition = partition;
+  }
   WallTimer timer;
   solver::SolveReport r = parpp::solve(t, spec);
   *seconds = timer.seconds();
   return r;
+}
+
+SkewRow run_skew_cell(const tensor::CsfTensor& t, index_t rank, int sweeps,
+                      int nprocs, dist::PartitionKind partition) {
+  SkewRow row;
+  row.ranks = nprocs;
+  row.partition = solver::to_string(partition);
+  double secs = 0.0;
+  const auto r = run_cell(t, solver::Method::kAls, rank, sweeps, nprocs,
+                          partition, &secs);
+  // Critical path: per sweep, the MTTKRP seconds of whichever rank was
+  // slowest at MTTKRP (sequential runs report their plain profile).
+  const double mttkrp_s =
+      nprocs > 1 ? r.critical_path_profile.seconds(Kernel::kTTM)
+                 : r.profile.seconds(Kernel::kTTM);
+  row.mttkrp_s_per_sweep = r.sweeps > 0 ? mttkrp_s / r.sweeps : 0.0;
+  row.sweeps_per_sec = secs > 0.0 ? static_cast<double>(r.sweeps) / secs : 0.0;
+  row.nnz_imbalance = r.nnz_imbalance;
+  row.fitness = r.fitness;
+  return row;
+}
+
+/// Median-of-reps wall time of one tiled or fiber CSF MTTKRP of `mode`.
+double time_walk(const tensor::CsfTensor& t,
+                 const std::vector<la::Matrix>& factors, int mode,
+                 tensor::CsfWalk walk, int reps) {
+  la::Matrix out;
+  util::KernelWorkspace ws;
+  tensor::mttkrp_csf_into(t, factors, mode, out, nullptr, &ws, walk);  // warm
+  std::vector<double> secs;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    tensor::mttkrp_csf_into(t, factors, mode, out, nullptr, &ws, walk);
+    secs.push_back(timer.seconds());
+  }
+  std::sort(secs.begin(), secs.end());
+  return secs[secs.size() / 2];
 }
 
 }  // namespace
@@ -54,21 +110,28 @@ int main(int argc, char** argv) {
   const index_t rank = args.get_long("--rank", 8);
   const double density = args.get_double("--density", 0.02);
   const int sweeps = static_cast<int>(args.get_long("--sweeps", 8));
+  // The skewed scenario needs enough nonzeros that the MTTKRP walk (not
+  // padding and collective overhead) dominates the critical path.
+  const index_t skew_size = args.get_long("--skew-size", 96);
+  const double skew_density = args.get_double("--skew-density", 0.1);
+  const double zipf = args.get_double("--zipf", 1.6);
+  const int threads = static_cast<int>(args.get_long("--threads", 4));
   const std::string out_path =
       args.get_string("--out", "BENCH_par_sparse.json");
 
   bench::print_header(
-      "Distributed sparse CP — ALS vs PP sweeps/sec across rank counts",
-      "storage-agnostic parallel layer (SparseBlockDist over the mpsim "
-      "grid)");
-  std::printf("s=%lld R=%lld density=%g sweeps=%d\n\n",
+      "Distributed sparse CP — scaling, partitioning and CSF tiling",
+      "storage-agnostic parallel layer (SparseBlockDist / BalancedSparseDist "
+      "over the mpsim grid)");
+  std::printf("s=%lld R=%lld density=%g sweeps=%d zipf=%g\n\n",
               static_cast<long long>(size), static_cast<long long>(rank),
-              density, sweeps);
+              density, sweeps, zipf);
 
+  // ---- scenario 1: ALS vs PP sweep throughput (uniform tensor) ----------
   const auto gen =
       data::make_sparse_lowrank({size, size, size}, rank, density, 7);
   const tensor::CsfTensor csf(gen.tensor);
-  std::printf("nnz = %lld (density %.3e)\n\n",
+  std::printf("uniform tensor: nnz = %lld (density %.3e)\n\n",
               static_cast<long long>(csf.nnz()), csf.density());
 
   std::vector<Row> rows;
@@ -78,10 +141,11 @@ int main(int argc, char** argv) {
     Row row;
     row.ranks = nprocs;
     double als_s = 0.0, pp_s = 0.0;
-    const auto als = run_cell(csf, solver::Method::kAls, rank, sweeps,
-                              nprocs, &als_s);
+    const auto als =
+        run_cell(csf, solver::Method::kAls, rank, sweeps, nprocs,
+                 dist::PartitionKind::kUniformBlocks, &als_s);
     const auto pp = run_cell(csf, solver::Method::kPp, rank, sweeps, nprocs,
-                             &pp_s);
+                             dist::PartitionKind::kUniformBlocks, &pp_s);
     row.als_sweeps_per_sec =
         als_s > 0.0 ? static_cast<double>(als.sweeps) / als_s : 0.0;
     row.pp_sweeps_per_sec =
@@ -94,6 +158,60 @@ int main(int argc, char** argv) {
                 row.als_sweeps_per_sec, row.pp_sweeps_per_sec,
                 row.als_fitness, row.pp_fitness, row.comm_words);
   }
+
+  // ---- scenario 2: uniform vs balanced partition on a skewed tensor -----
+  const auto skew_gen = data::make_sparse_powerlaw(
+      {skew_size, skew_size, skew_size}, skew_density, zipf, 13, rank);
+  const tensor::CsfTensor skew(skew_gen.tensor);
+  std::printf("\nskewed tensor (%lld^3, zipf %.2f): nnz = %lld "
+              "(density %.3e)\n\n",
+              static_cast<long long>(skew_size), zipf,
+              static_cast<long long>(skew.nnz()), skew.density());
+
+  std::vector<SkewRow> skew_rows;
+  std::printf("%6s %10s %16s %12s %10s %10s\n", "ranks", "partition",
+              "mttkrp-s/sweep", "sweeps/s", "imbal", "fitness");
+  for (int nprocs : {1, 2, 4, 8}) {
+    for (const auto partition : {dist::PartitionKind::kUniformBlocks,
+                                 dist::PartitionKind::kBalancedNnz}) {
+      if (nprocs == 1 && partition == dist::PartitionKind::kBalancedNnz)
+        continue;  // one rank has nothing to balance
+      const SkewRow row = run_skew_cell(skew, rank, sweeps, nprocs, partition);
+      skew_rows.push_back(row);
+      std::printf("%6d %10s %16.3e %12.1f %10.3f %10.6f\n", row.ranks,
+                  row.partition.c_str(), row.mttkrp_s_per_sweep,
+                  row.sweeps_per_sec, row.nnz_imbalance, row.fitness);
+    }
+  }
+
+  // ---- scenario 3: tiled vs fiber CSF walk, short root mode -------------
+  // Mode 0 has only `short_extent` root fibers — far fewer than the team —
+  // so the fiber schedule cannot fill threads_per_rank = `threads`.
+  const index_t short_extent = 4;
+  const index_t long_extent = size * 4;
+  const auto short_gen = data::make_sparse_powerlaw(
+      {short_extent, long_extent, long_extent}, 0.02, 0.5, 29, 0);
+  const tensor::CsfTensor short_csf(short_gen.tensor);
+  std::vector<la::Matrix> factors;
+  Rng rng(3);
+  for (int m = 0; m < short_csf.order(); ++m) {
+    factors.emplace_back(short_csf.extent(m), rank);
+    factors.back().fill_uniform(rng);
+  }
+  const int ambient = omp_get_max_threads();
+  omp_set_num_threads(threads);
+  const double fiber_s =
+      time_walk(short_csf, factors, 0, tensor::CsfWalk::kFiber, 5);
+  const double tiled_s =
+      time_walk(short_csf, factors, 0, tensor::CsfWalk::kTiled, 5);
+  omp_set_num_threads(ambient);
+  std::printf("\nshort-root-mode MTTKRP (%lldx%lldx%lld, nnz %lld, %d "
+              "threads):\n  fiber %.3e s   tiled %.3e s   speedup %.2fx\n",
+              static_cast<long long>(short_extent),
+              static_cast<long long>(long_extent),
+              static_cast<long long>(long_extent),
+              static_cast<long long>(short_csf.nnz()), threads, fiber_s,
+              tiled_s, tiled_s > 0.0 ? fiber_s / tiled_s : 0.0);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -116,7 +234,33 @@ int main(int argc, char** argv) {
                  r.als_fitness, r.pp_fitness, r.comm_words,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f,
+               "  ],\n  \"skewed\": {\n    \"size\": %lld,\n"
+               "    \"density\": %g,\n    \"zipf\": %g,\n"
+               "    \"nnz\": %lld,\n    \"rows\": [\n",
+               static_cast<long long>(skew_size), skew_density, zipf,
+               static_cast<long long>(skew.nnz()));
+  for (std::size_t i = 0; i < skew_rows.size(); ++i) {
+    const SkewRow& r = skew_rows[i];
+    std::fprintf(f,
+                 "      {\"ranks\": %d, \"partition\": \"%s\", "
+                 "\"mttkrp_seconds_per_sweep\": %.4e, "
+                 "\"sweeps_per_sec\": %.3f, \"nnz_imbalance\": %.4f, "
+                 "\"fitness\": %.8f}%s\n",
+                 r.ranks, r.partition.c_str(), r.mttkrp_s_per_sweep,
+                 r.sweeps_per_sec, r.nnz_imbalance, r.fitness,
+                 i + 1 < skew_rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ]\n  },\n  \"tiled_walk\": {\n"
+               "    \"short_extent\": %lld,\n    \"long_extent\": %lld,\n"
+               "    \"nnz\": %lld,\n    \"threads\": %d,\n"
+               "    \"fiber_seconds\": %.4e,\n    \"tiled_seconds\": %.4e,\n"
+               "    \"speedup\": %.3f\n  }\n}\n",
+               static_cast<long long>(short_extent),
+               static_cast<long long>(long_extent),
+               static_cast<long long>(short_csf.nnz()), threads, fiber_s,
+               tiled_s, tiled_s > 0.0 ? fiber_s / tiled_s : 0.0);
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

@@ -15,11 +15,8 @@
 
 #include "parpp/la/matrix.hpp"
 #include "parpp/tensor/dense_tensor.hpp"
+#include "parpp/tensor/mttkrp_sparse.hpp"
 #include "parpp/util/profile.hpp"
-
-namespace parpp::tensor {
-class CsfTensor;
-}
 
 namespace parpp::core {
 
@@ -70,6 +67,10 @@ struct EngineOptions {
   /// tensor modes are recomputed instead of cached (<=0 means cache all).
   /// Trades flops for auxiliary memory as analyzed in Sec. IV.
   int max_cached_modes = 0;
+  /// Parallel schedule of the sparse engine's CSF walk (ignored by the
+  /// dense engines). kAuto tiles only when the root mode is too short to
+  /// feed the OpenMP team.
+  tensor::CsfWalk csf_walk = tensor::CsfWalk::kAuto;
 };
 
 /// Creates an engine bound to `t` and `factors`; both must outlive the

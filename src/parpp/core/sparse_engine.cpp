@@ -7,8 +7,8 @@ namespace parpp::core {
 
 SparseEngine::SparseEngine(const tensor::CsfTensor& t,
                            const std::vector<la::Matrix>& factors,
-                           Profile* profile)
-    : t_(&t), factors_(&factors), profile_(profile) {
+                           Profile* profile, tensor::CsfWalk walk)
+    : t_(&t), factors_(&factors), profile_(profile), walk_(walk) {
   PARPP_CHECK(static_cast<int>(factors.size()) == t.order(),
               "engine: factor count mismatch");
   for (int m = 0; m < t.order(); ++m) {
@@ -18,15 +18,16 @@ SparseEngine::SparseEngine(const tensor::CsfTensor& t,
 }
 
 la::Matrix SparseEngine::mttkrp(int mode) {
-  return tensor::mttkrp_csf(*t_, *factors_, mode, profile_, &ws_);
+  return tensor::mttkrp_csf(*t_, *factors_, mode, profile_, &ws_, walk_);
 }
 
 std::unique_ptr<MttkrpEngine> make_engine(EngineKind /*kind*/,
                                           const tensor::CsfTensor& t,
                                           const std::vector<la::Matrix>& factors,
                                           Profile* profile,
-                                          const EngineOptions& /*options*/) {
-  return std::make_unique<SparseEngine>(t, factors, profile);
+                                          const EngineOptions& options) {
+  return std::make_unique<SparseEngine>(t, factors, profile,
+                                        options.csf_walk);
 }
 
 TensorProblem make_problem(const tensor::CsfTensor& t) {

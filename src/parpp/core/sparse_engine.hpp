@@ -19,7 +19,8 @@ namespace parpp::core {
 class SparseEngine final : public MttkrpEngine {
  public:
   SparseEngine(const tensor::CsfTensor& t,
-               const std::vector<la::Matrix>& factors, Profile* profile);
+               const std::vector<la::Matrix>& factors, Profile* profile,
+               tensor::CsfWalk walk = tensor::CsfWalk::kAuto);
 
   [[nodiscard]] la::Matrix mttkrp(int mode) override;
   void notify_update(int) override {}
@@ -32,6 +33,7 @@ class SparseEngine final : public MttkrpEngine {
   const tensor::CsfTensor* t_;
   const std::vector<la::Matrix>* factors_;
   Profile* profile_;
+  tensor::CsfWalk walk_;
   util::KernelWorkspace ws_;
 };
 

@@ -35,4 +35,21 @@ struct SparseLowRankData {
 [[nodiscard]] tensor::CooTensor make_sparse_random(
     const std::vector<index_t>& shape, double density, std::uint64_t seed);
 
+/// Skewed sparse tensor with Zipf-distributed slice density: on every mode,
+/// slice i is hit with probability proportional to (i+1)^-exponent, so the
+/// head slices hold most of the nonzeros — the power-law fiber structure of
+/// real-world sparse tensors that breaks uniform block partitioning.
+/// exponent 0 degenerates to the uniform generators; ~1.0-1.5 matches
+/// FROSTT-style skew.
+///
+/// exact_rank == 0 draws ~density * prod(shape) unstructured entries
+/// (values uniform, collisions merge; `factors` left empty). exact_rank > 0
+/// plants an exactly-low-rank tensor instead (the make_sparse_lowrank
+/// construction with Zipf-weighted per-column supports), so CP-ALS at that
+/// rank can reach fitness 1 — the convergence workload for
+/// balanced-vs-uniform partition equivalence tests.
+[[nodiscard]] SparseLowRankData make_sparse_powerlaw(
+    const std::vector<index_t>& shape, double density, double exponent,
+    std::uint64_t seed, index_t exact_rank = 0);
+
 }  // namespace parpp::data

@@ -1,5 +1,7 @@
 #include "parpp/dist/dist_tensor.hpp"
 
+#include <algorithm>
+
 namespace parpp::dist {
 
 namespace {
@@ -16,19 +18,66 @@ BlockDist::BlockDist(const mpsim::ProcessorGrid& grid,
   PARPP_CHECK(static_cast<int>(global_shape_.size()) == grid.order(),
               "BlockDist: tensor order ", global_shape_.size(),
               " != grid order ", grid.order());
-  local_shape_.resize(global_shape_.size());
-  rows_q_.resize(global_shape_.size());
+  bounds_.resize(global_shape_.size());
   for (int m = 0; m < order(); ++m) {
     const index_t s = global_shape_[static_cast<std::size_t>(m)];
     PARPP_CHECK(s >= 0, "BlockDist: negative extent");
     const index_t dim = grid.dim(m);
-    const index_t slice = grid.slice_size(m);
-    // Per-rank extent: ceil(s / dim), then padded up so the slice group can
-    // split it into equal Q-row chunks.
+    // Uniform boundaries at multiples of the padded per-rank extent; the
+    // padded extent is fixed first (ceil(s / dim), slice-rounded), so the
+    // trailing boundary may point past the true extent (all-padding slabs).
     const index_t base = (s + dim - 1) / dim;
-    const index_t padded = round_up(std::max<index_t>(base, 1), slice);
+    const index_t padded = round_up(std::max<index_t>(base, 1),
+                                    grid.slice_size(m));
+    auto& b = bounds_[static_cast<std::size_t>(m)];
+    b.resize(static_cast<std::size_t>(dim) + 1);
+    for (index_t c = 0; c <= dim; ++c)
+      b[static_cast<std::size_t>(c)] = c * padded;
+  }
+  finalize(grid);
+}
+
+BlockDist::BlockDist(const mpsim::ProcessorGrid& grid,
+                     std::vector<index_t> global_shape,
+                     std::vector<std::vector<index_t>> bounds)
+    : global_shape_(std::move(global_shape)), bounds_(std::move(bounds)) {
+  PARPP_CHECK(static_cast<int>(global_shape_.size()) == grid.order(),
+              "BlockDist: tensor order ", global_shape_.size(),
+              " != grid order ", grid.order());
+  PARPP_CHECK(bounds_.size() == global_shape_.size(),
+              "BlockDist: need one boundary array per mode");
+  for (int m = 0; m < order(); ++m) {
+    const auto& b = bounds_[static_cast<std::size_t>(m)];
+    const index_t s = global_shape_[static_cast<std::size_t>(m)];
+    PARPP_CHECK(static_cast<int>(b.size()) == grid.dim(m) + 1,
+                "BlockDist: mode ", m, " boundary count ", b.size(),
+                " != grid dim + 1");
+    PARPP_CHECK(b.front() == 0, "BlockDist: boundaries must start at 0");
+    PARPP_CHECK(b.back() >= s,
+                "BlockDist: boundaries must cover the global extent");
+    for (std::size_t c = 1; c < b.size(); ++c)
+      PARPP_CHECK(b[c] >= b[c - 1],
+                  "BlockDist: boundaries must be non-decreasing");
+  }
+  finalize(grid);
+}
+
+void BlockDist::finalize(const mpsim::ProcessorGrid& grid) {
+  local_shape_.resize(global_shape_.size());
+  rows_q_.resize(global_shape_.size());
+  for (int m = 0; m < order(); ++m) {
+    const auto& b = bounds_[static_cast<std::size_t>(m)];
+    // Common padded extent: the widest owned slab, rounded up so the slice
+    // group can split it into equal Q-row chunks.
+    index_t widest = 1;
+    for (std::size_t c = 0; c + 1 < b.size(); ++c) {
+      const index_t end = std::min(b[c + 1],
+                                   global_shape_[static_cast<std::size_t>(m)]);
+      widest = std::max(widest, end - std::min(b[c], end));
+    }
+    const index_t padded = round_up(widest, grid.slice_size(m));
     local_shape_[static_cast<std::size_t>(m)] = padded;
-    rows_q_[static_cast<std::size_t>(m)] = padded / slice;
+    rows_q_[static_cast<std::size_t>(m)] = padded / grid.slice_size(m);
   }
 }
 
@@ -42,9 +91,12 @@ tensor::DenseTensor extract_local_block(const tensor::DenseTensor& global,
   if (local.size() == 0) return local;
 
   std::vector<index_t> offset(static_cast<std::size_t>(n));
-  for (int m = 0; m < n; ++m)
-    offset[static_cast<std::size_t>(m)] =
-        dist.slab_offset(m, coords[static_cast<std::size_t>(m)]);
+  std::vector<index_t> end(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m) {
+    const int c = coords[static_cast<std::size_t>(m)];
+    offset[static_cast<std::size_t>(m)] = dist.slab_offset(m, c);
+    end[static_cast<std::size_t>(m)] = dist.slab_end(m, c);
+  }
 
   std::vector<index_t> lidx(static_cast<std::size_t>(n), 0);
   std::vector<index_t> gidx(static_cast<std::size_t>(n), 0);
@@ -54,7 +106,9 @@ tensor::DenseTensor extract_local_block(const tensor::DenseTensor& global,
     for (int m = 0; m < n; ++m) {
       const auto um = static_cast<std::size_t>(m);
       gidx[um] = offset[um] + lidx[um];
-      if (gidx[um] >= global.extent(m)) {
+      // Rows past the owned range are padding, even when the padded slab
+      // overlaps the next coordinate's rows (non-uniform boundaries).
+      if (gidx[um] >= end[um]) {
         inside = false;
         break;
       }

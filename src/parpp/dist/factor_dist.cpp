@@ -35,11 +35,16 @@ FactorDist::FactorDist(const mpsim::ProcessorGrid& grid, const BlockDist& dist,
 
 index_t FactorDist::q_row_global(int mode, index_t r) const {
   PARPP_ASSERT(r >= 0 && r < dist_->rows_q(mode), "q_row_global: bad row");
-  const index_t g = dist_->slab_offset(mode, grid_->coord(mode)) +
+  const int coord = grid_->coord(mode);
+  const index_t g = dist_->slab_offset(mode, coord) +
                     static_cast<index_t>(slice_rank(mode)) *
                         dist_->rows_q(mode) +
                     r;
-  return g < dist_->global_shape()[static_cast<std::size_t>(mode)] ? g : -1;
+  // Rows at or past the slab's owned range are padding. With non-uniform
+  // boundaries the padded slab can overlap the next coordinate's rows, so
+  // the bound is the per-coordinate slab end, not the global extent —
+  // every global row keeps exactly one owner.
+  return g < dist_->slab_end(mode, coord) ? g : -1;
 }
 
 void FactorDist::set_q_from_global(int mode, const la::Matrix& global) {
@@ -92,13 +97,17 @@ la::Matrix FactorDist::allgather_global(int mode) {
   la::Matrix global(s, rank_);
   for (int p = 0; p < world.size(); ++p) {
     const auto coords = grid_->coords_of(p);
+    const int coord = coords[static_cast<std::size_t>(mode)];
     const index_t start =
-        dist_->slab_offset(mode, coords[static_cast<std::size_t>(mode)]) +
+        dist_->slab_offset(mode, coord) +
         static_cast<index_t>(slice_rank_of(*grid_, mode, coords)) * rows_q;
+    // Stop at the slab's owned range (mirrors q_row_global): padding rows
+    // of p's chunk must not clobber the owner's rows.
+    const index_t end = dist_->slab_end(mode, coord);
     const double* src = all.data() + static_cast<index_t>(p) * rows_q * rank_;
     for (index_t r = 0; r < rows_q; ++r) {
       const index_t g = start + r;
-      if (g >= s) break;
+      if (g >= end) break;
       std::copy(src + r * rank_, src + (r + 1) * rank_, global.row(g));
     }
   }

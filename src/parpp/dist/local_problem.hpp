@@ -21,6 +21,12 @@
 
 namespace parpp::dist {
 
+/// How a DistProblem carves the global index space into grid blocks.
+enum class PartitionKind {
+  kUniformBlocks,  ///< uniform hyper-rectangular slabs (Sec. II-A geometry)
+  kBalancedNnz,    ///< nnz-balanced per-mode chains-on-chains boundaries
+};
+
 class LocalProblem {
  public:
   virtual ~LocalProblem() = default;
@@ -43,6 +49,10 @@ class LocalProblem {
   [[nodiscard]] virtual std::unique_ptr<core::PpOperators> make_pp_operators(
       const std::vector<la::Matrix>& slice_factors,
       Profile* profile) const = 0;
+
+  /// Nonzeros stored in the block, or -1 when the storage has no meaningful
+  /// sparsity (dense slabs). Feeds the per-rank load-imbalance report.
+  [[nodiscard]] virtual index_t nnz() const { return -1; }
 };
 
 /// A global decomposition input that knows how to carve itself into
@@ -52,6 +62,15 @@ class DistProblem {
   virtual ~DistProblem() = default;
 
   [[nodiscard]] virtual const std::vector<index_t>& global_shape() const = 0;
+
+  /// Block geometry over `grid`. The default is the uniform split; nnz-aware
+  /// problems override this with their non-uniform boundaries. Called
+  /// concurrently from every simulated rank body; every rank must receive
+  /// an identical geometry (deterministic, grid-only inputs).
+  [[nodiscard]] virtual BlockDist make_block_dist(
+      const mpsim::ProcessorGrid& grid) const {
+    return BlockDist(grid, global_shape());
+  }
 
   /// Builds the local problem for the block at grid coordinates `coords`.
   /// Called concurrently from every simulated rank body — implementations

@@ -81,7 +81,7 @@ ParCpContext::ParCpContext(mpsim::Comm& comm, const ParOptions& options,
       problem_(owned_problem_ ? owned_problem_.get() : problem),
       n_(static_cast<int>(problem_->global_shape().size())),
       grid_(comm, options.grid_dims),
-      dist_(grid_, problem_->global_shape()),
+      dist_(problem_->make_block_dist(grid_)),
       local_(problem_->make_local(dist_, grid_.coords())),
       fd_(grid_, dist_, options.base.rank) {
   // Deterministic global initialization so any grid reproduces the
@@ -106,6 +106,21 @@ ParCpContext::ParCpContext(mpsim::Comm& comm, const ParOptions& options,
   double sq = local_->squared_norm();
   comm_.allreduce_sum(&sq, 1);
   t_sq_ = sq;
+
+  // Observed per-rank load balance (one setup-time collective; nnz() is -1
+  // on every rank or on none, so the collective stays matched).
+  if (local_->nnz() >= 0) {
+    const double mine = static_cast<double>(local_->nnz());
+    std::vector<double> all(static_cast<std::size_t>(comm_.size()));
+    comm_.allgather(&mine, 1, all.data());
+    double total = 0.0, worst = 0.0;
+    for (double v : all) {
+      total += v;
+      worst = std::max(worst, v);
+    }
+    const double mean = total / static_cast<double>(comm_.size());
+    nnz_imbalance_ = mean > 0.0 ? worst / mean : 1.0;
+  }
 }
 
 void ParCpContext::enable_hals(double epsilon, int inner_iterations) {
@@ -227,8 +242,8 @@ ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
 ParResult par_cp_als(const tensor::CsfTensor& global_t, int nprocs,
                      const ParOptions& options,
                      const core::DriverHooks& hooks) {
-  const dist::SparseBlockDist problem(global_t);
-  return par_cp_als(problem, nprocs, options, hooks);
+  const auto problem = dist::make_sparse_problem(global_t, options.partition);
+  return par_cp_als(*problem, nprocs, options, hooks);
 }
 
 ParResult par_cp_als(const dist::DistProblem& problem, int nprocs,
@@ -244,6 +259,7 @@ ParResult par_cp_als(const dist::DistProblem& problem, int nprocs,
       nprocs,
       [&](mpsim::Comm& comm) {
         ParCpContext ctx(comm, problem, options, hooks.initial_factors);
+        if (comm.rank() == 0) result.nnz_imbalance = ctx.nnz_imbalance();
         const int n = ctx.order();
         WallTimer timer;
         double fit = 0.0, fit_old = -1.0;
@@ -284,15 +300,18 @@ ParResult par_cp_als(const dist::DistProblem& problem, int nprocs,
                                  : std::size_t{0};
   for (std::size_t s = 0; s < sweeps; ++s) {
     Profile worst;
+    Profile cat_max;
     double worst_total = -1.0;
     for (const auto& per_rank : sweep_profiles) {
       if (s >= per_rank.size()) continue;
+      cat_max.max_merge(per_rank[s]);
       if (per_rank[s].total_seconds() > worst_total) {
         worst_total = per_rank[s].total_seconds();
         worst = per_rank[s];
       }
     }
     result.sweep_profiles.push_back(worst);
+    result.critical_path_profile.accumulate(cat_max);
   }
   if (!result.history.empty()) {
     result.mean_sweep_seconds =

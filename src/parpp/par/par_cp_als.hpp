@@ -26,6 +26,10 @@ struct ParOptions {
   core::EngineOptions engine_options = {};
   SolveMode solve = SolveMode::kDistributedRows;
   int threads_per_rank = 1;
+  /// How sparse inputs are carved over the grid (the CsfTensor driver
+  /// overloads pick the matching DistProblem; ignored when the caller
+  /// passes a DistProblem directly).
+  dist::PartitionKind partition = dist::PartitionKind::kUniformBlocks;
 };
 
 struct ParResult {
@@ -36,10 +40,18 @@ struct ParResult {
   std::vector<core::SweepRecord> history;  ///< rank-0 wall clock
   /// Per-sweep kernel profile of the slowest rank (Fig. 3c-f breakdown).
   std::vector<Profile> sweep_profiles;
+  /// Per-category critical path: sum over sweeps of the per-rank maximum of
+  /// each kernel class. Unlike sweep_profiles (one whole-rank snapshot),
+  /// its TTM seconds are the MTTKRP time of whichever rank was slowest at
+  /// MTTKRP each sweep — the load-balance figure of merit.
+  Profile critical_path_profile;
   /// Modeled communication cost of the busiest rank.
   mpsim::CostCounter comm_cost;
   double mean_sweep_seconds = 0.0;
   int num_als_sweeps = 0, num_pp_init = 0, num_pp_approx = 0;
+  /// Per-rank nonzero load imbalance, max / mean (1.0 = perfectly even;
+  /// 0.0 when the storage reports no nnz, i.e. dense runs).
+  double nnz_imbalance = 0.0;
 };
 
 /// Row-local HALS pass over the Q-distributed rows (see core::hals_update):
@@ -110,6 +122,9 @@ class ParCpContext {
   [[nodiscard]] std::vector<la::Matrix>& grams() { return grams_; }
   [[nodiscard]] core::MttkrpEngine& engine() { return *engine_; }
   [[nodiscard]] double tensor_sq_norm() const { return t_sq_; }
+  /// Per-rank nnz imbalance (max / mean) of the block distribution; 0.0
+  /// when the storage reports no nnz. Computed collectively at setup.
+  [[nodiscard]] double nnz_imbalance() const { return nnz_imbalance_; }
 
   /// One regular factor update for `mode` (Algorithm 3 lines 12-18).
   /// Stores Γ and M internally when mode == N-1 for the residual.
@@ -164,6 +179,7 @@ class ParCpContext {
   std::vector<la::Matrix> grams_;
   std::unique_ptr<core::MttkrpEngine> engine_;
   double t_sq_ = 0.0;
+  double nnz_imbalance_ = 0.0;
   la::Matrix gamma_last_, mq_last_;
 };
 

@@ -26,8 +26,9 @@ ParResult par_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
 ParResult par_nncp_hals(const tensor::CsfTensor& global_t, int nprocs,
                         const ParNncpOptions& options,
                         const core::DriverHooks& hooks) {
-  const dist::SparseBlockDist problem(global_t);
-  return par_nncp_hals(problem, nprocs, options, hooks);
+  const auto problem =
+      dist::make_sparse_problem(global_t, options.par.partition);
+  return par_nncp_hals(*problem, nprocs, options, hooks);
 }
 
 ParResult par_nncp_hals(const dist::DistProblem& problem, int nprocs,
@@ -44,6 +45,7 @@ ParResult par_nncp_hals(const dist::DistProblem& problem, int nprocs,
         ParOptions local = par;
         local.local_engine = options.nn.engine;
         ParCpContext ctx(comm, problem, local, hooks.initial_factors);
+        if (comm.rank() == 0) result.nnz_imbalance = ctx.nnz_imbalance();
         // MTTKRP + Reduce-Scatter exactly as Algorithm 3, with the factor
         // update swapped for the projected HALS passes (row-local, so zero
         // extra communication) — the same hook the PP-NNCP driver uses.

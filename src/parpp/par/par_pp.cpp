@@ -170,6 +170,7 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
       nprocs,
       [&](mpsim::Comm& comm) {
         ParCpContext ctx(comm, problem, par, hooks.initial_factors);
+        if (comm.rank() == 0) result.nnz_imbalance = ctx.nnz_imbalance();
         if (nn) ctx.enable_hals(nn->epsilon, nn->inner_iterations);
         const int n = ctx.order();
         LocalPp pp(comm, ctx);
@@ -302,11 +303,13 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
 
   for (std::size_t s = 0;; ++s) {
     Profile worst;
+    Profile cat_max;
     double worst_total = -1.0;
     bool any = false;
     for (const auto& per_rank : sweep_profiles) {
       if (s >= per_rank.size()) continue;
       any = true;
+      cat_max.max_merge(per_rank[s]);
       if (per_rank[s].total_seconds() > worst_total) {
         worst_total = per_rank[s].total_seconds();
         worst = per_rank[s];
@@ -314,6 +317,7 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
     }
     if (!any) break;
     result.sweep_profiles.push_back(worst);
+    result.critical_path_profile.accumulate(cat_max);
   }
   if (!result.history.empty() && result.sweeps > 0) {
     result.mean_sweep_seconds =
@@ -347,8 +351,9 @@ ParResult par_pp_cp_als(const tensor::DenseTensor& global_t, int nprocs,
 ParResult par_pp_cp_als(const tensor::CsfTensor& global_t, int nprocs,
                         const ParPpOptions& options,
                         const core::DriverHooks& hooks) {
-  const dist::SparseBlockDist problem(global_t);
-  return run_par_pp(problem, nprocs, options.par, options.pp, nullptr,
+  const auto problem =
+      dist::make_sparse_problem(global_t, options.par.partition);
+  return run_par_pp(*problem, nprocs, options.par, options.pp, nullptr,
                     hooks);
 }
 
@@ -370,8 +375,9 @@ ParResult par_pp_nncp_hals(const tensor::DenseTensor& global_t, int nprocs,
 ParResult par_pp_nncp_hals(const tensor::CsfTensor& global_t, int nprocs,
                            const ParPpNncpOptions& options,
                            const core::DriverHooks& hooks) {
-  const dist::SparseBlockDist problem(global_t);
-  return run_par_pp(problem, nprocs, options.par, options.pp, &options.nn,
+  const auto problem =
+      dist::make_sparse_problem(global_t, options.par.partition);
+  return run_par_pp(*problem, nprocs, options.par, options.pp, &options.nn,
                     hooks);
 }
 

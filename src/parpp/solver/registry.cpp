@@ -32,6 +32,7 @@ par::ParOptions par_options(const SolverSpec& spec, int order) {
   p.engine_options = spec.engine_options;
   p.solve = spec.execution.solve_mode;
   p.threads_per_rank = spec.execution.threads_per_rank;
+  p.partition = spec.execution.partition;
   return p;
 }
 

@@ -45,6 +45,8 @@ SolveReport from_par_result(par::ParResult&& r) {
   report.comm_cost = r.comm_cost;
   report.mean_sweep_seconds = r.mean_sweep_seconds;
   report.sweep_profiles = std::move(r.sweep_profiles);
+  report.critical_path_profile = r.critical_path_profile;
+  report.nnz_imbalance = r.nnz_imbalance;
   // The parallel cores report per-sweep slices of the slowest rank;
   // aggregate them so report.profile is populated for both executions.
   for (const Profile& p : report.sweep_profiles) report.profile.accumulate(p);

@@ -67,6 +67,10 @@ struct Execution {
   /// HALS methods, whose update is row-local).
   par::SolveMode solve_mode = par::SolveMode::kDistributedRows;
   int threads_per_rank = 1;
+  /// How sparse inputs are partitioned over the grid: uniform blocks, or
+  /// nnz-balanced chains-on-chains boundaries for skewed tensors (same
+  /// answers, flatter per-rank load). Dense inputs ignore it.
+  dist::PartitionKind partition = dist::PartitionKind::kUniformBlocks;
 
   [[nodiscard]] bool is_parallel() const { return nprocs > 1; }
 
@@ -167,6 +171,12 @@ struct SolveReport {
   mpsim::CostCounter comm_cost;
   double mean_sweep_seconds = 0.0;
   std::vector<Profile> sweep_profiles;
+  /// Per-category critical path across ranks (see ParResult); empty for
+  /// sequential runs — use `profile` there.
+  Profile critical_path_profile;
+  /// Per-rank nonzero load imbalance, max / mean (1.0 = perfectly even;
+  /// 0.0 for dense or sequential runs, whose blocks report no nnz).
+  double nnz_imbalance = 0.0;
 };
 
 }  // namespace parpp::solver

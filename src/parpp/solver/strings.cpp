@@ -44,6 +44,14 @@ std::string_view to_string(par::SolveMode mode) {
   return "?";
 }
 
+std::string_view to_string(dist::PartitionKind partition) {
+  switch (partition) {
+    case dist::PartitionKind::kUniformBlocks: return "uniform";
+    case dist::PartitionKind::kBalancedNnz: return "balanced";
+  }
+  return "?";
+}
+
 std::string_view to_string(StopReason reason) {
   switch (reason) {
     case StopReason::kConverged: return "converged";
@@ -78,6 +86,13 @@ std::optional<par::SolveMode> solve_mode_from_string(std::string_view s) {
   if (t == "distributed-rows") return par::SolveMode::kDistributedRows;
   if (t == "replicated-sequential")
     return par::SolveMode::kReplicatedSequential;
+  return std::nullopt;
+}
+
+std::optional<dist::PartitionKind> partition_from_string(std::string_view s) {
+  const std::string t = lower(s);
+  if (t == "uniform") return dist::PartitionKind::kUniformBlocks;
+  if (t == "balanced") return dist::PartitionKind::kBalancedNnz;
   return std::nullopt;
 }
 

@@ -16,6 +16,8 @@ namespace parpp::solver {
 [[nodiscard]] std::string_view to_string(core::EngineKind kind);
 /// "distributed-rows" | "replicated-sequential".
 [[nodiscard]] std::string_view to_string(par::SolveMode mode);
+/// "uniform" | "balanced".
+[[nodiscard]] std::string_view to_string(dist::PartitionKind partition);
 /// "converged" | "max-sweeps" | "time-budget" | "predicate" | "observer".
 [[nodiscard]] std::string_view to_string(StopReason reason);
 
@@ -24,6 +26,8 @@ namespace parpp::solver {
 [[nodiscard]] std::optional<core::EngineKind> engine_from_string(
     std::string_view s);
 [[nodiscard]] std::optional<par::SolveMode> solve_mode_from_string(
+    std::string_view s);
+[[nodiscard]] std::optional<dist::PartitionKind> partition_from_string(
     std::string_view s);
 
 }  // namespace parpp::solver

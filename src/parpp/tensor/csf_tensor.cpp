@@ -8,6 +8,8 @@ namespace parpp::tensor {
 
 namespace {
 
+void build_tiles(CsfTensor::Tree& tree, int n);
+
 CsfTensor::Tree build_tree(const CooTensor& coo, int root_mode) {
   const int n = coo.order();
   const index_t nnz = coo.nnz();
@@ -68,7 +70,51 @@ CsfTensor::Tree build_tree(const CooTensor& coo, int root_mode) {
   for (int l = 1; l < n - 1; ++l)
     tree.internal_nodes +=
         static_cast<index_t>(tree.fids[static_cast<std::size_t>(l)].size());
+  build_tiles(tree, n);
   return tree;
+}
+
+/// Splits the level-1 node array into tiles of ~kTileLeafTarget leaf
+/// entries and records which root fibers each tile intersects. Level-1
+/// granularity (rather than whole root fibers) is what lets the tiled
+/// MTTKRP walk scale on short root modes.
+void build_tiles(CsfTensor::Tree& tree, int n) {
+  const auto n1 = static_cast<index_t>(tree.fids[1].size());
+  // Leaf offset of level-1 node k: compose the child pointers down to the
+  // leaf level (identity for order 2, where level 1 *is* the leaf level).
+  const auto leaf_start = [&](index_t k) {
+    index_t cur = k;
+    for (int l = 1; l <= n - 2; ++l)
+      cur = tree.fptr[static_cast<std::size_t>(l)][static_cast<std::size_t>(cur)];
+    return cur;
+  };
+
+  tree.tile_ptr.push_back(0);
+  index_t acc = 0;
+  index_t prev = leaf_start(0);
+  for (index_t k = 0; k < n1; ++k) {
+    const index_t next = leaf_start(k + 1);
+    acc += next - prev;
+    prev = next;
+    if (acc >= CsfTensor::kTileLeafTarget) {
+      tree.tile_ptr.push_back(k + 1);
+      acc = 0;
+    }
+  }
+  if (tree.tile_ptr.back() != n1) tree.tile_ptr.push_back(n1);
+
+  const auto& root_ptr = tree.fptr[0];
+  const index_t roots = tree.root_count();
+  index_t r = 0;
+  for (index_t t = 0; t + 1 < static_cast<index_t>(tree.tile_ptr.size()); ++t) {
+    const index_t k0 = tree.tile_ptr[static_cast<std::size_t>(t)];
+    const index_t k1 = tree.tile_ptr[static_cast<std::size_t>(t) + 1];
+    while (root_ptr[static_cast<std::size_t>(r) + 1] <= k0) ++r;
+    tree.tile_root.push_back(r);
+    index_t re = r;
+    while (re < roots && root_ptr[static_cast<std::size_t>(re)] < k1) ++re;
+    tree.tile_root_end.push_back(re);
+  }
 }
 
 }  // namespace

@@ -33,10 +33,29 @@ class CsfTensor {
     /// of a root-mode MTTKRP walk (flop accounting).
     index_t internal_nodes = 0;
 
+    // Cache-blocked tiling of the level-1 node array (SPLATT-style): tile t
+    // covers level-1 nodes [tile_ptr[t], tile_ptr[t+1]) — about
+    // kTileLeafTarget leaf entries each — and intersects the root fibers
+    // [tile_root[t], tile_root_end[t]). Splitting at level-1 (not root)
+    // granularity lets the tiled MTTKRP walk keep every thread busy even
+    // when the root mode is short; a tile's first/last root may be shared
+    // with its neighbors, which the walk resolves with private partial
+    // rows and a serial fix-up (see mttkrp_sparse.cpp).
+    std::vector<index_t> tile_ptr;       ///< size tiles+1
+    std::vector<index_t> tile_root;      ///< first intersecting root fiber
+    std::vector<index_t> tile_root_end;  ///< one past the last
+
     [[nodiscard]] index_t root_count() const {
       return static_cast<index_t>(fids.front().size());
     }
+    [[nodiscard]] index_t tile_count() const {
+      return static_cast<index_t>(tile_ptr.size()) - 1;
+    }
   };
+
+  /// Leaf entries a tile targets (the last tile of a tree may be smaller;
+  /// a single level-1 node with a larger subtree is never split).
+  static constexpr index_t kTileLeafTarget = 2048;
 
   /// Builds the per-mode trees. `coo` must be coalesced (sorted entries,
   /// no duplicate coordinates) — call CooTensor::coalesce() first.

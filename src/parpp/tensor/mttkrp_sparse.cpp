@@ -27,6 +27,29 @@ void prepare_out(la::Matrix& out, index_t rows, index_t cols) {
   out.set_zero();
 }
 
+/// Size of the team the next parallel region will get. Unlike
+/// omp_get_max_threads() this reflects dynamic adjustment and nesting caps
+/// (a simulated rank capped to threads_per_rank inside an outer region), so
+/// workspace slabs are sized by threads that actually run, not the global
+/// maximum. The discovery region runs once per calling thread and is then
+/// cached until that thread's omp_set_num_threads() setting changes — the
+/// kernels below sit on the hottest path and must not pay an extra
+/// fork-join per call.
+int openmp_team_size() {
+  thread_local int cached_max = -1;
+  thread_local int cached_team = 1;
+  const int maxt = omp_get_max_threads();
+  if (maxt != cached_max) {
+    int team = 1;
+#pragma omp parallel
+#pragma omp single
+    team = omp_get_num_threads();
+    cached_max = maxt;
+    cached_team = team;
+  }
+  return cached_team;
+}
+
 /// Sums the contributions of the level-`lv` nodes [begin, end) into `dst`
 /// (length R). `acc` holds one R-vector per interior level (lv in
 /// [1, order-2]), indexed acc + (lv-1)*R.
@@ -135,18 +158,19 @@ void pair_mttkrp_csf_into(const CsfTensor& t,
 
   util::KernelWorkspace& wsp =
       ws != nullptr ? *ws : util::KernelWorkspace::thread_default();
-  const int maxt = omp_get_max_threads();
+  const int team = openmp_team_size();
   // Per thread: one ones-vector (the root's incoming product) plus one
-  // product slab per level, leased up front like the MTTKRP walk.
+  // product slab per level, leased up front like the MTTKRP walk and sized
+  // by the team that will actually run (not the global thread maximum).
   const index_t per_thread = static_cast<index_t>(order + 1) * r;
-  auto slab = wsp.lease(static_cast<index_t>(maxt) * per_thread);
+  auto slab = wsp.lease(static_cast<index_t>(team) * per_thread);
 
   const index_t roots = tree.root_count();
   const auto& root_fids = tree.fids.front();
   const auto& root_fptr = tree.fptr.front();
   const index_t slab_stride = t.extent(j) * r;
   double* const out_base = out.data();
-#pragma omp parallel
+#pragma omp parallel num_threads(team)
   {
     double* mine = slab.data() +
                    static_cast<index_t>(omp_get_thread_num()) * per_thread;
@@ -217,31 +241,20 @@ la::Matrix mttkrp_coo(const CooTensor& t, const std::vector<la::Matrix>& factors
   return out;
 }
 
-void mttkrp_csf_into(const CsfTensor& t, const std::vector<la::Matrix>& factors,
-                     int n, la::Matrix& out, Profile* profile,
-                     util::KernelWorkspace* ws) {
-  check_factors(t, factors, n);
-  const int order = t.order();
-  const index_t r = factors.front().cols();
-  const CsfTensor::Tree& tree = t.tree(n);
-  ScopedProfile sp(profile ? *profile : Profile::thread_default(),
-                   Kernel::kTTM,
-                   2.0 * static_cast<double>(r) *
-                       static_cast<double>(t.nnz() + tree.internal_nodes));
-  prepare_out(out, t.extent(n), r);
+namespace {
 
-  util::KernelWorkspace& wsp =
-      ws != nullptr ? *ws : util::KernelWorkspace::thread_default();
-  const index_t levels = std::max(order - 2, 0);
-  const int maxt = omp_get_max_threads();
+/// Classic schedule: one root fiber per task.
+void csf_walk_fiber(const CsfTensor::Tree& tree,
+                    const std::vector<la::Matrix>& factors, index_t r,
+                    index_t levels, int team, la::Matrix& out,
+                    util::KernelWorkspace& wsp) {
   // One slab of interior-level accumulators per thread, leased up front so
   // the parallel region never touches the pool (it is not synchronized).
-  auto slab = wsp.lease(static_cast<index_t>(maxt) * levels * r);
-
+  auto slab = wsp.lease(static_cast<index_t>(team) * levels * r);
   const index_t roots = tree.root_count();
   const auto& root_fids = tree.fids.front();
   const auto& root_fptr = tree.fptr.front();
-#pragma omp parallel
+#pragma omp parallel num_threads(team)
   {
     double* acc = slab.data() + static_cast<index_t>(omp_get_thread_num()) *
                                     levels * r;
@@ -257,10 +270,120 @@ void mttkrp_csf_into(const CsfTensor& t, const std::vector<la::Matrix>& factors,
   }
 }
 
+/// Tiled schedule: work stealing over the tree's cache-sized level-1 tiles.
+/// A tile's interior roots are wholly owned (their output rows are written
+/// directly); its first/last root may be shared with neighbor tiles, so
+/// those contributions go to tile-private partial rows merged in a serial
+/// O(tiles) fix-up after the parallel region.
+void csf_walk_tiled(const CsfTensor::Tree& tree,
+                    const std::vector<la::Matrix>& factors, index_t r,
+                    index_t levels, int team, la::Matrix& out,
+                    util::KernelWorkspace& wsp) {
+  const index_t tiles = tree.tile_count();
+  const auto& root_fids = tree.fids.front();
+  const auto& root_fptr = tree.fptr.front();
+  // Per-thread accumulator slabs, then two partial rows per tile.
+  auto slab = wsp.lease(static_cast<index_t>(team) * levels * r +
+                        tiles * 2 * r);
+  double* const part_base = slab.data() + static_cast<index_t>(team) * levels * r;
+
+  // Boundary intersection of tile tt with root fiber `root`, mirrored
+  // exactly in the fix-up below.
+  const auto clip = [&](index_t tt, index_t root, index_t* cb, index_t* ce) {
+    *cb = std::max(tree.tile_ptr[static_cast<std::size_t>(tt)],
+                   root_fptr[static_cast<std::size_t>(root)]);
+    *ce = std::min(tree.tile_ptr[static_cast<std::size_t>(tt) + 1],
+                   root_fptr[static_cast<std::size_t>(root) + 1]);
+  };
+  const auto whole = [&](index_t root, index_t cb, index_t ce) {
+    return cb == root_fptr[static_cast<std::size_t>(root)] &&
+           ce == root_fptr[static_cast<std::size_t>(root) + 1];
+  };
+
+#pragma omp parallel num_threads(team)
+  {
+    double* acc = slab.data() + static_cast<index_t>(omp_get_thread_num()) *
+                                    levels * r;
+#pragma omp for schedule(dynamic, 1)
+    for (index_t tt = 0; tt < tiles; ++tt) {
+      const index_t rb = tree.tile_root[static_cast<std::size_t>(tt)];
+      const index_t re = tree.tile_root_end[static_cast<std::size_t>(tt)];
+      double* part = part_base + tt * 2 * r;
+      for (index_t root = rb; root < re; ++root) {
+        index_t cb = 0, ce = 0;
+        clip(tt, root, &cb, &ce);
+        double* dst;
+        if (whole(root, cb, ce)) {
+          dst = out.row(root_fids[static_cast<std::size_t>(root)]);
+        } else {
+          dst = root == rb ? part : part + r;
+          std::fill(dst, dst + r, 0.0);
+        }
+        accumulate_children(tree, factors, 1, cb, ce, r, acc, dst);
+      }
+    }
+  }
+
+  for (index_t tt = 0; tt < tiles; ++tt) {
+    const index_t rb = tree.tile_root[static_cast<std::size_t>(tt)];
+    const index_t re = tree.tile_root_end[static_cast<std::size_t>(tt)];
+    if (rb >= re) continue;
+    const double* part = part_base + tt * 2 * r;
+    index_t cb = 0, ce = 0;
+    clip(tt, rb, &cb, &ce);
+    if (!whole(rb, cb, ce)) {
+      double* dst = out.row(root_fids[static_cast<std::size_t>(rb)]);
+      for (index_t q = 0; q < r; ++q) dst[q] += part[q];
+    }
+    if (re - rb >= 2) {
+      clip(tt, re - 1, &cb, &ce);
+      if (!whole(re - 1, cb, ce)) {
+        double* dst = out.row(root_fids[static_cast<std::size_t>(re - 1)]);
+        for (index_t q = 0; q < r; ++q) dst[q] += part[r + q];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void mttkrp_csf_into(const CsfTensor& t, const std::vector<la::Matrix>& factors,
+                     int n, la::Matrix& out, Profile* profile,
+                     util::KernelWorkspace* ws, CsfWalk walk) {
+  check_factors(t, factors, n);
+  const int order = t.order();
+  const index_t r = factors.front().cols();
+  const CsfTensor::Tree& tree = t.tree(n);
+  ScopedProfile sp(profile ? *profile : Profile::thread_default(),
+                   Kernel::kTTM,
+                   2.0 * static_cast<double>(r) *
+                       static_cast<double>(t.nnz() + tree.internal_nodes));
+  prepare_out(out, t.extent(n), r);
+
+  util::KernelWorkspace& wsp =
+      ws != nullptr ? *ws : util::KernelWorkspace::thread_default();
+  const index_t levels = std::max(order - 2, 0);
+  const int team = openmp_team_size();
+
+  if (walk == CsfWalk::kAuto) {
+    // The fiber schedule hands out chunks of 32 roots; when the root mode
+    // cannot fill the team at that granularity, switch to tiles.
+    const bool starved = tree.root_count() < static_cast<index_t>(team) * 32;
+    walk = (team > 1 && starved && tree.tile_count() > 1) ? CsfWalk::kTiled
+                                                          : CsfWalk::kFiber;
+  }
+  if (walk == CsfWalk::kTiled) {
+    csf_walk_tiled(tree, factors, r, levels, team, out, wsp);
+  } else {
+    csf_walk_fiber(tree, factors, r, levels, team, out, wsp);
+  }
+}
+
 la::Matrix mttkrp_csf(const CsfTensor& t, const std::vector<la::Matrix>& factors,
-                      int n, Profile* profile, util::KernelWorkspace* ws) {
+                      int n, Profile* profile, util::KernelWorkspace* ws,
+                      CsfWalk walk) {
   la::Matrix out;
-  mttkrp_csf_into(t, factors, n, out, profile, ws);
+  mttkrp_csf_into(t, factors, n, out, profile, ws, walk);
   return out;
 }
 

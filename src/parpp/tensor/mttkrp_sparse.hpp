@@ -4,10 +4,19 @@
 // contribute val * A(last).row, interior levels Hadamard the accumulated
 // child sum with their own factor row, and the root scatters into the
 // output row — 2R(nnz + interior nodes) flops, nothing proportional to the
-// dense size. Parallelism is over root fibers (distinct output rows, so no
-// write conflicts); per-thread accumulators are leased from the workspace,
-// making steady-state sweeps allocation-free exactly like the dense fused
-// path.
+// dense size. Two parallel schedules share that walk:
+//
+//   * fiber — one root fiber per task (distinct output rows, no write
+//     conflicts). Starves when the root mode is shorter than the team.
+//   * tiled — cache-sized tiles of level-1 nodes (CsfTensor::Tree tiling)
+//     with work stealing over tiles. A root fiber split across tiles gets
+//     its boundary contributions accumulated into tile-private rows and
+//     added back in a serial O(tiles) fix-up, so short root modes still
+//     scale.
+//
+// Per-thread accumulators (and the tile-boundary rows) are leased from the
+// workspace and sized by the actual OpenMP team, making steady-state sweeps
+// allocation-free exactly like the dense fused path.
 #pragma once
 
 #include <vector>
@@ -27,20 +36,29 @@ namespace parpp::tensor {
                                     const std::vector<la::Matrix>& factors,
                                     int n, Profile* profile = nullptr);
 
-/// CSF MTTKRP of mode `n` (tree rooted at n, OpenMP over root fibers).
-/// `ws` defaults to the calling thread's workspace. Charged to Kernel::kTTM
-/// with the exact sparse flop count, like the dense engines.
+/// Parallel schedule of the CSF walk (see file comment).
+enum class CsfWalk {
+  kAuto,   ///< tiled when the root mode is too short to feed the team
+  kFiber,  ///< one root fiber per task (the classic SPLATT schedule)
+  kTiled,  ///< level-1 tiles with work stealing + boundary fix-up
+};
+
+/// CSF MTTKRP of mode `n` (tree rooted at n). `ws` defaults to the calling
+/// thread's workspace. Charged to Kernel::kTTM with the exact sparse flop
+/// count, like the dense engines.
 [[nodiscard]] la::Matrix mttkrp_csf(const CsfTensor& t,
                                     const std::vector<la::Matrix>& factors,
                                     int n, Profile* profile = nullptr,
-                                    util::KernelWorkspace* ws = nullptr);
+                                    util::KernelWorkspace* ws = nullptr,
+                                    CsfWalk walk = CsfWalk::kAuto);
 
 /// Out-parameter variant: reuses `out`'s storage when the shape already
 /// matches (the per-mode steady state of an ALS sweep).
 void mttkrp_csf_into(const CsfTensor& t,
                      const std::vector<la::Matrix>& factors, int n,
                      la::Matrix& out, Profile* profile = nullptr,
-                     util::KernelWorkspace* ws = nullptr);
+                     util::KernelWorkspace* ws = nullptr,
+                     CsfWalk walk = CsfWalk::kAuto);
 
 /// Pairwise-perturbation pair operator M_p(i,j) over sparse storage: the
 /// (s_i, s_j, R) dense tensor obtained by contracting every mode except

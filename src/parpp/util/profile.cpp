@@ -1,5 +1,6 @@
 #include "parpp/util/profile.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace parpp {
@@ -47,6 +48,13 @@ void Profile::accumulate(const Profile& other) {
   for (int i = 0; i < static_cast<int>(Kernel::kCount); ++i) {
     seconds_[i] += other.seconds_[i];
     flops_[i] += other.flops_[i];
+  }
+}
+
+void Profile::max_merge(const Profile& other) {
+  for (int i = 0; i < static_cast<int>(Kernel::kCount); ++i) {
+    seconds_[i] = std::max(seconds_[i], other.seconds_[i]);
+    flops_[i] = std::max(flops_[i], other.flops_[i]);
   }
 }
 

@@ -53,6 +53,11 @@ class Profile {
   /// Merge another profile into this one (e.g. max/sum across ranks).
   void accumulate(const Profile& other);
 
+  /// Per-category maximum with `other` — the critical path of each kernel
+  /// class across ranks (the rank slowest at MTTKRP need not be the rank
+  /// slowest overall, e.g. when idle ranks wait in collectives).
+  void max_merge(const Profile& other);
+
   /// Render a one-line summary like "TTM 1.2s | mTTV 0.3s | ...".
   [[nodiscard]] std::string summary() const;
 

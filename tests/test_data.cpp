@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "parpp/data/chemistry.hpp"
 #include "parpp/data/coil.hpp"
 #include "parpp/data/collinearity.hpp"
 #include "parpp/data/hyperspectral.hpp"
+#include "parpp/data/sparse_synthetic.hpp"
 #include "parpp/la/gemm.hpp"
+#include "parpp/tensor/reconstruct.hpp"
 #include "test_util.hpp"
 
 namespace parpp::data {
@@ -149,6 +152,87 @@ TEST(Hyperspectral, Deterministic) {
   const auto a = make_hyperspectral_tensor(opt);
   const auto b = make_hyperspectral_tensor(opt);
   EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+}
+
+/// Per-mode slice nnz counts of a COO tensor.
+std::vector<std::vector<index_t>> slice_histograms(
+    const tensor::CooTensor& t) {
+  std::vector<std::vector<index_t>> h(static_cast<std::size_t>(t.order()));
+  for (int m = 0; m < t.order(); ++m)
+    h[static_cast<std::size_t>(m)].assign(
+        static_cast<std::size_t>(t.extent(m)), 0);
+  for (index_t e = 0; e < t.nnz(); ++e)
+    for (int m = 0; m < t.order(); ++m)
+      ++h[static_cast<std::size_t>(m)][static_cast<std::size_t>(t.index(e, m))];
+  return h;
+}
+
+TEST(SparsePowerlaw, SlicesAreHeadHeavyOnEveryMode) {
+  const auto gen = make_sparse_powerlaw({40, 32, 24}, 0.05, 1.5, 17, 0);
+  const tensor::CooTensor& t = gen.tensor;
+  EXPECT_TRUE(t.coalesced());
+  EXPECT_TRUE(gen.factors.empty());
+  EXPECT_GT(t.nnz(), 0);
+  const auto hist = slice_histograms(t);
+  for (int m = 0; m < 3; ++m) {
+    const auto& h = hist[static_cast<std::size_t>(m)];
+    // Zipf head: the first quarter of the slices must dominate the last
+    // quarter by a wide margin.
+    index_t head = 0, tail = 0;
+    const std::size_t quarter = h.size() / 4;
+    for (std::size_t i = 0; i < quarter; ++i) head += h[i];
+    for (std::size_t i = h.size() - quarter; i < h.size(); ++i) tail += h[i];
+    EXPECT_GT(head, 4 * tail) << "mode " << m;
+  }
+}
+
+TEST(SparsePowerlaw, ZeroExponentMatchesUniformSkewProfile) {
+  // exponent 0 means every slice is equally likely: head and tail quarters
+  // must be statistically comparable (within 2x of each other).
+  const auto gen = make_sparse_powerlaw({40, 40, 40}, 0.03, 0.0, 19, 0);
+  const auto hist = slice_histograms(gen.tensor);
+  for (int m = 0; m < 3; ++m) {
+    const auto& h = hist[static_cast<std::size_t>(m)];
+    index_t head = 0, tail = 0;
+    for (std::size_t i = 0; i < 10; ++i) head += h[i];
+    for (std::size_t i = 30; i < 40; ++i) tail += h[i];
+    EXPECT_LT(head, 2 * tail) << "mode " << m;
+    EXPECT_LT(tail, 2 * head) << "mode " << m;
+  }
+}
+
+TEST(SparsePowerlaw, DeterministicInSeed) {
+  const auto a = make_sparse_powerlaw({12, 10, 8}, 0.1, 1.2, 23, 0);
+  const auto b = make_sparse_powerlaw({12, 10, 8}, 0.1, 1.2, 23, 0);
+  ASSERT_EQ(a.tensor.nnz(), b.tensor.nnz());
+  for (index_t e = 0; e < a.tensor.nnz(); ++e) {
+    for (int m = 0; m < 3; ++m)
+      EXPECT_EQ(a.tensor.index(e, m), b.tensor.index(e, m));
+    EXPECT_DOUBLE_EQ(a.tensor.value(e), b.tensor.value(e));
+  }
+  const auto c = make_sparse_powerlaw({12, 10, 8}, 0.1, 1.2, 24, 0);
+  EXPECT_FALSE(c.tensor.nnz() == a.tensor.nnz() &&
+               c.tensor.squared_norm() == a.tensor.squared_norm());
+}
+
+TEST(SparsePowerlaw, ExactRankOptionIsTheReconstruction) {
+  // With exact_rank > 0 the tensor must equal the planted factors'
+  // reconstruction on its support — and stay skewed.
+  const auto gen = make_sparse_powerlaw({14, 12, 10}, 0.08, 1.3, 29, 4);
+  ASSERT_EQ(gen.factors.size(), 3u);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(gen.factors[static_cast<std::size_t>(m)].rows(),
+              gen.tensor.extent(m));
+    EXPECT_EQ(gen.factors[static_cast<std::size_t>(m)].cols(), 4);
+  }
+  const tensor::DenseTensor full = tensor::reconstruct(gen.factors);
+  const tensor::DenseTensor dense = gen.tensor.densify();
+  for (index_t e = 0; e < gen.tensor.nnz(); ++e) {
+    std::vector<index_t> idx(3);
+    for (int m = 0; m < 3; ++m) idx[static_cast<std::size_t>(m)] =
+        gen.tensor.index(e, m);
+    EXPECT_NEAR(dense.at(idx), full.at(idx), 1e-12) << "entry " << e;
+  }
 }
 
 }  // namespace

@@ -45,6 +45,7 @@ struct Cli {
   bool dataset_set = false;
   std::string engine = "msdt";
   std::string method;  ///< empty: derived from --pp / --nonneg
+  std::string partition = "uniform";
   index_t size = 64;
   index_t rank = 16;
   int procs = 1;
@@ -85,6 +86,7 @@ Cli parse(int argc, char** argv) {
     else if (flag == "--rank") cli.rank = std::atol(next());
     else if (flag == "--procs" || flag == "--ranks")
       cli.procs = std::atoi(next());
+    else if (flag == "--partition") cli.partition = next();
     else if (flag == "--threads-per-rank") {
       cli.threads_per_rank = std::atoi(next());
       cli.threads_set = true;
@@ -125,6 +127,9 @@ void usage() {
       "  --rank R        CP rank (default 16)\n"
       "  --ranks N       simulated ranks (alias --procs); N > 1 runs\n"
       "                  Algorithm 3/4, dense or sparse\n"
+      "  --partition P   uniform | balanced — how sparse nonzeros are\n"
+      "                  split over the grid (balanced equalizes per-rank\n"
+      "                  nnz on skewed tensors; default uniform)\n"
       "  --threads-per-rank T  OpenMP threads inside each rank's kernels\n"
       "                  (parallel default 1; sequential default: ambient)\n"
       "  --pp            use the pairwise-perturbation driver\n"
@@ -239,6 +244,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--ranks and --threads-per-rank must be >= 1\n");
     return 2;
   }
+  const auto partition = solver::partition_from_string(cli.partition);
+  if (!partition) {
+    std::fprintf(stderr, "unknown partition %s (uniform | balanced)\n",
+                 cli.partition.c_str());
+    return 2;
+  }
+  if (*partition == dist::PartitionKind::kBalancedNnz && !sparse_mode) {
+    std::fprintf(stderr,
+                 "--partition balanced needs sparse storage: pass --input "
+                 "FILE.tns or --density D\n");
+    return 2;
+  }
+  if (*partition == dist::PartitionKind::kBalancedNnz && cli.procs <= 1) {
+    std::fprintf(stderr,
+                 "--partition balanced needs a parallel run: pass --ranks "
+                 "N > 1 (a single rank has nothing to balance)\n");
+    return 2;
+  }
 
   solver::SolverSpec spec;
   spec.method = method;
@@ -253,6 +276,7 @@ int main(int argc, char** argv) {
     spec.execution = solver::Execution::simulated_parallel(
         cli.procs, {}, par::SolveMode::kDistributedRows,
         cli.threads_per_rank);
+    spec.execution.partition = *partition;
   } else if (cli.threads_set) {
     // Sequential runs use the ambient OpenMP thread count unless the flag
     // is given explicitly — then it caps the kernels the same way the
@@ -303,6 +327,11 @@ int main(int argc, char** argv) {
                 "rank\n",
                 cli.procs, report.comm_cost.total().messages,
                 report.comm_cost.total().words_horizontal);
+    if (report.nnz_imbalance > 0.0) {
+      std::printf("partition %s: nnz imbalance (max/mean) %.3f\n",
+                  std::string(solver::to_string(*partition)).c_str(),
+                  report.nnz_imbalance);
+    }
   }
   if (report.num_pp_init > 0 || report.num_pp_approx > 0) {
     std::printf("sweeps: %d regular + %d PP-init + %d PP-approx\n",
