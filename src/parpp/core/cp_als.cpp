@@ -6,6 +6,7 @@
 #include "parpp/core/gram.hpp"
 #include "parpp/core/solve_update.hpp"
 #include "parpp/core/sparse_engine.hpp"
+#include "parpp/core/sweep_guard.hpp"
 #include "parpp/la/gemm.hpp"
 #include "parpp/util/timer.hpp"
 
@@ -73,9 +74,15 @@ CpResult cp_als(const TensorProblem& problem, const CpOptions& options,
   const double t_sq = problem.squared_norm;
   WallTimer timer;
   double fit = 0.0, fit_old = -1.0;
+  if (hooks.resume != nullptr) {
+    fit = hooks.resume->fitness;
+    fit_old = hooks.resume->prev_fitness;
+  }
   int sweep = 0;
+  SweepGuard guard(result, factors, grams);
   while (sweep < options.max_sweeps &&
          std::abs(fit - fit_old) > options.tol) {
+    guard.snapshot(fit, fit_old, result.residual);
     la::Matrix gamma_last, m_last;
     for (int i = 0; i < n; ++i) {
       la::Matrix gamma = gamma_chain(grams, i, &profile);
@@ -96,8 +103,12 @@ CpResult cp_als(const TensorProblem& problem, const CpOptions& options,
         t_sq, gamma_last, grams[static_cast<std::size_t>(n - 1)], m_last,
         factors[static_cast<std::size_t>(n - 1)]);
     fit = fitness_from_residual(result.residual);
+    if (!guard.check_sweep(sweep, fit, fit_old, engine.get())) break;
     const SweepRecord rec{timer.seconds(), fit, "als"};
     if (options.record_history) result.history.push_back(rec);
+    if (hooks.checkpoint_every > 0 && hooks.on_checkpoint &&
+        sweep % hooks.checkpoint_every == 0)
+      hooks.on_checkpoint(factors, sweep, fit, fit_old);
     if (hooks.on_sweep && !hooks.on_sweep(rec, factors)) break;
   }
 

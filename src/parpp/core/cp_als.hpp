@@ -31,6 +31,23 @@ struct SweepRecord {
   std::string phase;    ///< "als", "pp-init" or "pp-approx"
 };
 
+/// Health verdict of a completed solve. Anything but kOk means the
+/// recovery_log has at least one event explaining what happened.
+enum class SolveStatus {
+  kOk,              ///< clean run, no guardrail fired
+  kRecovered,       ///< guardrails fired but the run completed
+  kNumericalAbort,  ///< non-finite state persisted past the rollback budget
+  kCommAbort,       ///< a communicator failure ended the run
+};
+
+/// One guardrail / fault event, ordered by sweep. The messages are
+/// deterministic (no wall-clock content) so same-seed reruns produce
+/// bitwise-identical logs.
+struct RecoveryEvent {
+  int sweep = 0;        ///< total sweep count when the event fired
+  std::string what;
+};
+
 struct CpResult {
   std::vector<la::Matrix> factors;
   double residual = 1.0;
@@ -43,6 +60,10 @@ struct CpResult {
   int num_als_sweeps = 0;
   int num_pp_init = 0;
   int num_pp_approx = 0;
+
+  // Resilience outcome (kOk + empty log on the legacy happy path).
+  SolveStatus status = SolveStatus::kOk;
+  std::vector<RecoveryEvent> recovery_log;
 };
 
 /// Cross-cutting extension points the parpp::solve() facade threads through
@@ -60,6 +81,27 @@ struct DriverHooks {
   /// Returning false aborts the run after the current sweep.
   std::function<bool(const SweepRecord&, const std::vector<la::Matrix>&)>
       on_sweep;
+
+  /// Checkpointing: when checkpoint_every > 0 and on_checkpoint is set, the
+  /// drivers call it after every checkpoint_every-th sweep with the current
+  /// global factors and stopping-rule state. The parallel drivers assemble
+  /// the factors collectively and invoke the callback on rank 0 only. The
+  /// PP drivers checkpoint after regular (exact) sweeps only, so the saved
+  /// factors are never mid-approximation.
+  int checkpoint_every = 0;
+  std::function<void(const std::vector<la::Matrix>& factors, int sweep,
+                     double fitness, double prev_fitness)>
+      on_checkpoint;
+
+  /// Resume support: when set (alongside initial_factors carrying the
+  /// checkpointed factors), the drivers seed their stopping comparison from
+  /// the checkpointed (fitness, prev_fitness) pair instead of (0, -1), so a
+  /// resumed run takes exactly the sweeps the uninterrupted run would have.
+  struct ResumeState {
+    double fitness = 0.0;
+    double prev_fitness = -1.0;
+  };
+  const ResumeState* resume = nullptr;
 };
 
 /// Uniform-[0,1) factor initialization (Algorithm 1 line 2), deterministic

@@ -9,6 +9,7 @@
 #include "parpp/core/pp_operators.hpp"
 #include "parpp/core/solve_update.hpp"
 #include "parpp/core/sparse_engine.hpp"
+#include "parpp/core/sweep_guard.hpp"
 #include "parpp/la/gemm.hpp"
 #include "parpp/util/timer.hpp"
 
@@ -101,7 +102,13 @@ CpResult run_pp_driver(const TensorProblem& problem, const CpOptions& options,
   }
 
   double fit = 0.0, fit_old = -1.0;
+  if (hooks.resume != nullptr) {
+    fit = hooks.resume->fitness;
+    fit_old = hooks.resume->prev_fitness;
+  }
   int total_sweeps = 0;
+  int last_checkpoint = 0;
+  SweepGuard guard(result, factors, grams);
   bool aborted = false;
   auto sweep_hook = [&](const SweepRecord& rec) {
     if (hooks.on_sweep && !hooks.on_sweep(rec, factors)) aborted = true;
@@ -112,6 +119,8 @@ CpResult run_pp_driver(const TensorProblem& problem, const CpOptions& options,
     // ---- PP phase (lines 5-18) --------------------------------------
     if (all_changes_small(factors, prev_sweep, pp_options.pp_tol)) {
       const std::vector<la::Matrix> a_p = factors;  // snapshot
+      const std::vector<la::Matrix> grams_p = grams;
+      const double fit_p = fit;
       ops.build(tree_engine);
       ++result.num_pp_init;
       ++total_sweeps;
@@ -123,15 +132,17 @@ CpResult run_pp_driver(const TensorProblem& problem, const CpOptions& options,
       approx.set_second_order(pp_options.second_order);
 
       int pp_sweeps = 0;
+      bool discarded = false;
       double pp_fit = fit, pp_fit_old = fit - 1.0;
-      // Divergence guard: the PP model can break down when Γ is
-      // rank-deficient (e.g. CP rank above a mode extent); abort the phase
-      // if the approximate fitness drops materially and let exact sweeps
-      // repair the factors.
+      // Trust guard floor: the PP model can break down when Γ is
+      // rank-deficient (e.g. CP rank above a mode extent). A phase whose
+      // approximate fitness drops below this floor — or goes non-finite —
+      // is discarded wholesale (factors, Grams and engine state restored
+      // to the phase entry) and exact sweeps take over; the pair operators
+      // are rebuilt at the next phase entry.
       const double fit_floor = fit - 10.0 * std::max(options.tol, 1e-6);
       while (all_changes_small(factors, a_p, pp_options.pp_tol) &&
              std::abs(pp_fit - pp_fit_old) > options.tol &&
-             pp_fit >= fit_floor &&
              pp_sweeps < pp_options.max_pp_sweeps_per_phase &&
              total_sweeps < options.max_sweeps) {
         la::Matrix gamma_last, m_last;
@@ -158,6 +169,18 @@ CpResult run_pp_driver(const TensorProblem& problem, const CpOptions& options,
             factors[static_cast<std::size_t>(n - 1)]);
         pp_fit_old = pp_fit;
         pp_fit = fitness_from_residual(r_approx);
+        if (!std::isfinite(pp_fit) || pp_fit < fit_floor ||
+            !guard.state_finite(pp_fit)) {
+          factors = a_p;
+          grams = grams_p;
+          for (int j = 0; j < n; ++j) engine->notify_update(j);
+          guard.record(total_sweeps,
+                       "PP trust guard: approximated sweep regressed or went "
+                       "non-finite; discarded the PP phase and resumed exact "
+                       "sweeps");
+          discarded = true;
+          break;
+        }
         const SweepRecord rec{timer.seconds(), pp_fit, "pp-approx"};
         if (options.record_history && pp_options.record_pp_sweeps) {
           result.history.push_back(rec);
@@ -167,14 +190,18 @@ CpResult run_pp_driver(const TensorProblem& problem, const CpOptions& options,
       // Carry the PP-phase progress into the outer stopping comparison;
       // otherwise the next regular sweep is compared against a fitness
       // from before the whole phase and the loop re-initializes forever.
-      // A diverged phase (fitness below the entry floor) instead resets
-      // the comparison so the driver keeps doing exact sweeps.
-      if (pp_sweeps > 0) fit = std::max(pp_fit, fit_floor);
+      // A discarded phase instead keeps the entry fitness (its sweeps
+      // were reverted) so the driver continues with exact sweeps.
+      if (discarded)
+        fit = fit_p;
+      else if (pp_sweeps > 0)
+        fit = pp_fit;
     }
 
     if (aborted || total_sweeps >= options.max_sweeps) break;
 
     // ---- Regular sweep (line 19) ------------------------------------
+    guard.snapshot(fit, fit_old, result.residual);
     prev_sweep = factors;
     la::Matrix gamma_last, m_last;
     for (int i = 0; i < n; ++i) {
@@ -194,8 +221,16 @@ CpResult run_pp_driver(const TensorProblem& problem, const CpOptions& options,
         t_sq, gamma_last, grams[static_cast<std::size_t>(n - 1)], m_last,
         factors[static_cast<std::size_t>(n - 1)]);
     fit = fitness_from_residual(result.residual);
+    if (!guard.check_sweep(total_sweeps, fit, fit_old, engine.get())) break;
     const SweepRecord rec{timer.seconds(), fit, regular_phase};
     if (options.record_history) result.history.push_back(rec);
+    // Checkpoints land after regular (exact) sweeps only, so the saved
+    // factors are never mid-approximation.
+    if (hooks.checkpoint_every > 0 && hooks.on_checkpoint &&
+        total_sweeps - last_checkpoint >= hooks.checkpoint_every) {
+      hooks.on_checkpoint(factors, total_sweeps, fit, fit_old);
+      last_checkpoint = total_sweeps;
+    }
     if (!sweep_hook(rec)) break;
   }
 

@@ -1,0 +1,85 @@
+#include "parpp/core/sweep_guard.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace parpp::core {
+
+void SweepGuard::snapshot(double fit, double fit_old, double residual) {
+  saved_factors_ = factors_;
+  saved_grams_ = grams_;
+  saved_fit_ = fit;
+  saved_fit_old_ = fit_old;
+  saved_residual_ = residual;
+}
+
+void SweepGuard::record(int sweep, std::string what) {
+  result_.recovery_log.push_back({sweep, std::move(what)});
+  if (result_.status == SolveStatus::kOk)
+    result_.status = SolveStatus::kRecovered;
+}
+
+bool SweepGuard::state_finite(double fit) const {
+  if (!std::isfinite(fit)) return false;
+  for (const auto& a : factors_)
+    if (!a.all_finite()) return false;
+  for (const auto& g : grams_)
+    if (!g.all_finite()) return false;
+  return true;
+}
+
+void SweepGuard::restore(double& fit, double& fit_old, MttkrpEngine* engine) {
+  factors_ = saved_factors_;
+  grams_ = saved_grams_;
+  fit = saved_fit_;
+  fit_old = saved_fit_old_;
+  result_.residual = saved_residual_;
+  if (engine != nullptr) {
+    for (std::size_t i = 0; i < factors_.size(); ++i)
+      engine->notify_update(static_cast<int>(i));
+  }
+}
+
+bool SweepGuard::check_sweep(int sweep, double& fit, double& fit_old,
+                             MttkrpEngine* engine) {
+  const la::SpdStats now = la::spd_stats();
+  if (now.ridge_recoveries > last_.ridge_recoveries) {
+    record(sweep, "ridge-regularized retry recovered " +
+                      std::to_string(now.ridge_recoveries -
+                                     last_.ridge_recoveries) +
+                      " Gram solve(s) after Cholesky breakdown");
+  }
+  if (now.pinv_fallbacks > last_.pinv_fallbacks) {
+    record(sweep, "pseudo-inverse fallback used for " +
+                      std::to_string(now.pinv_fallbacks -
+                                     last_.pinv_fallbacks) +
+                      " Gram solve(s)");
+  }
+  if (now.nonfinite_grams > last_.nonfinite_grams) {
+    record(sweep, "non-finite Gram short-circuited to a zero update in " +
+                      std::to_string(now.nonfinite_grams -
+                                     last_.nonfinite_grams) +
+                      " solve(s)");
+  }
+  last_ = now;
+
+  if (state_finite(fit)) return true;
+
+  if (rollbacks_ < kRollbackBudget) {
+    ++rollbacks_;
+    restore(fit, fit_old, engine);
+    record(sweep, "non-finite iterate: rolled back to the last good sweep "
+                  "(rollback " +
+                      std::to_string(rollbacks_) + "/" +
+                      std::to_string(kRollbackBudget) + ")");
+    return true;
+  }
+  restore(fit, fit_old, engine);
+  record(sweep,
+         "non-finite iterate persisted past the rollback budget; "
+         "aborting on the last good state");
+  result_.status = SolveStatus::kNumericalAbort;
+  return false;
+}
+
+}  // namespace parpp::core

@@ -1,0 +1,60 @@
+// Per-sweep numerical guardrails shared by the sequential drivers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parpp/core/cp_als.hpp"
+#include "parpp/la/spd_solve.hpp"
+
+namespace parpp::core {
+
+/// Watches a sweep loop for non-finite state and Gram-solve breakdowns.
+/// Per iteration:
+///
+///   guard.snapshot(fit, fit_old, result.residual);   // known-good state
+///   ... sweep body ...
+///   if (!guard.check_sweep(sweep, fit, fit_old, engine.get())) break;
+///
+/// check_sweep (a) folds la::spd_stats() deltas (ridge retries, pinv
+/// fallbacks, zeroed non-finite Grams) into result.recovery_log and flips
+/// the status to kRecovered, and (b) when factors / Grams / fitness went
+/// non-finite, rolls the iterate back to the snapshot (re-notifying the
+/// engine for every mode) up to kRollbackBudget times; past the budget it
+/// restores the last good state, marks kNumericalAbort and returns false.
+/// The sweep counter keeps advancing across rollbacks, so termination stays
+/// bounded by max_sweeps. All log messages are deterministic (no wall-clock
+/// or pointer content) — same-seed reruns produce identical logs.
+class SweepGuard {
+ public:
+  static constexpr int kRollbackBudget = 3;
+
+  SweepGuard(CpResult& result, std::vector<la::Matrix>& factors,
+             std::vector<la::Matrix>& grams)
+      : result_(result), factors_(factors), grams_(grams),
+        last_(la::spd_stats()) {}
+
+  void snapshot(double fit, double fit_old, double residual);
+
+  [[nodiscard]] bool check_sweep(int sweep, double& fit, double& fit_old,
+                                 MttkrpEngine* engine);
+
+  /// Append an event and upgrade kOk -> kRecovered (abort statuses stick).
+  void record(int sweep, std::string what);
+
+  /// True when the tracked factors, Grams and `fit` are all finite.
+  [[nodiscard]] bool state_finite(double fit) const;
+
+ private:
+  void restore(double& fit, double& fit_old, MttkrpEngine* engine);
+
+  CpResult& result_;
+  std::vector<la::Matrix>& factors_;
+  std::vector<la::Matrix>& grams_;
+  std::vector<la::Matrix> saved_factors_, saved_grams_;
+  double saved_fit_ = 0.0, saved_fit_old_ = -1.0, saved_residual_ = 1.0;
+  la::SpdStats last_;
+  int rollbacks_ = 0;
+};
+
+}  // namespace parpp::core

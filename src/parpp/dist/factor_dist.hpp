@@ -55,6 +55,23 @@ class FactorDist {
   /// Global row index of Q row `r` of `mode`, or -1 for a padding row.
   [[nodiscard]] index_t q_row_global(int mode, index_t r) const;
 
+  /// Local copy of both factor representations, for sweep rollback. The
+  /// pair restores together with restore() — no collective involved, so
+  /// every rank can roll back in lockstep after a replicated verdict.
+  struct Snapshot {
+    std::vector<la::Matrix> q, slices;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return {q_, slices_}; }
+  /// Restores a snapshot taken on this rank. Assignment keeps the slices
+  /// vector's address stable, so engines bound via slices() stay valid
+  /// (they must still be re-notified of the changed factor values).
+  void restore(const Snapshot& s) {
+    PARPP_CHECK(s.q.size() == q_.size() && s.slices.size() == slices_.size(),
+                "FactorDist::restore: snapshot shape mismatch");
+    q_ = s.q;
+    slices_ = s.slices;
+  }
+
   /// Overwrites q(mode) with this rank's rows of a replicated global factor
   /// (padding rows zeroed). Does not touch slice(mode).
   void set_q_from_global(int mode, const la::Matrix& global);

@@ -76,6 +76,12 @@ double Matrix::max_abs_diff(const Matrix& other) const {
   return m;
 }
 
+bool Matrix::all_finite() const {
+  for (double v : data_)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
 Matrix hadamard(const Matrix& a, const Matrix& b) {
   Matrix c = a;
   c.hadamard_inplace(b);

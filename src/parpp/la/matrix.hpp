@@ -65,6 +65,10 @@ class Matrix {
   /// Max |a_ij - b_ij| between two same-shaped matrices.
   [[nodiscard]] double max_abs_diff(const Matrix& other) const;
 
+  /// True when every entry is finite (no NaN/Inf) — the cheap per-sweep
+  /// health check the resilient drivers run on factors and Grams.
+  [[nodiscard]] bool all_finite() const;
+
   friend bool operator==(const Matrix& a, const Matrix& b) {
     return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
   }

@@ -37,6 +37,11 @@ Matrix solve_rows_cholesky(const Matrix& l, const Matrix& m) {
 
 }  // namespace
 
+SpdStats& spd_stats() {
+  thread_local SpdStats stats;
+  return stats;
+}
+
 Matrix solve_gram(const Matrix& g, const Matrix& m, Profile* profile,
                   double rcond) {
   PARPP_CHECK(g.rows() == g.cols(), "solve_gram: G must be square");
@@ -47,10 +52,38 @@ Matrix solve_gram(const Matrix& g, const Matrix& m, Profile* profile,
   ScopedProfile sp(profile ? *profile : Profile::thread_default(),
                    Kernel::kSolve, flops);
 
+  if (!g.all_finite()) {
+    // The Jacobi eigensolver is not NaN-safe; return zeros and leave the
+    // NaN Gram in place for the drivers' per-sweep health check to catch.
+    ++spd_stats().nonfinite_grams;
+    Matrix zero(m.rows(), m.cols());
+    return zero;
+  }
+
   Matrix l = g;
   if (cholesky_lower(l)) {
     return solve_rows_cholesky(l, m);
   }
+  ++spd_stats().cholesky_failures;
+
+  // Ridge-regularized retries: G + λI is PD for any λ > 0 when G is PSD,
+  // so an escalating relative ridge recovers from the rank-deficient Grams
+  // ALS produces (duplicate columns, rank above a mode extent) at Cholesky
+  // speed and with O(λ) perturbation of the update.
+  double mean_diag = 0.0;
+  for (index_t j = 0; j < r; ++j) mean_diag += g(j, j);
+  mean_diag = std::max(mean_diag / static_cast<double>(r), 1e-300);
+  for (double rel : {1e-12, 1e-8, 1e-4}) {
+    Matrix gr = g;
+    const double ridge = rel * mean_diag;
+    for (index_t j = 0; j < r; ++j) gr(j, j) += ridge;
+    l = gr;
+    if (cholesky_lower(l)) {
+      ++spd_stats().ridge_recoveries;
+      return solve_rows_cholesky(l, m);
+    }
+  }
+  ++spd_stats().pinv_fallbacks;
 
   // Pseudo-inverse fallback: X = M V diag(1/lambda_i if lambda_i > cut) V^T.
   const SymmetricEig eig = eig_symmetric(g);

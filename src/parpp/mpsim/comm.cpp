@@ -1,29 +1,138 @@
 #include "parpp/mpsim/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 namespace parpp::mpsim {
 
 namespace detail {
 
+namespace {
+
+std::chrono::steady_clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+void GroupRegistry::add(const std::shared_ptr<Group>& g) {
+  std::lock_guard<std::mutex> lk(mutex);
+  groups.push_back(g);
+}
+
+void GroupRegistry::poison_all(const std::string& reason) {
+  std::vector<std::shared_ptr<Group>> alive;
+  {
+    std::lock_guard<std::mutex> lk(mutex);
+    alive.reserve(groups.size());
+    for (auto& w : groups)
+      if (auto g = w.lock()) alive.push_back(std::move(g));
+  }
+  for (auto& g : alive) g->poison(reason);
+}
+
 Group::Group(int size_in)
     : size(size_in),
-      barrier(std::make_unique<std::barrier<>>(size_in)),
       src(static_cast<std::size_t>(size_in), nullptr),
       dst(static_cast<std::size_t>(size_in), nullptr),
       split_keys(static_cast<std::size_t>(size_in), {0, 0}) {
   PARPP_CHECK(size_in >= 1, "communicator group must have >= 1 rank");
 }
 
+void Group::poison(const std::string& reason) {
+  std::lock_guard<std::mutex> lk(mutex);
+  if (!failed) {
+    failed = true;
+    fail_reason = reason;
+  }
+  cv.notify_all();
+}
+
+void Group::poison_tree(const std::string& reason) {
+  if (registry) {
+    registry->poison_all(reason);
+  } else {
+    poison(reason);
+  }
+}
+
+bool Group::poisoned() {
+  std::lock_guard<std::mutex> lk(mutex);
+  return failed;
+}
+
+void Group::barrier_wait() {
+  std::unique_lock<std::mutex> lk(mutex);
+  if (dead) throw CommFailure(fail_reason);
+  const std::uint64_t my_phase = phase;
+  if (++arrived == size) {
+    arrived = 0;
+    ++phase;
+    const bool was_failed = failed;
+    if (was_failed) dead = true;  // rendezvous done; no one else is coming
+    cv.notify_all();
+    if (was_failed) throw CommFailure(fail_reason);
+    return;
+  }
+  auto deadline = std::chrono::steady_clock::now() +
+                  to_duration(timeout_seconds);
+  bool grace_applied = false;
+  while (phase == my_phase && !dead) {
+    if (failed && !grace_applied) {
+      // Poisoned while waiting. Still rendezvous: peers between the
+      // previous barrier and this one may be reading buffers we published,
+      // and they only stop needing them once they arrive here. Give them a
+      // bounded grace window, then fail regardless (covers a poisoner that
+      // already left the collective and will never arrive).
+      grace_applied = true;
+      deadline = std::chrono::steady_clock::now() +
+                 to_duration(std::min(timeout_seconds, 1.0));
+    }
+    if (cv.wait_until(lk, deadline) == std::cv_status::timeout &&
+        phase == my_phase && !dead) {
+      failed = true;
+      dead = true;
+      if (fail_reason.empty())
+        fail_reason = "collective timed out (unresponsive rank)";
+      ++phase;  // release everyone else stuck on this phase
+      arrived = 0;
+      const std::string reason = fail_reason;
+      cv.notify_all();
+      lk.unlock();
+      if (registry) registry->poison_all(reason);
+      throw CommFailure(reason);
+    }
+  }
+  if (failed || dead) throw CommFailure(fail_reason);
+}
+
+std::shared_ptr<Group> make_group(int size,
+                                  std::shared_ptr<GroupRegistry> registry) {
+  auto group = std::make_shared<Group>(size);
+  group->registry =
+      registry ? std::move(registry) : std::make_shared<GroupRegistry>();
+  group->registry->add(group);
+  return group;
+}
+
 }  // namespace detail
 
 Comm::Comm(std::shared_ptr<detail::Group> group, int rank, CostCounter* cost,
-           Profile* profile)
-    : group_(std::move(group)), rank_(rank), cost_(cost), profile_(profile) {}
+           Profile* profile, FaultyComm* fault)
+    : group_(std::move(group)),
+      rank_(rank),
+      cost_(cost),
+      profile_(profile),
+      fault_(fault) {}
 
 void Comm::barrier() const {
-  if (group_ && group_->size > 1) group_->barrier->arrive_and_wait();
+  if (group_ && group_->size > 1) group_->barrier_wait();
+}
+
+void Comm::poison(const std::string& reason) const {
+  if (group_) group_->poison_tree(reason);
 }
 
 void Comm::allreduce_sum(double* data, index_t count) const {
@@ -31,6 +140,8 @@ void Comm::allreduce_sum(double* data, index_t count) const {
   ScopedProfile sp(profile_ ? *profile_ : Profile::thread_default(),
                    Kernel::kComm);
   if (cost_) cost_->charge(Collective::kAllReduce, size(), static_cast<double>(count));
+  if (fault_)
+    fault_->before_collective(Collective::kAllReduce, *group_, data, count);
 
   auto& g = *group_;
   g.src[static_cast<std::size_t>(rank_)] = data;
@@ -71,6 +182,9 @@ void Comm::allgather(const double* in, index_t local_count, double* out) const {
   if (cost_)
     cost_->charge(Collective::kAllGather, size(),
                   static_cast<double>(local_count) * size());
+  if (fault_)
+    fault_->before_collective(Collective::kAllGather, *group_, nullptr,
+                              local_count * size());
   auto& g = *group_;
   g.src[static_cast<std::size_t>(rank_)] = in;
   barrier();
@@ -81,6 +195,9 @@ void Comm::allgather(const double* in, index_t local_count, double* out) const {
                   static_cast<std::size_t>(local_count) * sizeof(double));
   }
   barrier();
+  if (fault_)
+    fault_->after_collective(Collective::kAllGather, out,
+                             local_count * size());
 }
 
 void Comm::reduce_scatter_sum(const double* in, index_t total_count,
@@ -98,6 +215,9 @@ void Comm::reduce_scatter_sum(const double* in, index_t total_count,
   if (cost_)
     cost_->charge(Collective::kReduceScatter, p,
                   static_cast<double>(total_count));
+  if (fault_)
+    fault_->before_collective(Collective::kReduceScatter, *group_, nullptr,
+                              total_count);
   auto& g = *group_;
   g.src[static_cast<std::size_t>(rank_)] = in;
   barrier();
@@ -108,6 +228,7 @@ void Comm::reduce_scatter_sum(const double* in, index_t total_count,
     for (index_t i = 0; i < chunk; ++i) out[i] += s[i];
   }
   barrier();
+  if (fault_) fault_->after_collective(Collective::kReduceScatter, out, chunk);
 }
 
 void Comm::bcast(double* data, index_t count, int root) const {
@@ -116,6 +237,9 @@ void Comm::bcast(double* data, index_t count, int root) const {
                    Kernel::kComm);
   if (cost_)
     cost_->charge(Collective::kBcast, size(), static_cast<double>(count));
+  if (fault_)
+    fault_->before_collective(Collective::kBcast, *group_,
+                              rank_ == root ? data : nullptr, count);
   auto& g = *group_;
   if (rank_ == root) g.src[static_cast<std::size_t>(root)] = data;
   barrier();
@@ -123,6 +247,8 @@ void Comm::bcast(double* data, index_t count, int root) const {
     std::memcpy(data, g.src[static_cast<std::size_t>(root)],
                 static_cast<std::size_t>(count) * sizeof(double));
   barrier();
+  if (fault_ && rank_ != root)
+    fault_->after_collective(Collective::kBcast, data, count);
 }
 
 void Comm::alltoall(const double* in, index_t count_per_pair, double* out) const {
@@ -137,6 +263,9 @@ void Comm::alltoall(const double* in, index_t count_per_pair, double* out) const
   if (cost_)
     cost_->charge(Collective::kAllToAll, p,
                   static_cast<double>(count_per_pair) * p);
+  if (fault_)
+    fault_->before_collective(Collective::kAllToAll, *group_, nullptr,
+                              count_per_pair * p);
   auto& g = *group_;
   g.src[static_cast<std::size_t>(rank_)] = in;
   barrier();
@@ -147,11 +276,16 @@ void Comm::alltoall(const double* in, index_t count_per_pair, double* out) const
                 static_cast<std::size_t>(count_per_pair) * sizeof(double));
   }
   barrier();
+  if (fault_)
+    fault_->after_collective(Collective::kAllToAll, out, count_per_pair * p);
 }
 
 Comm Comm::split(int color, int key) const {
   if (!group_ || group_->size == 1) {
-    return Comm(std::make_shared<detail::Group>(1), 0, cost_, profile_);
+    auto child =
+        detail::make_group(1, group_ ? group_->registry : nullptr);
+    if (group_) child->timeout_seconds = group_->timeout_seconds;
+    return Comm(std::move(child), 0, cost_, profile_, fault_);
   }
   auto& g = *group_;
   g.split_keys[static_cast<std::size_t>(rank_)] = {color, key};
@@ -166,8 +300,10 @@ Comm Comm::split(int color, int key) const {
     }
   }
   if (lowest_of_color) {
+    auto child = detail::make_group(my_child_size, g.registry);
+    child->timeout_seconds = g.timeout_seconds;
     std::lock_guard<std::mutex> lk(g.split_mutex);
-    g.split_children[color] = std::make_shared<detail::Group>(my_child_size);
+    g.split_children[color] = std::move(child);
   }
   barrier();
   std::shared_ptr<detail::Group> child;
@@ -187,7 +323,7 @@ Comm Comm::split(int color, int key) const {
       ++child_rank;
   }
   barrier();  // ensure map reads finish before any later split reuses it
-  return Comm(child, child_rank, cost_, profile_);
+  return Comm(child, child_rank, cost_, profile_, fault_);
 }
 
 }  // namespace parpp::mpsim

@@ -4,15 +4,30 @@
 // collectives below exchange data through shared staging pointers guarded by
 // a group barrier, and additionally charge the BSP alpha-beta model costs
 // that a fully-connected network implementation would incur (Sec. II-E).
+//
+// Fault tolerance: the barrier is a phased condition-variable barrier that
+// can be *poisoned* (by a timeout, an injected fault, or a rank-body
+// exception) instead of std::barrier, which would deadlock the survivors.
+// Poisoning cascades over the whole communicator tree (world + every split
+// child) so no rank can hang waiting on a group whose sibling already
+// failed; every rank then observes CommFailure at its next barrier.
+//
+// Memory-safety invariant under poison: a collective's cross-rank copy
+// window only opens once ALL ranks passed the same publication barrier, and
+// a poisoned barrier still rendezvouses (waits for every rank to arrive, up
+// to a grace period) before throwing. A rank can therefore only unwind —
+// and free its published buffers — after every peer finished reading them.
 #pragma once
 
-#include <barrier>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "parpp/mpsim/cost.hpp"
+#include "parpp/mpsim/fault.hpp"
 #include "parpp/util/common.hpp"
 #include "parpp/util/profile.hpp"
 
@@ -20,15 +35,53 @@ namespace parpp::mpsim {
 
 namespace detail {
 
+struct Group;
+
+/// Shared by every Group of one communicator tree (the world group and all
+/// split descendants); lets a failure anywhere poison everything at once.
+struct GroupRegistry {
+  std::mutex mutex;
+  std::vector<std::weak_ptr<Group>> groups;
+
+  void add(const std::shared_ptr<Group>& g);
+  void poison_all(const std::string& reason);
+};
+
 /// Shared state for one communicator group. All member ranks hold the same
 /// Group through shared_ptr; staging slots are indexed by group rank.
 struct Group {
   explicit Group(int size);
 
   int size;
-  std::unique_ptr<std::barrier<>> barrier;
+  /// Longest a rank waits at a barrier before declaring the group dead.
+  double timeout_seconds = 60.0;
+  std::shared_ptr<GroupRegistry> registry;
+
   std::vector<const double*> src;  ///< publish slots (one per rank)
   std::vector<double*> dst;        ///< destination slots where needed
+
+  // Phased barrier with poison support.
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::uint64_t phase = 0;
+  bool failed = false;      ///< poison flag; barriers throw once set
+  bool dead = false;        ///< poisoned rendezvous done: throw immediately
+  std::string fail_reason;
+
+  /// Synchronize the group; throws CommFailure when the group is poisoned
+  /// (after rendezvousing with the other arrivals — see file comment) or
+  /// when the wait exceeds timeout_seconds.
+  void barrier_wait();
+
+  /// Mark this group failed and wake all waiters. Does not cascade; use
+  /// poison_tree for that.
+  void poison(const std::string& reason);
+
+  /// Poison every group in this communicator tree.
+  void poison_tree(const std::string& reason);
+
+  [[nodiscard]] bool poisoned();
 
   // split() coordination: rank 0 per color creates the child group.
   std::mutex split_mutex;
@@ -37,6 +90,10 @@ struct Group {
   std::uint64_t split_generation = 0;
 };
 
+/// Creates a Group wired into `registry` (a fresh registry when null).
+[[nodiscard]] std::shared_ptr<Group> make_group(
+    int size, std::shared_ptr<GroupRegistry> registry = nullptr);
+
 }  // namespace detail
 
 /// Handle a rank uses to talk to its group. Cheap to copy.
@@ -44,7 +101,7 @@ class Comm {
  public:
   Comm() = default;
   Comm(std::shared_ptr<detail::Group> group, int rank, CostCounter* cost,
-       Profile* profile);
+       Profile* profile, FaultyComm* fault = nullptr);
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return group_ ? group_->size : 1; }
@@ -76,14 +133,22 @@ class Comm {
   /// sharing a color form a child communicator ordered by (key, old rank).
   [[nodiscard]] Comm split(int color, int key) const;
 
+  /// Poison this communicator's whole tree: every rank's next barrier (in
+  /// any group) throws CommFailure with `reason`. Used by the runtime when
+  /// a rank body throws outside a collective, so peers fail fast instead of
+  /// deadlocking.
+  void poison(const std::string& reason) const;
+
   [[nodiscard]] CostCounter* cost() const { return cost_; }
   [[nodiscard]] Profile* profile() const { return profile_; }
+  [[nodiscard]] FaultyComm* fault() const { return fault_; }
 
  private:
   std::shared_ptr<detail::Group> group_;
   int rank_ = 0;
   CostCounter* cost_ = nullptr;
   Profile* profile_ = nullptr;
+  FaultyComm* fault_ = nullptr;
 };
 
 }  // namespace parpp::mpsim

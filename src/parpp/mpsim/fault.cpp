@@ -1,0 +1,105 @@
+#include "parpp/mpsim/fault.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "parpp/mpsim/comm.hpp"
+
+namespace parpp::mpsim {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kRankAbort: return "rank-abort";
+    case FaultKind::kCorruption: return "corruption";
+  }
+  return "?";
+}
+
+bool FaultyComm::matches(Collective kind, index_t words) const {
+  if (plan_.filter_collective && kind != plan_.collective) return false;
+  // Corruption targets data payloads only; scalar control collectives
+  // (stop flags, health verdicts) stay intact so the rank-replicated
+  // control flow cannot diverge (see FaultPlan::min_corrupt_words).
+  if (plan_.kind == FaultKind::kCorruption &&
+      words < plan_.min_corrupt_words)
+    return false;
+  return true;
+}
+
+void FaultyComm::before_collective(Collective kind, detail::Group& group,
+                                   double* inout, index_t words) {
+  if (!plan_.active() || fired_ || world_rank_ != plan_.rank) return;
+  if (!matches(kind, words)) return;
+  if (++matched_ != plan_.nth) return;
+  fired_ = true;
+
+  switch (plan_.kind) {
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(plan_.delay_seconds));
+      delay_notices_.fetch_add(1);
+      return;
+
+    case FaultKind::kTimeout: {
+      // Stall past the barrier timeout without entering the collective.
+      // Peers time out at their publication barrier and poison the tree;
+      // this rank then observes the failure at its own first barrier below.
+      // Bounded so a generous timeout cannot hang the simulation forever.
+      const double limit = 3.0 * group.timeout_seconds + 0.1;
+      const auto t0 = std::chrono::steady_clock::now();
+      while (!group.poisoned()) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - t0;
+        if (elapsed.count() >= limit) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return;
+    }
+
+    case FaultKind::kRankAbort: {
+      const std::string reason =
+          "rank " + std::to_string(world_rank_) +
+          " aborted (injected fault at matching collective #" +
+          std::to_string(plan_.nth) + ")";
+      group.poison_tree(reason);
+      throw CommFailure(reason);
+    }
+
+    case FaultKind::kCorruption:
+      if (inout != nullptr) {
+        // In-place collective: corrupt this rank's *contribution*, so every
+        // rank receives the identical (NaN-poisoned) reduction and the
+        // replicated state stays replicated.
+        inout[static_cast<index_t>(plan_.seed % static_cast<std::uint64_t>(
+                                       words))] =
+            std::numeric_limits<double>::quiet_NaN();
+        corruption_notices_.fetch_add(1);
+      } else {
+        // Gather-shaped collective: corrupt this rank's own output after
+        // the exchange; the NaN reaches every rank through the next
+        // reduction and the per-sweep health check catches it.
+        corrupt_output_pending_ = true;
+      }
+      return;
+
+    case FaultKind::kNone:
+      return;
+  }
+}
+
+void FaultyComm::after_collective(Collective /*kind*/, double* out,
+                                  index_t words) {
+  if (!corrupt_output_pending_ || words <= 0) return;
+  corrupt_output_pending_ = false;
+  out[static_cast<index_t>(plan_.seed % static_cast<std::uint64_t>(words))] =
+      std::numeric_limits<double>::quiet_NaN();
+  corruption_notices_.fetch_add(1);
+}
+
+}  // namespace parpp::mpsim

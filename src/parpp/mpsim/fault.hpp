@@ -1,0 +1,110 @@
+// Deterministic communication-fault injection for the thread-rank simulator.
+//
+// A FaultPlan describes one misbehaviour — a slow rank, an unresponsive
+// rank, a rank that dies, or a corrupted payload — triggered at the Nth
+// collective (of a chosen kind) that a chosen rank participates in. The
+// per-rank FaultyComm decorator counts that rank's collectives in program
+// order, so the trigger point is bit-reproducible across reruns: no clocks,
+// no real randomness, just the plan's seed picking which payload element is
+// corrupted. mpsim::run installs one FaultyComm per rank when the plan is
+// active; Comm consults it at every collective (including split children,
+// which inherit the pointer), so chaos runs exercise exactly the code paths
+// a real MPI fault would hit.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "parpp/mpsim/cost.hpp"
+#include "parpp/util/common.hpp"
+
+namespace parpp::mpsim {
+
+namespace detail {
+struct Group;
+}
+
+/// Thrown by collectives when the communicator group has been poisoned —
+/// a peer timed out, aborted, or threw. Every surviving rank of the group
+/// observes the same failure reason, so drivers can report it consistently.
+class CommFailure : public parpp::error {
+ public:
+  using parpp::error::error;
+};
+
+enum class FaultKind : int {
+  kNone = 0,
+  kDelay,       ///< target rank sleeps before the collective, then proceeds
+  kTimeout,     ///< target rank stalls past the barrier timeout (peers poison)
+  kRankAbort,   ///< target rank poisons the group and dies at the collective
+  kCorruption,  ///< one payload element becomes NaN on the target rank
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+/// One scripted fault. Deterministic: the trigger is a collective count, the
+/// corrupted element index derives from `seed`.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  /// World rank that misbehaves.
+  int rank = 0;
+  /// Fire at the Nth matching collective that rank participates in
+  /// (1-based, counted per rank across world and sub-communicators).
+  int nth = 1;
+  /// Restrict the trigger to one collective class; any class when false.
+  bool filter_collective = false;
+  Collective collective = Collective::kAllReduce;
+  /// Sleep length for kDelay.
+  double delay_seconds = 0.05;
+  /// kCorruption only fires on payloads of at least this many words, so
+  /// scalar control values (stop flags, health verdicts) are never the
+  /// corrupted element — corrupting a control word on one rank would
+  /// desynchronize collective call sequences across ranks, which is a
+  /// different failure class than data corruption.
+  index_t min_corrupt_words = 8;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool active() const { return kind != FaultKind::kNone; }
+};
+
+/// Per-rank fault engine the communicator consults at collective entry/exit.
+/// Counts this rank's collectives deterministically; only the plan's target
+/// rank ever fires. Notices (delay, corruption) are recorded so drivers can
+/// surface even tolerated faults in their recovery logs.
+class FaultyComm {
+ public:
+  FaultyComm(const FaultPlan& plan, int world_rank)
+      : plan_(plan), world_rank_(world_rank) {}
+
+  /// Called on collective entry. `inout` is the in-place payload for
+  /// allreduce/bcast (null for the gather-shaped collectives, whose own
+  /// output is corrupted in after_collective instead). May sleep, corrupt,
+  /// poison the group tree, or throw CommFailure (kRankAbort).
+  void before_collective(Collective kind, detail::Group& group, double* inout,
+                         index_t words);
+
+  /// Called after the collective wrote `out` (past its final barrier, so
+  /// mutating the local buffer needs no synchronization).
+  void after_collective(Collective kind, double* out, index_t words);
+
+  /// Injected-fault notices accumulated since the last take_* call. The
+  /// drivers fold these into the per-sweep health flags so a recovery log
+  /// entry exists even when the solve tolerates the fault numerically.
+  [[nodiscard]] int take_delay_notices() { return delay_notices_.exchange(0); }
+  [[nodiscard]] int take_corruption_notices() {
+    return corruption_notices_.exchange(0);
+  }
+
+ private:
+  [[nodiscard]] bool matches(Collective kind, index_t words) const;
+
+  FaultPlan plan_;
+  int world_rank_ = 0;
+  int matched_ = 0;      ///< matching collectives seen so far (this rank)
+  bool fired_ = false;   ///< each plan fires exactly once
+  bool corrupt_output_pending_ = false;
+  std::atomic<int> delay_notices_{0};
+  std::atomic<int> corruption_notices_{0};
+};
+
+}  // namespace parpp::mpsim

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
+#include <string>
 #include <thread>
 
 namespace parpp::mpsim {
@@ -39,12 +41,31 @@ Profile RunResult::max_profile() const {
 RunResult run(int nprocs, const std::function<void(Comm&)>& body,
               const RunOptions& options) {
   PARPP_CHECK(nprocs >= 1, "run: need at least one rank");
+  const bool faulty = options.fault.active();
+  if (faulty) {
+    PARPP_CHECK(options.fault.rank >= 0 && options.fault.rank < nprocs,
+                "run: fault plan targets rank ", options.fault.rank,
+                " outside [0, ", nprocs, ")");
+    PARPP_CHECK(options.fault.nth >= 1,
+                "run: fault plan nth must be >= 1");
+  }
   RunResult result;
   result.costs.resize(static_cast<std::size_t>(nprocs));
   result.profiles.resize(static_cast<std::size_t>(nprocs));
 
-  auto group = std::make_shared<detail::Group>(nprocs);
+  auto group = detail::make_group(nprocs);
+  group->timeout_seconds = options.comm_timeout_seconds > 0.0
+                               ? options.comm_timeout_seconds
+                               : (faulty ? 2.0 : 60.0);
+  std::vector<std::unique_ptr<FaultyComm>> faults(
+      static_cast<std::size_t>(nprocs));
+  if (faulty) {
+    for (int r = 0; r < nprocs; ++r)
+      faults[static_cast<std::size_t>(r)] =
+          std::make_unique<FaultyComm>(options.fault, r);
+  }
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  std::vector<char> comm_failures(static_cast<std::size_t>(nprocs), 0);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nprocs));
 
@@ -55,11 +76,23 @@ RunResult run(int nprocs, const std::function<void(Comm&)>& body,
       // Pass no explicit profile: collectives then charge the thread-local
       // default, the same sink the kernels use, so per-sweep deltas taken by
       // drivers see compute and communication together.
-      Comm comm(group, r, &result.costs[static_cast<std::size_t>(r)], nullptr);
+      Comm comm(group, r, &result.costs[static_cast<std::size_t>(r)], nullptr,
+                faults[static_cast<std::size_t>(r)].get());
       try {
         body(comm);
+      } catch (const CommFailure&) {
+        // The tree is already poisoned (that is how CommFailure spreads);
+        // just record it.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        comm_failures[static_cast<std::size_t>(r)] = 1;
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        group->poison_tree("rank " + std::to_string(r) +
+                           " exception: " + e.what());
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        group->poison_tree("rank " + std::to_string(r) +
+                           " threw a non-standard exception");
       }
       // Kernels that used the thread-local default profile report here.
       result.profiles[static_cast<std::size_t>(r)].accumulate(
@@ -67,6 +100,10 @@ RunResult run(int nprocs, const std::function<void(Comm&)>& body,
     });
   }
   for (auto& t : threads) t.join();
+  // Prefer the root cause: a rank's own exception poisons the tree and the
+  // peers then all throw secondary CommFailures.
+  for (std::size_t r = 0; r < errors.size(); ++r)
+    if (errors[r] && !comm_failures[r]) std::rethrow_exception(errors[r]);
   for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
   return result;

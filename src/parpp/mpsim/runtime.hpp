@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "parpp/mpsim/comm.hpp"
+#include "parpp/mpsim/fault.hpp"
 
 namespace parpp::mpsim {
 
@@ -12,6 +13,11 @@ struct RunOptions {
   /// OpenMP threads each rank may use inside kernels. Default 1 so rank
   /// wall-times are comparable; raise it for few-rank runs.
   int threads_per_rank = 1;
+  /// Injected communication fault for chaos runs (none by default).
+  FaultPlan fault = {};
+  /// Barrier timeout; <= 0 picks the default (60 s, or 2 s when a fault
+  /// plan is active so timeout-class chaos tests fail fast).
+  double comm_timeout_seconds = 0.0;
 };
 
 /// Result of a simulated run: per-rank cost tallies and kernel profiles.
@@ -24,8 +30,12 @@ struct RunResult {
 };
 
 /// Runs `body(comm)` on `nprocs` ranks (std::thread each) and returns the
-/// per-rank accounting. Exceptions thrown by any rank are captured and the
-/// first one is rethrown after all ranks join.
+/// per-rank accounting. A rank-body exception poisons the communicator tree
+/// so the surviving ranks observe CommFailure at their next collective
+/// instead of deadlocking; after all ranks join, the first non-CommFailure
+/// exception (or, failing that, the first CommFailure) is rethrown. Bodies
+/// that catch CommFailure themselves — the resilient drivers — therefore
+/// return normally with their structured reports.
 RunResult run(int nprocs, const std::function<void(Comm&)>& body,
               const RunOptions& options = {});
 

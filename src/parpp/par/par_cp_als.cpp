@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "parpp/core/fitness.hpp"
 #include "parpp/core/gram.hpp"
@@ -121,6 +123,11 @@ ParCpContext::ParCpContext(mpsim::Comm& comm, const ParOptions& options,
     const double mean = total / static_cast<double>(comm_.size());
     nnz_imbalance_ = mean > 0.0 ? worst / mean : 1.0;
   }
+
+  // Baseline the thread-local solver stats so health words report only
+  // deltas from this run (each simulated rank is its own thread, but the
+  // thread may have touched solve_gram during setup).
+  spd_seen_ = la::spd_stats();
 }
 
 void ParCpContext::enable_hals(double epsilon, int inner_iterations) {
@@ -192,12 +199,42 @@ void ParCpContext::update_mode(int mode) {
   solve_and_propagate(mode, m_q, gamma);
 }
 
+double ParCpContext::reduce_with_health(double local_scalar) {
+  // One All-Reduce carries the caller's scalar plus the health words — the
+  // abort-agreement piggyback. 5 words total, below FaultPlan's
+  // min_corrupt_words, so injected corruption can never desynchronize the
+  // replicated verdict itself.
+  double buf[5] = {local_scalar, 0.0, 0.0, 0.0, 0.0};
+  bool nonfinite = !std::isfinite(local_scalar);
+  for (int m = 0; m < n_ && !nonfinite; ++m) {
+    if (!fd_.q(m).all_finite() ||
+        !grams_[static_cast<std::size_t>(m)].all_finite())
+      nonfinite = true;
+  }
+  buf[1] = nonfinite ? 1.0 : 0.0;
+  const la::SpdStats now = la::spd_stats();
+  buf[2] = static_cast<double>(
+      (now.cholesky_failures - spd_seen_.cholesky_failures) +
+      (now.nonfinite_grams - spd_seen_.nonfinite_grams));
+  spd_seen_ = now;
+  if (mpsim::FaultyComm* fault = comm_.fault()) {
+    buf[3] = static_cast<double>(fault->take_delay_notices());
+    buf[4] = static_cast<double>(fault->take_corruption_notices());
+  }
+  comm_.allreduce_sum(buf, 5);
+  last_health_.nonfinite = buf[1];
+  last_health_.guardrail = buf[2];
+  last_health_.delays = buf[3];
+  last_health_.corruptions = buf[4];
+  return buf[0];
+}
+
 double ParCpContext::residual() {
   PARPP_CHECK(!mq_last_.empty(), "residual: no completed sweep");
   // <M(N), A(N)> — Q rows are disjoint across ranks, so a scalar All-Reduce
-  // completes the inner product; <Γ, S> is replicated.
-  double cross = mq_last_.dot(fd_.q(n_ - 1));
-  comm_.allreduce_sum(&cross, 1);
+  // completes the inner product; <Γ, S> is replicated. The reduction also
+  // carries the health words (see reduce_with_health).
+  const double cross = reduce_with_health(mq_last_.dot(fd_.q(n_ - 1)));
   const double model_sq =
       gamma_last_.dot(grams_[static_cast<std::size_t>(n_ - 1)]);
   const double num_sq = std::max(0.0, t_sq_ + model_sq - 2.0 * cross);
@@ -209,11 +246,27 @@ double ParCpContext::measure_residual() {
   la::Matrix gamma = core::gamma_chain(grams_, last);
   la::Matrix m_local = engine_->mttkrp(last);
   la::Matrix m_q = fd_.reduce_scatter(last, m_local);
-  double cross = m_q.dot(fd_.q(last));
-  comm_.allreduce_sum(&cross, 1);
+  const double cross = reduce_with_health(m_q.dot(fd_.q(last)));
   const double model_sq = gamma.dot(grams_[static_cast<std::size_t>(last)]);
   const double num_sq = std::max(0.0, t_sq_ + model_sq - 2.0 * cross);
   return t_sq_ > 0.0 ? std::sqrt(num_sq) / std::sqrt(t_sq_) : 0.0;
+}
+
+void ParCpContext::capture_state() {
+  saved_fd_ = fd_.snapshot();
+  saved_grams_ = grams_;
+  saved_gamma_last_ = gamma_last_;
+  saved_mq_last_ = mq_last_;
+  have_snapshot_ = true;
+}
+
+void ParCpContext::restore_state() {
+  PARPP_CHECK(have_snapshot_, "restore_state: no snapshot captured");
+  fd_.restore(saved_fd_);
+  grams_ = saved_grams_;
+  gamma_last_ = saved_gamma_last_;
+  mq_last_ = saved_mq_last_;
+  for (int m = 0; m < n_; ++m) engine_->notify_update(m);
 }
 
 std::vector<double> ParCpContext::global_sq_norms(
@@ -225,6 +278,61 @@ std::vector<double> ParCpContext::global_sq_norms(
   }
   comm_.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()));
   return sq;
+}
+
+void merge_abort_records(ParResult& result,
+                         const std::vector<std::string>& reasons,
+                         const std::vector<int>& sweeps) {
+  bool any = false;
+  // Group identical reasons in first-rank order so the log is deterministic
+  // and compact (a tree-wide poison gives every rank the same reason).
+  std::vector<std::pair<std::string, std::string>> groups;  // reason -> ranks
+  std::vector<int> group_sweep;
+  for (std::size_t r = 0; r < reasons.size(); ++r) {
+    if (reasons[r].empty()) continue;
+    any = true;
+    bool found = false;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].first == reasons[r]) {
+        groups[g].second += "," + std::to_string(r);
+        group_sweep[g] = std::max(group_sweep[g], sweeps[r]);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      groups.emplace_back(reasons[r], std::to_string(r));
+      group_sweep.push_back(sweeps[r]);
+    }
+  }
+  if (!any) return;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    result.recovery_log.push_back(
+        {group_sweep[g],
+         "rank(s) " + groups[g].second + ": " + groups[g].first});
+  }
+  result.status = core::SolveStatus::kCommAbort;
+}
+
+void record_health_events(ParResult& result, int sweep,
+                          const ParCpContext::SweepHealth& h) {
+  auto add = [&](const std::string& what) {
+    result.recovery_log.push_back({sweep, what});
+    if (result.status == core::SolveStatus::kOk)
+      result.status = core::SolveStatus::kRecovered;
+  };
+  if (h.guardrail > 0.0) {
+    add("Gram-solve guardrail fired " +
+        std::to_string(static_cast<long>(h.guardrail)) + " time(s)");
+  }
+  if (h.delays > 0.0) {
+    add("tolerated " + std::to_string(static_cast<long>(h.delays)) +
+        " injected communication delay(s)");
+  }
+  if (h.corruptions > 0.0) {
+    add("detected " + std::to_string(static_cast<long>(h.corruptions)) +
+        " corrupted collective payload(s)");
+  }
 }
 
 ParResult par_cp_als(const tensor::DenseTensor& global_t, int nprocs,
@@ -252,47 +360,115 @@ ParResult par_cp_als(const dist::DistProblem& problem, int nprocs,
   ParResult result;
   std::vector<std::vector<Profile>> sweep_profiles(
       static_cast<std::size_t>(nprocs));
+  std::vector<std::string> abort_reasons(static_cast<std::size_t>(nprocs));
+  std::vector<int> abort_sweeps(static_cast<std::size_t>(nprocs), 0);
 
   mpsim::RunOptions ropt;
   ropt.threads_per_rank = options.threads_per_rank;
+  ropt.fault = options.fault;
+  ropt.comm_timeout_seconds = options.comm_timeout_seconds;
   auto run_result = mpsim::run(
       nprocs,
       [&](mpsim::Comm& comm) {
-        ParCpContext ctx(comm, problem, options, hooks.initial_factors);
-        if (comm.rank() == 0) result.nnz_imbalance = ctx.nnz_imbalance();
-        const int n = ctx.order();
-        WallTimer timer;
-        double fit = 0.0, fit_old = -1.0;
-        int sweep = 0;
-        while (sweep < options.base.max_sweeps &&
-               std::abs(fit - fit_old) > options.base.tol) {
-          const Profile before = Profile::thread_default();
-          for (int i = 0; i < n; ++i) ctx.update_mode(i);
-          ++sweep;
-          fit_old = fit;
-          const double r = ctx.residual();
-          fit = core::fitness_from_residual(r);
-          sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
-              Profile::thread_default().delta_since(before));
-          if (comm.rank() == 0) {
-            if (options.base.record_history)
-              result.history.push_back({timer.seconds(), fit, "als"});
-            result.residual = r;
-            result.fitness = fit;
-            result.sweeps = sweep;
-            result.num_als_sweeps = sweep;
+        const auto me = static_cast<std::size_t>(comm.rank());
+        int cur_sweep = 0;
+        try {
+          ParCpContext ctx(comm, problem, options, hooks.initial_factors);
+          if (comm.rank() == 0) result.nnz_imbalance = ctx.nnz_imbalance();
+          const int n = ctx.order();
+          WallTimer timer;
+          double fit = 0.0, fit_old = -1.0;
+          if (hooks.resume != nullptr) {
+            fit = hooks.resume->fitness;
+            fit_old = hooks.resume->prev_fitness;
           }
-          if (!hooks_continue_collective(comm, hooks,
-                                         {timer.seconds(), fit, "als"}))
-            break;
+          int sweep = 0, rollbacks = 0;
+          while (sweep < options.base.max_sweeps &&
+                 std::abs(fit - fit_old) > options.base.tol) {
+            ctx.capture_state();
+            const double saved_fit = fit, saved_fit_old = fit_old;
+            const Profile before = Profile::thread_default();
+            for (int i = 0; i < n; ++i) ctx.update_mode(i);
+            ++sweep;
+            cur_sweep = sweep;
+            fit_old = fit;
+            const double r = ctx.residual();
+            fit = core::fitness_from_residual(r);
+            sweep_profiles[me].push_back(
+                Profile::thread_default().delta_since(before));
+            const ParCpContext::SweepHealth h = ctx.last_health();
+            if (comm.rank() == 0) record_health_events(result, sweep, h);
+            if (h.nonfinite > 0.0 || !std::isfinite(fit)) {
+              // Replicated verdict: every rank rolls back in lockstep to
+              // the pre-sweep iterate. The sweep counter keeps advancing,
+              // so termination stays bounded by max_sweeps.
+              ctx.restore_state();
+              fit = saved_fit;
+              fit_old = saved_fit_old;
+              if (rollbacks < kParRollbackBudget) {
+                ++rollbacks;
+                if (comm.rank() == 0) {
+                  result.recovery_log.push_back(
+                      {sweep, "non-finite iterate: rolled back to the last "
+                              "good sweep (rollback " +
+                                  std::to_string(rollbacks) + "/" +
+                                  std::to_string(kParRollbackBudget) + ")"});
+                  if (result.status == core::SolveStatus::kOk)
+                    result.status = core::SolveStatus::kRecovered;
+                }
+                continue;
+              }
+              if (comm.rank() == 0) {
+                result.recovery_log.push_back(
+                    {sweep, "non-finite iterate persisted past the rollback "
+                            "budget; aborting on the last good state"});
+                result.status = core::SolveStatus::kNumericalAbort;
+              }
+              break;
+            }
+            if (comm.rank() == 0) {
+              if (options.base.record_history)
+                result.history.push_back({timer.seconds(), fit, "als"});
+              result.residual = r;
+              result.fitness = fit;
+              result.sweeps = sweep;
+              result.num_als_sweeps = sweep;
+            }
+            if (hooks.checkpoint_every > 0 && hooks.on_checkpoint &&
+                sweep % hooks.checkpoint_every == 0) {
+              // Collective assembly on the replicated sweep counter; only
+              // rank 0 invokes the callback (and writes the file).
+              std::vector<la::Matrix> ck_factors;
+              ck_factors.reserve(static_cast<std::size_t>(n));
+              for (int m = 0; m < n; ++m)
+                ck_factors.push_back(ctx.assemble_factor(m));
+              if (comm.rank() == 0)
+                hooks.on_checkpoint(ck_factors, sweep, fit, fit_old);
+            }
+            if (!hooks_continue_collective(comm, hooks,
+                                           {timer.seconds(), fit, "als"}))
+              break;
+          }
+          // Assemble global factors (collective) and let rank 0 keep them.
+          std::vector<la::Matrix> assembled;
+          assembled.reserve(static_cast<std::size_t>(n));
+          for (int m = 0; m < n; ++m)
+            assembled.push_back(ctx.assemble_factor(m));
+          if (comm.rank() == 0) result.factors = std::move(assembled);
+        } catch (const mpsim::CommFailure& e) {
+          abort_reasons[me] = e.what();
+          abort_sweeps[me] = cur_sweep;
+        } catch (const std::exception& e) {
+          // Local failure: poison the communicator tree so peers unwind
+          // (they record the poison reason as their own CommFailure).
+          abort_reasons[me] = std::string("local exception: ") + e.what();
+          abort_sweeps[me] = cur_sweep;
+          comm.poison("rank " + std::to_string(comm.rank()) +
+                      " failed: " + e.what());
         }
-        // Assemble global factors (collective) and let rank 0 keep them.
-        std::vector<la::Matrix> assembled;
-        assembled.reserve(static_cast<std::size_t>(n));
-        for (int m = 0; m < n; ++m) assembled.push_back(ctx.assemble_factor(m));
-        if (comm.rank() == 0) result.factors = std::move(assembled);
       },
       ropt);
+  merge_abort_records(result, abort_reasons, abort_sweeps);
 
   // Per-sweep profile of the slowest rank.
   const std::size_t sweeps = result.sweeps > 0

@@ -8,6 +8,8 @@
 #include "parpp/dist/dist_tensor.hpp"
 #include "parpp/dist/factor_dist.hpp"
 #include "parpp/dist/local_problem.hpp"
+#include "parpp/la/spd_solve.hpp"
+#include "parpp/mpsim/fault.hpp"
 #include "parpp/mpsim/runtime.hpp"
 #include "parpp/tensor/dense_tensor.hpp"
 
@@ -30,6 +32,11 @@ struct ParOptions {
   /// overloads pick the matching DistProblem; ignored when the caller
   /// passes a DistProblem directly).
   dist::PartitionKind partition = dist::PartitionKind::kUniformBlocks;
+  /// Injected communication fault for chaos runs (kNone = clean run).
+  mpsim::FaultPlan fault = {};
+  /// Collective timeout; <= 0 picks the runtime default (60 s, or 2 s when
+  /// a fault plan is active).
+  double comm_timeout_seconds = 0.0;
 };
 
 struct ParResult {
@@ -52,6 +59,13 @@ struct ParResult {
   /// Per-rank nonzero load imbalance, max / mean (1.0 = perfectly even;
   /// 0.0 when the storage reports no nnz, i.e. dense runs).
   double nnz_imbalance = 0.0;
+  /// Resilience outcome: kOk on the clean path; kRecovered when guardrails
+  /// or tolerated faults fired; kNumericalAbort / kCommAbort when the run
+  /// ended early (factors may then be empty — assembly is collective and is
+  /// skipped once ranks have unwound). Every non-kOk status comes with at
+  /// least one recovery_log event.
+  core::SolveStatus status = core::SolveStatus::kOk;
+  std::vector<core::RecoveryEvent> recovery_log;
 };
 
 /// Row-local HALS pass over the Q-distributed rows (see core::hals_update):
@@ -130,13 +144,39 @@ class ParCpContext {
   /// Stores Γ and M internally when mode == N-1 for the residual.
   void update_mode(int mode);
 
-  /// Relative residual via Eq. (3); collective (one scalar All-Reduce).
+  /// Relative residual via Eq. (3); collective (one All-Reduce). The
+  /// reduction piggybacks the per-rank health flags (non-finite local
+  /// state, Gram-solve guardrail counters, injected-fault notices) onto the
+  /// same message, so every rank leaves with a replicated health verdict in
+  /// last_health() at no extra collective — the abort-agreement mechanism.
   [[nodiscard]] double residual();
 
   /// Exact residual at the *current* factors: one fresh local MTTKRP of the
   /// last mode plus the Eq. (3) reductions, with no factor update.
-  /// Collective.
+  /// Collective; piggybacks health like residual().
   [[nodiscard]] double measure_residual();
+
+  /// Globally-summed health flags from the last residual()/measure_residual()
+  /// call. Replicated: every rank sees the same values, so control flow
+  /// branching on them stays in lockstep.
+  struct SweepHealth {
+    double nonfinite = 0.0;    ///< ranks whose factors/Grams went non-finite
+    double guardrail = 0.0;    ///< Gram-solve recoveries (ridge/pinv/zeroed)
+    double delays = 0.0;       ///< injected delays tolerated
+    double corruptions = 0.0;  ///< injected payload corruptions detected
+    [[nodiscard]] bool clean() const {
+      return nonfinite == 0.0 && guardrail == 0.0 && delays == 0.0 &&
+             corruptions == 0.0;
+    }
+  };
+  [[nodiscard]] const SweepHealth& last_health() const { return last_health_; }
+
+  /// Local snapshot / rollback of the whole per-rank iterate (Q rows,
+  /// slices, Grams, residual operands). Both are collective-free; after a
+  /// replicated bad-health verdict every rank restores in lockstep and the
+  /// engine is re-notified for every mode.
+  void capture_state();
+  void restore_state();
 
   /// Solve + propagate an already-reduced Q-shaped (approximate) MTTKRP for
   /// `mode` — the tail of a factor update once ~M(n) has been assembled by
@@ -163,6 +203,9 @@ class ParCpContext {
 
   void solve_and_propagate(int mode, const la::Matrix& m_q,
                            const la::Matrix& gamma);
+  /// Piggybacked reduction: buf[0] is the caller's scalar, buf[1..4] the
+  /// local health words; one All-Reduce replicates both.
+  [[nodiscard]] double reduce_with_health(double local_scalar);
 
   mpsim::Comm& comm_;
   ParOptions options_;
@@ -181,7 +224,31 @@ class ParCpContext {
   double t_sq_ = 0.0;
   double nnz_imbalance_ = 0.0;
   la::Matrix gamma_last_, mq_last_;
+
+  SweepHealth last_health_;
+  la::SpdStats spd_seen_;  ///< counters already folded into a health word
+  dist::FactorDist::Snapshot saved_fd_;
+  std::vector<la::Matrix> saved_grams_;
+  la::Matrix saved_gamma_last_, saved_mq_last_;
+  bool have_snapshot_ = false;
 };
+
+/// Folds the per-rank abort slots the rank bodies record on CommFailure (or
+/// a poisoned local exception) into `result`: identical reasons are grouped
+/// into one deterministic recovery_log event listing the ranks, and the
+/// status becomes kCommAbort. No-op when no slot is set.
+void merge_abort_records(ParResult& result,
+                         const std::vector<std::string>& reasons,
+                         const std::vector<int>& sweeps);
+
+/// Rank-0 bookkeeping of a replicated health verdict: folds tolerated
+/// events (guardrail fires, injected delays/corruptions) into the recovery
+/// log and upgrades kOk to kRecovered. Shared by the parallel drivers.
+void record_health_events(ParResult& result, int sweep,
+                          const ParCpContext::SweepHealth& h);
+
+/// Sweep-rollback budget shared by the resilient drivers.
+inline constexpr int kParRollbackBudget = 3;
 
 /// Runs Algorithm 3 end to end on `nprocs` simulated ranks. The
 /// DistProblem overload is the storage-agnostic driver core; the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "parpp/core/dim_tree.hpp"
 #include "parpp/core/fitness.hpp"
@@ -158,6 +159,8 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
   ParResult result;
   std::vector<std::vector<Profile>> sweep_profiles(
       static_cast<std::size_t>(nprocs));
+  std::vector<std::string> abort_reasons(static_cast<std::size_t>(nprocs));
+  std::vector<int> abort_sweeps(static_cast<std::size_t>(nprocs), 0);
 
   ParOptions par = par_in;
   if (par.local_engine == core::EngineKind::kNaive)
@@ -166,9 +169,14 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
 
   mpsim::RunOptions ropt;
   ropt.threads_per_rank = par.threads_per_rank;
+  ropt.fault = par.fault;
+  ropt.comm_timeout_seconds = par.comm_timeout_seconds;
   auto run_result = mpsim::run(
       nprocs,
       [&](mpsim::Comm& comm) {
+        const auto me = static_cast<std::size_t>(comm.rank());
+        int cur_sweep = 0;
+        try {
         ParCpContext ctx(comm, problem, par, hooks.initial_factors);
         if (comm.rank() == 0) result.nnz_imbalance = ctx.nnz_imbalance();
         if (nn) ctx.enable_hals(nn->epsilon, nn->inner_iterations);
@@ -205,7 +213,13 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
         };
 
         double fit = 0.0, fit_old = -1.0;
+        if (hooks.resume != nullptr) {
+          fit = hooks.resume->fitness;
+          fit_old = hooks.resume->prev_fitness;
+        }
         int total = 0;
+        int last_checkpoint = 0;
+        int rollbacks = 0;
         bool have_sweep = false;
         bool aborted = false;
         auto sweep_hook = [&](const char* phase, double f) {
@@ -219,8 +233,14 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
           if (have_sweep && all_below(sweep_changes(), pp_opt.pp_tol)) {
             // ---- PP phase -----------------------------------------
             const Profile before_init = Profile::thread_default();
+            // Trust-guard snapshot: the whole phase is discarded back to
+            // this iterate if an approximated sweep regresses the fitness
+            // or goes non-finite.
+            ctx.capture_state();
+            const double fit_p = fit;
             pp.build();
             ++total;
+            cur_sweep = total;
             sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
                 Profile::thread_default().delta_since(before_init));
             if (comm.rank() == 0) {
@@ -230,19 +250,20 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
             }
             if (!sweep_hook("pp-init", fit)) break;
             int pp_sweeps = 0;
+            bool discarded = false;
             double pp_fit = fit, pp_fit_old = fit - 1.0;
-            // Divergence guard — see the sequential driver.
+            // Trust-guard floor — see the sequential driver.
             const double fit_floor =
                 fit - 10.0 * std::max(par.base.tol, 1e-6);
             while (all_below(pp.relative_changes(), pp_opt.pp_tol) &&
                    std::abs(pp_fit - pp_fit_old) > par.base.tol &&
-                   pp_fit >= fit_floor &&
                    pp_sweeps < pp_opt.max_pp_sweeps_per_phase &&
                    total < par.base.max_sweeps) {
               const Profile before = Profile::thread_default();
               pp.approx_sweep();
               ++pp_sweeps;
               ++total;
+              cur_sweep = total;
               sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
                   Profile::thread_default().delta_since(before));
               // Approximate fitness doubles as the inner stopping
@@ -250,6 +271,25 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
               const double r = ctx.residual();
               pp_fit_old = pp_fit;
               pp_fit = core::fitness_from_residual(r);
+              const ParCpContext::SweepHealth h = ctx.last_health();
+              if (comm.rank() == 0) record_health_events(result, total, h);
+              if (h.nonfinite > 0.0 || !std::isfinite(pp_fit) ||
+                  pp_fit < fit_floor) {
+                // Replicated verdict: discard the approximated phase on
+                // every rank, fall back to exact sweeps; pair operators
+                // are rebuilt at the next phase entry.
+                ctx.restore_state();
+                discarded = true;
+                if (comm.rank() == 0) {
+                  result.recovery_log.push_back(
+                      {total, "PP trust guard: approximated sweep regressed "
+                              "or went non-finite; discarded the PP phase "
+                              "and resumed exact sweeps"});
+                  if (result.status == core::SolveStatus::kOk)
+                    result.status = core::SolveStatus::kRecovered;
+                }
+                break;
+              }
               if (comm.rank() == 0) {
                 ++result.num_pp_approx;
                 if (par.base.record_history) {
@@ -260,23 +300,58 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
               if (!sweep_hook("pp-approx", pp_fit)) break;
             }
             // Carry PP progress into the outer stopping comparison (see
-            // the sequential driver).
-            if (pp_sweeps > 0) fit = std::max(pp_fit, fit_floor);
+            // the sequential driver); a discarded phase keeps the entry
+            // fitness — its sweeps were reverted.
+            if (discarded)
+              fit = fit_p;
+            else if (pp_sweeps > 0)
+              fit = pp_fit;
           }
           if (aborted || total >= par.base.max_sweeps) break;
 
           // ---- Regular sweep ---------------------------------------
+          ctx.capture_state();
+          const double saved_fit = fit, saved_fit_old = fit_old;
           for (int m = 0; m < n; ++m)
             prev_q[static_cast<std::size_t>(m)] = ctx.factor_dist().q(m);
           const Profile before = Profile::thread_default();
           for (int i = 0; i < n; ++i) ctx.update_mode(i);
           ++total;
+          cur_sweep = total;
           have_sweep = true;
           sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
               Profile::thread_default().delta_since(before));
           fit_old = fit;
           const double r = ctx.residual();
           fit = core::fitness_from_residual(r);
+          const ParCpContext::SweepHealth h = ctx.last_health();
+          if (comm.rank() == 0) record_health_events(result, total, h);
+          if (h.nonfinite > 0.0 || !std::isfinite(fit)) {
+            ctx.restore_state();
+            fit = saved_fit;
+            fit_old = saved_fit_old;
+            have_sweep = false;  // changes vs prev_q are no longer valid
+            if (rollbacks < kParRollbackBudget) {
+              ++rollbacks;
+              if (comm.rank() == 0) {
+                result.recovery_log.push_back(
+                    {total, "non-finite iterate: rolled back to the last "
+                            "good sweep (rollback " +
+                                std::to_string(rollbacks) + "/" +
+                                std::to_string(kParRollbackBudget) + ")"});
+                if (result.status == core::SolveStatus::kOk)
+                  result.status = core::SolveStatus::kRecovered;
+              }
+              continue;
+            }
+            if (comm.rank() == 0) {
+              result.recovery_log.push_back(
+                  {total, "non-finite iterate persisted past the rollback "
+                          "budget; aborting on the last good state"});
+              result.status = core::SolveStatus::kNumericalAbort;
+            }
+            break;
+          }
           if (comm.rank() == 0) {
             ++result.num_als_sweeps;
             result.residual = r;
@@ -284,6 +359,18 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
             result.sweeps = total;
             if (par.base.record_history)
               result.history.push_back({timer.seconds(), fit, regular_phase});
+          }
+          // Checkpoints land after regular (exact) sweeps only, so the
+          // saved factors are never mid-approximation.
+          if (hooks.checkpoint_every > 0 && hooks.on_checkpoint &&
+              total - last_checkpoint >= hooks.checkpoint_every) {
+            std::vector<la::Matrix> ck_factors;
+            ck_factors.reserve(static_cast<std::size_t>(n));
+            for (int m = 0; m < n; ++m)
+              ck_factors.push_back(ctx.assemble_factor(m));
+            if (comm.rank() == 0)
+              hooks.on_checkpoint(ck_factors, total, fit, fit_old);
+            last_checkpoint = total;
           }
           if (!sweep_hook(regular_phase, fit)) break;
         }
@@ -298,8 +385,18 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
           result.residual = r_final;
           result.fitness = core::fitness_from_residual(r_final);
         }
+        } catch (const mpsim::CommFailure& e) {
+          abort_reasons[me] = e.what();
+          abort_sweeps[me] = cur_sweep;
+        } catch (const std::exception& e) {
+          abort_reasons[me] = std::string("local exception: ") + e.what();
+          abort_sweeps[me] = cur_sweep;
+          comm.poison("rank " + std::to_string(comm.rank()) +
+                      " failed: " + e.what());
+        }
       },
       ropt);
+  merge_abort_records(result, abort_reasons, abort_sweeps);
 
   for (std::size_t s = 0;; ++s) {
     Profile worst;

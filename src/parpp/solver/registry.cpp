@@ -33,6 +33,8 @@ par::ParOptions par_options(const SolverSpec& spec, int order) {
   p.solve = spec.execution.solve_mode;
   p.threads_per_rank = spec.execution.threads_per_rank;
   p.partition = spec.execution.partition;
+  p.fault = spec.execution.fault;
+  p.comm_timeout_seconds = spec.execution.comm_timeout_seconds;
   return p;
 }
 

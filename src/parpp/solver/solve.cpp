@@ -1,9 +1,12 @@
 #include "parpp/solver/solve.hpp"
 
 #include <cmath>
+#include <fstream>
 #include <utility>
 
 #include "parpp/solver/registry.hpp"
+#include "parpp/util/rng.hpp"
+#include "parpp/util/serialize.hpp"
 #include "parpp/util/timer.hpp"
 
 namespace parpp {
@@ -25,6 +28,8 @@ SolveReport from_cp_result(core::CpResult&& r) {
   report.num_als_sweeps = r.num_als_sweeps;
   report.num_pp_init = r.num_pp_init;
   report.num_pp_approx = r.num_pp_approx;
+  report.status = r.status;
+  report.recovery_log = std::move(r.recovery_log);
   if (!report.history.empty() && report.sweeps > 0) {
     report.mean_sweep_seconds =
         report.history.back().seconds / static_cast<double>(report.sweeps);
@@ -42,6 +47,8 @@ SolveReport from_par_result(par::ParResult&& r) {
   report.num_als_sweeps = r.num_als_sweeps;
   report.num_pp_init = r.num_pp_init;
   report.num_pp_approx = r.num_pp_approx;
+  report.status = r.status;
+  report.recovery_log = std::move(r.recovery_log);
   report.comm_cost = r.comm_cost;
   report.mean_sweep_seconds = r.mean_sweep_seconds;
   report.sweep_profiles = std::move(r.sweep_profiles);
@@ -53,6 +60,11 @@ SolveReport from_par_result(par::ParResult&& r) {
   return report;
 }
 
+[[nodiscard]] bool aborted_status(core::SolveStatus s) {
+  return s == core::SolveStatus::kNumericalAbort ||
+         s == core::SolveStatus::kCommAbort;
+}
+
 }  // namespace
 
 solver::SolveReport solve(const solver::TensorSource& t,
@@ -62,6 +74,22 @@ solver::SolveReport solve(const solver::TensorSource& t,
               "solve: execution.nprocs must be >= 1");
   PARPP_CHECK(spec.stopping.max_sweeps >= 1,
               "solve: stopping.max_sweeps must be >= 1");
+  PARPP_CHECK(!spec.execution.fault.active() || spec.execution.is_parallel(),
+              "solve: execution.fault injects communication faults, which "
+              "need a parallel execution (nprocs > 1)");
+  PARPP_CHECK(!spec.checkpoint.resume || !spec.checkpoint.path.empty(),
+              "solve: checkpoint.resume needs checkpoint.path");
+
+  // A zero tensor has no direction to fit: the fitness 1 - |T - X| / |T|
+  // divides by its norm, so reject it up front with a structured error
+  // instead of a NaN cascade deep in a driver.
+  const double tensor_norm =
+      t.is_sparse() ? t.sparse().frobenius_norm() : t.dense().frobenius_norm();
+  PARPP_CHECK(std::isfinite(tensor_norm),
+              "solve: tensor has a non-finite Frobenius norm");
+  PARPP_CHECK(tensor_norm > 0.0,
+              "solve: tensor is identically zero (Frobenius norm 0); CP "
+              "fitness is undefined for a zero tensor");
 
   const solver::MethodEntry& entry = solver::method_entry(spec.method);
   if (t.is_sparse()) {
@@ -76,9 +104,59 @@ solver::SolveReport solve(const solver::TensorSource& t,
     }
   }
 
+  // Resume: if the checkpoint file exists, warm-start from it and spend
+  // only the remaining sweep budget; if it does not (the previous run died
+  // before its first checkpoint) fall through to a cold start. `eff` is the
+  // spec the drivers actually see.
+  SolverSpec eff = spec;
+  int base_sweeps = 0;
   core::DriverHooks hooks;
-  if (!spec.initial_factors.empty())
-    hooks.initial_factors = &spec.initial_factors;
+  core::DriverHooks::ResumeState resume_state;
+  if (spec.checkpoint.resume &&
+      std::ifstream(spec.checkpoint.path, std::ios::binary).good()) {
+    io::CheckpointState ck = io::load_checkpoint_file(spec.checkpoint.path);
+    if (ck.sweep >= spec.stopping.max_sweeps) {
+      // The checkpoint already covers the whole budget; nothing to run.
+      SolveReport done;
+      done.factors = std::move(ck.factors);
+      done.residual = ck.residual;
+      done.fitness = ck.fitness;
+      done.sweeps = ck.sweep;
+      done.num_als_sweeps = ck.sweep;
+      done.stop_reason =
+          spec.stopping.fitness_tol > 0.0 &&
+                  std::abs(ck.fitness - ck.prev_fitness) <
+                      spec.stopping.fitness_tol
+              ? StopReason::kConverged
+              : StopReason::kMaxSweeps;
+      return done;
+    }
+    base_sweeps = ck.sweep;
+    eff.stopping.max_sweeps = spec.stopping.max_sweeps - ck.sweep;
+    eff.initial_factors = std::move(ck.factors);
+    resume_state.fitness = ck.fitness;
+    resume_state.prev_fitness = ck.prev_fitness;
+    hooks.resume = &resume_state;
+  }
+  if (!eff.initial_factors.empty())
+    hooks.initial_factors = &eff.initial_factors;
+
+  if (spec.checkpoint.saving()) {
+    hooks.checkpoint_every = spec.checkpoint.every;
+    hooks.on_checkpoint = [&](const std::vector<la::Matrix>& factors,
+                              int sweep, double fitness,
+                              double prev_fitness) {
+      io::CheckpointState ck;
+      ck.factors = factors;
+      ck.sweep = base_sweeps + sweep;
+      ck.fitness = fitness;
+      ck.prev_fitness = prev_fitness;
+      ck.residual = 1.0 - fitness;
+      ck.seed = spec.seed;
+      ck.rng_state = Rng(spec.seed).state();
+      io::save_checkpoint_file(spec.checkpoint.path, ck);
+    };
+  }
 
   // One driver hook folds the facade-level stopping criteria and the
   // observer; when none is active the drivers run their legacy path with
@@ -111,18 +189,22 @@ solver::SolveReport solve(const solver::TensorSource& t,
 
   SolveReport report =
       t.is_sparse()
-          ? (spec.execution.is_parallel()
+          ? (eff.execution.is_parallel()
                  ? from_par_result(
-                       entry.sparse_parallel(t.sparse(), spec, hooks))
+                       entry.sparse_parallel(t.sparse(), eff, hooks))
                  : from_cp_result(
-                       entry.sparse_sequential(t.sparse(), spec, hooks)))
-      : spec.execution.is_parallel()
-          ? from_par_result(entry.parallel(t.dense(), spec, hooks))
-          : from_cp_result(entry.sequential(t.dense(), spec, hooks));
+                       entry.sparse_sequential(t.sparse(), eff, hooks)))
+      : eff.execution.is_parallel()
+          ? from_par_result(entry.parallel(t.dense(), eff, hooks))
+          : from_cp_result(entry.sequential(t.dense(), eff, hooks));
 
-  if (aborted) {
+  if (aborted_status(report.status)) {
+    // A guardrail or communicator failure ended the run; the recovery log
+    // carries the why, and the stop reason points the caller at it.
+    report.stop_reason = StopReason::kFault;
+  } else if (aborted) {
     report.stop_reason = abort_reason;
-  } else if (report.sweeps < spec.stopping.max_sweeps) {
+  } else if (report.sweeps < eff.stopping.max_sweeps) {
     report.stop_reason = StopReason::kConverged;
   } else {
     // The sweep budget was exhausted, but the run may have converged on
@@ -136,6 +218,10 @@ solver::SolveReport solve(const solver::TensorSource& t,
     report.stop_reason = converged_on_last ? StopReason::kConverged
                                            : StopReason::kMaxSweeps;
   }
+  // A resumed run reports the cumulative sweep count, so resumed and
+  // uninterrupted runs with the same budget report the same totals.
+  report.sweeps += base_sweeps;
+  report.num_als_sweeps += base_sweeps;
   return report;
 }
 

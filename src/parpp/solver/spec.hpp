@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "parpp/core/cp_als.hpp"
@@ -71,6 +72,13 @@ struct Execution {
   /// nnz-balanced chains-on-chains boundaries for skewed tensors (same
   /// answers, flatter per-rank load). Dense inputs ignore it.
   dist::PartitionKind partition = dist::PartitionKind::kUniformBlocks;
+  /// Injected communication fault for chaos runs (kNone = clean). Requires
+  /// a parallel execution — faults live in the simulated message-passing
+  /// runtime, so solve() rejects an active plan with nprocs == 1.
+  mpsim::FaultPlan fault = {};
+  /// Collective timeout in seconds; <= 0 picks the runtime default (60 s,
+  /// or 2 s when a fault plan is active).
+  double comm_timeout_seconds = 0.0;
 
   [[nodiscard]] bool is_parallel() const { return nprocs > 1; }
 
@@ -106,6 +114,25 @@ enum class StopReason {
   kTimeBudget,  ///< wall-clock budget exhausted
   kPredicate,   ///< StoppingRule::predicate fired
   kObserver,    ///< the observer requested a stop
+  kFault,       ///< a guardrail or communicator failure ended the run
+                ///< (SolveReport::status and recovery_log say why)
+};
+
+/// Checkpoint/restart policy. With a path and every > 0, the drivers write
+/// a crash-consistent checkpoint (factors + sweep counter + stopping-rule
+/// state + RNG provenance) after every `every`-th sweep — the PP methods
+/// checkpoint after exact sweeps only, so the saved factors are never
+/// mid-approximation. With resume set, solve() first tries to load `path`:
+/// if the file exists the run warm-starts from it and only spends the
+/// remaining sweep budget; if it does not (e.g. the previous run died
+/// before the first checkpoint) the run cold-starts — so a kill-and-resume
+/// loop needs no coordination about whether a checkpoint was reached.
+struct CheckpointOptions {
+  std::string path;   ///< empty disables checkpointing entirely
+  int every = 0;      ///< checkpoint period in sweeps; <= 0 disables saves
+  bool resume = false;
+
+  [[nodiscard]] bool saving() const { return !path.empty() && every > 0; }
 };
 
 enum class ObserverAction { kContinue, kStop };
@@ -147,6 +174,10 @@ struct SolverSpec {
   /// restart scenarios; pair with the factors of a previous SolveReport.
   std::vector<la::Matrix> initial_factors = {};
 
+  /// Checkpoint/restart; inert by default. A loaded checkpoint overrides
+  /// initial_factors.
+  CheckpointOptions checkpoint = {};
+
   bool record_history = true;
   Observer observer = {};
 };
@@ -161,6 +192,12 @@ struct SolveReport {
   StopReason stop_reason = StopReason::kConverged;
   std::vector<core::SweepRecord> history;
   Profile profile;
+
+  /// Resilience outcome (kOk + empty log on the happy path). Any abort
+  /// status also sets stop_reason = kFault; kRecovered keeps the normal
+  /// stop reason — the run completed, the log just explains the bumps.
+  core::SolveStatus status = core::SolveStatus::kOk;
+  std::vector<core::RecoveryEvent> recovery_log;
 
   // Sweep counts by kind (PP statistics zero for the plain methods).
   int num_als_sweeps = 0;

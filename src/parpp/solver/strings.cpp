@@ -59,8 +59,23 @@ std::string_view to_string(StopReason reason) {
     case StopReason::kTimeBudget: return "time-budget";
     case StopReason::kPredicate: return "predicate";
     case StopReason::kObserver: return "observer";
+    case StopReason::kFault: return "fault";
   }
   return "?";
+}
+
+std::string_view to_string(core::SolveStatus status) {
+  switch (status) {
+    case core::SolveStatus::kOk: return "ok";
+    case core::SolveStatus::kRecovered: return "recovered";
+    case core::SolveStatus::kNumericalAbort: return "numerical-abort";
+    case core::SolveStatus::kCommAbort: return "comm-abort";
+  }
+  return "?";
+}
+
+std::string_view to_string(mpsim::FaultKind kind) {
+  return mpsim::fault_kind_name(kind);
 }
 
 std::optional<Method> method_from_string(std::string_view s) {
@@ -93,6 +108,16 @@ std::optional<dist::PartitionKind> partition_from_string(std::string_view s) {
   const std::string t = lower(s);
   if (t == "uniform") return dist::PartitionKind::kUniformBlocks;
   if (t == "balanced") return dist::PartitionKind::kBalancedNnz;
+  return std::nullopt;
+}
+
+std::optional<mpsim::FaultKind> fault_kind_from_string(std::string_view s) {
+  const std::string t = lower(s);
+  if (t == "none") return mpsim::FaultKind::kNone;
+  if (t == "delay") return mpsim::FaultKind::kDelay;
+  if (t == "timeout") return mpsim::FaultKind::kTimeout;
+  if (t == "rank-abort") return mpsim::FaultKind::kRankAbort;
+  if (t == "corruption") return mpsim::FaultKind::kCorruption;
   return std::nullopt;
 }
 

@@ -18,8 +18,14 @@ namespace parpp::solver {
 [[nodiscard]] std::string_view to_string(par::SolveMode mode);
 /// "uniform" | "balanced".
 [[nodiscard]] std::string_view to_string(dist::PartitionKind partition);
-/// "converged" | "max-sweeps" | "time-budget" | "predicate" | "observer".
+/// "converged" | "max-sweeps" | "time-budget" | "predicate" | "observer" |
+/// "fault".
 [[nodiscard]] std::string_view to_string(StopReason reason);
+/// "ok" | "recovered" | "numerical-abort" | "comm-abort".
+[[nodiscard]] std::string_view to_string(core::SolveStatus status);
+/// "none" | "delay" | "timeout" | "rank-abort" | "corruption" (same tokens
+/// as mpsim::fault_kind_name).
+[[nodiscard]] std::string_view to_string(mpsim::FaultKind kind);
 
 /// Case-insensitive parses of the tokens above; nullopt on unknown input.
 [[nodiscard]] std::optional<Method> method_from_string(std::string_view s);
@@ -28,6 +34,8 @@ namespace parpp::solver {
 [[nodiscard]] std::optional<par::SolveMode> solve_mode_from_string(
     std::string_view s);
 [[nodiscard]] std::optional<dist::PartitionKind> partition_from_string(
+    std::string_view s);
+[[nodiscard]] std::optional<mpsim::FaultKind> fault_kind_from_string(
     std::string_view s);
 
 }  // namespace parpp::solver

@@ -70,4 +70,14 @@ Rng Rng::split(std::uint64_t stream_id) const {
   return Rng(mix);
 }
 
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& s) {
+  for (int i = 0; i < 4; ++i) s_[i] = s[static_cast<std::size_t>(i)];
+  has_spare_ = false;
+  spare_normal_ = 0.0;
+}
+
 }  // namespace parpp

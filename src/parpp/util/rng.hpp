@@ -4,6 +4,7 @@
 // generators) flows through Rng so experiments are reproducible from a seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "parpp/util/common.hpp"
@@ -36,6 +37,12 @@ class Rng {
   /// Derive an independent stream, e.g. one per thread-rank or per tensor
   /// mode. Derivation is deterministic in (current state, stream_id).
   [[nodiscard]] Rng split(std::uint64_t stream_id) const;
+
+  /// Raw xoshiro256** state, for checkpoint/restart. set_state restores the
+  /// uniform/integer stream exactly; the Box–Muller spare is dropped (the
+  /// next normal() recomputes a pair), which only matters mid-pair.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const;
+  void set_state(const std::array<std::uint64_t, 4>& s);
 
  private:
   std::uint64_t s_[4];

@@ -1,6 +1,11 @@
 #include "parpp/util/serialize.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +23,7 @@ namespace {
 constexpr char kTensorMagic[8] = {'p', 'a', 'r', 'p', 'p', 'T', 'v', '1'};
 constexpr char kMatrixMagic[8] = {'p', 'a', 'r', 'p', 'p', 'M', 'v', '1'};
 constexpr char kFactorMagic[8] = {'p', 'a', 'r', 'p', 'p', 'F', 'v', '1'};
+constexpr char kCheckpointMagic[8] = {'p', 'a', 'r', 'p', 'p', 'C', 'v', '1'};
 constexpr std::uint32_t kVersion = 1;
 
 void write_raw(std::ostream& os, const void* p, std::size_t bytes) {
@@ -107,6 +113,87 @@ std::vector<la::Matrix> load_factors(std::istream& is) {
   return factors;
 }
 
+void save_checkpoint(std::ostream& os, const CheckpointState& ck) {
+  write_magic(os, kCheckpointMagic);
+  const std::int32_t sweep = ck.sweep;
+  write_raw(os, &sweep, sizeof(sweep));
+  write_raw(os, &ck.fitness, sizeof(ck.fitness));
+  write_raw(os, &ck.prev_fitness, sizeof(ck.prev_fitness));
+  write_raw(os, &ck.residual, sizeof(ck.residual));
+  write_raw(os, &ck.seed, sizeof(ck.seed));
+  write_raw(os, ck.rng_state.data(), sizeof(ck.rng_state));
+  save_factors(os, ck.factors);
+}
+
+CheckpointState load_checkpoint(std::istream& is) {
+  check_magic(is, kCheckpointMagic);
+  CheckpointState ck;
+  std::int32_t sweep = 0;
+  read_raw(is, &sweep, sizeof(sweep));
+  PARPP_CHECK(sweep >= 0, "load_checkpoint: negative sweep counter");
+  ck.sweep = sweep;
+  read_raw(is, &ck.fitness, sizeof(ck.fitness));
+  read_raw(is, &ck.prev_fitness, sizeof(ck.prev_fitness));
+  read_raw(is, &ck.residual, sizeof(ck.residual));
+  PARPP_CHECK(std::isfinite(ck.fitness) && std::isfinite(ck.prev_fitness) &&
+                  std::isfinite(ck.residual),
+              "load_checkpoint: non-finite stopping-rule state");
+  read_raw(is, &ck.seed, sizeof(ck.seed));
+  read_raw(is, ck.rng_state.data(), sizeof(ck.rng_state));
+  ck.factors = load_factors(is);
+  for (std::size_t m = 0; m < ck.factors.size(); ++m) {
+    PARPP_CHECK(ck.factors[m].all_finite(),
+                "load_checkpoint: factor ", m, " has non-finite entries");
+  }
+  return ck;
+}
+
+void save_checkpoint_file(const std::string& path, const CheckpointState& ck) {
+  std::ostringstream buf(std::ios::binary);
+  save_checkpoint(buf, ck);
+  const std::string bytes = buf.str();
+
+  // write-tmp + fsync + rename: a crash leaves either the old complete
+  // checkpoint or the new one, never a torn file.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  PARPP_CHECK(fd >= 0, "checkpoint: cannot open ", tmp, ": ",
+              std::strerror(errno));
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      PARPP_CHECK(false, "checkpoint: write to ", tmp, " failed: ",
+                  std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    PARPP_CHECK(false, "checkpoint: fsync of ", tmp, " failed: ",
+                std::strerror(err));
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    PARPP_CHECK(false, "checkpoint: rename to ", path, " failed: ",
+                std::strerror(err));
+  }
+}
+
+CheckpointState load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PARPP_CHECK(is.is_open(), "cannot open ", path, " for reading");
+  return load_checkpoint(is);
+}
+
 void save_tensor_file(const std::string& path, const tensor::DenseTensor& t) {
   std::ofstream os(path, std::ios::binary);
   PARPP_CHECK(os.is_open(), "cannot open ", path, " for writing");
@@ -173,12 +260,22 @@ tensor::CooTensor load_tns(std::istream& is) {
           PARPP_CHECK(d >= 0, "load_tns: negative extent in dims header");
           dims_header.push_back(d);
         }
+        ls.clear();
+        ls >> std::ws;
+        PARPP_CHECK(ls.eof(), "load_tns: line ", line_no,
+                    ": malformed dims header (non-numeric extent)");
       }
       continue;
     }
     std::vector<double> fields;
     double v = 0.0;
     while (ls >> v) fields.push_back(v);
+    // `>>` stops silently at the first unparseable token; surface it as a
+    // loader error instead of truncating the line.
+    ls.clear();
+    ls >> std::ws;
+    PARPP_CHECK(ls.eof(), "load_tns: line ", line_no,
+                ": unparseable token (expected numbers only)");
     if (fields.empty()) continue;  // blank line
     PARPP_CHECK(fields.size() >= 2, "load_tns: line ", line_no,
                 ": need at least one coordinate and a value");
@@ -191,7 +288,8 @@ tensor::CooTensor load_tns(std::istream& is) {
                 fields.size());
     for (int m = 0; m < order; ++m) {
       const double c = fields[static_cast<std::size_t>(m)];
-      PARPP_CHECK(c >= 1.0 && c == static_cast<double>(static_cast<index_t>(c)),
+      PARPP_CHECK(std::isfinite(c) && c >= 1.0 &&
+                      c == static_cast<double>(static_cast<index_t>(c)),
                   "load_tns: line ", line_no,
                   ": coordinates must be positive integers (1-indexed)");
       const index_t i = static_cast<index_t>(c) - 1;
@@ -199,8 +297,12 @@ tensor::CooTensor load_tns(std::istream& is) {
       max_idx[static_cast<std::size_t>(m)] =
           std::max(max_idx[static_cast<std::size_t>(m)], i);
     }
+    PARPP_CHECK(std::isfinite(fields.back()), "load_tns: line ", line_no,
+                ": non-finite value");
     vals.push_back(fields.back());
   }
+  PARPP_CHECK(!is.bad(), "load_tns: I/O error after line ", line_no,
+              " (truncated file?)");
   if (order == 0) {
     // No data lines: still a valid (empty) tensor when the dims header
     // pins down the shape — save_tns always writes one, so nnz == 0

@@ -6,6 +6,8 @@
 // raw doubles.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -32,6 +34,30 @@ void save_factors_file(const std::string& path,
                        const std::vector<la::Matrix>& factors);
 [[nodiscard]] std::vector<la::Matrix> load_factors_file(
     const std::string& path);
+
+/// Everything a solve needs to restart mid-run: the factor set, the sweep
+/// counter, the stopping-rule state (current and previous fitness, so the
+/// resumed run makes exactly the stopping decision the uninterrupted run
+/// would have), and the RNG provenance (seed + raw xoshiro state).
+struct CheckpointState {
+  std::vector<la::Matrix> factors;
+  int sweep = 0;
+  double fitness = 0.0;
+  double prev_fitness = -1.0;
+  double residual = 1.0;
+  std::uint64_t seed = 0;
+  std::array<std::uint64_t, 4> rng_state = {0, 0, 0, 0};
+};
+
+void save_checkpoint(std::ostream& os, const CheckpointState& ck);
+[[nodiscard]] CheckpointState load_checkpoint(std::istream& is);
+
+/// Crash-consistent file checkpoint: the state is serialized to `path +
+/// ".tmp"`, flushed with fsync, then atomically renamed over `path`. A
+/// crash at any point leaves either the previous complete checkpoint or
+/// the new one — never a torn file. Throws parpp::error on I/O failure.
+void save_checkpoint_file(const std::string& path, const CheckpointState& ck);
+[[nodiscard]] CheckpointState load_checkpoint_file(const std::string& path);
 
 /// FROSTT `.tns` text format: one "i1 i2 ... iN value" line per nonzero,
 /// 1-indexed coordinates, '#' comment lines tolerated anywhere. save_tns

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Kill-and-resume smoke test for the checkpoint/restart path.
+#
+# Runs a reference solve to completion, then starts the identical solve with
+# per-sweep checkpointing, SIGKILLs it as soon as the first checkpoint hits
+# the disk (so the process dies mid-run with whatever torn state a real crash
+# would leave), resumes from the checkpoint file to the same total sweep
+# budget, and requires the resumed fitness to match the uninterrupted run to
+# 1e-10.
+#
+# usage: checkpoint_kill_resume.sh /path/to/parpp_cli [workdir]
+set -eu
+
+CLI=$1
+DIR=${2:-$(mktemp -d)}
+mkdir -p "$DIR"
+CK="$DIR/kill_resume_ck.bin"
+rm -f "$CK" "$CK.tmp"
+
+# Small enough to stay fast under sanitizers, big enough that the victim is
+# still mid-run when the first checkpoint appears (on a fast Release build
+# the victim may finish before the kill lands; the resume path is exercised
+# either way).
+ARGS="--dataset random --size 56 --rank 12 --max-sweeps 60 --tol 1e-14 --seed 7"
+
+"$CLI" $ARGS > "$DIR/reference.log"
+
+"$CLI" $ARGS --checkpoint "$CK" --checkpoint-every 1 \
+  > "$DIR/victim.log" 2>&1 &
+PID=$!
+tries=0
+while [ ! -f "$CK" ] && [ "$tries" -lt 30000 ]; do
+  kill -0 "$PID" 2>/dev/null || break
+  tries=$((tries + 1))
+  sleep 0.001
+done
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+if [ ! -f "$CK" ]; then
+  echo "FAIL: victim exited without writing a checkpoint"
+  exit 1
+fi
+
+"$CLI" $ARGS --checkpoint "$CK" --checkpoint-every 1 --resume \
+  > "$DIR/resumed.log"
+
+ref=$(grep -o 'fitness [0-9.]*' "$DIR/reference.log" | awk '{print $2}')
+res=$(grep -o 'fitness [0-9.]*' "$DIR/resumed.log" | awk '{print $2}')
+echo "reference fitness: $ref"
+echo "resumed   fitness: $res"
+if ! awk -v a="$ref" -v b="$res" \
+    'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d <= 1e-10) }'; then
+  echo "FAIL: resumed fitness differs from the uninterrupted run by > 1e-10"
+  exit 1
+fi
+echo "PASS: kill-and-resume fitness parity within 1e-10"

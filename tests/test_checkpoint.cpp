@@ -1,0 +1,266 @@
+// Checkpoint/restart: serialization round-trips, crash consistency, and
+// resume parity with the uninterrupted run through the solve() facade.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "parpp/solver/solver.hpp"
+#include "parpp/util/common.hpp"
+#include "parpp/util/rng.hpp"
+#include "parpp/util/serialize.hpp"
+#include "test_util.hpp"
+
+namespace parpp {
+namespace {
+
+[[nodiscard]] io::CheckpointState sample_state() {
+  io::CheckpointState ck;
+  ck.factors = {test::random_matrix(5, 3, 1), test::random_matrix(4, 3, 2)};
+  ck.sweep = 17;
+  ck.fitness = 0.875;
+  ck.prev_fitness = 0.5;
+  ck.residual = 0.125;
+  ck.seed = 99;
+  ck.rng_state = Rng(99).state();
+  return ck;
+}
+
+void expect_state_eq(const io::CheckpointState& a,
+                     const io::CheckpointState& b) {
+  ASSERT_EQ(a.factors.size(), b.factors.size());
+  for (std::size_t m = 0; m < a.factors.size(); ++m)
+    EXPECT_EQ(a.factors[m].max_abs_diff(b.factors[m]), 0.0);
+  EXPECT_EQ(a.sweep, b.sweep);
+  EXPECT_EQ(a.fitness, b.fitness);
+  EXPECT_EQ(a.prev_fitness, b.prev_fitness);
+  EXPECT_EQ(a.residual, b.residual);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.rng_state, b.rng_state);
+}
+
+[[nodiscard]] std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Checkpoint, StreamRoundTrip) {
+  const io::CheckpointState ck = sample_state();
+  std::stringstream ss;
+  io::save_checkpoint(ss, ck);
+  expect_state_eq(ck, io::load_checkpoint(ss));
+}
+
+TEST(Checkpoint, FileRoundTripLeavesNoTmpResidue) {
+  const std::string path = temp_path("parpp_ck_roundtrip.bin");
+  const io::CheckpointState ck = sample_state();
+  io::save_checkpoint_file(path, ck);
+  expect_state_eq(ck, io::load_checkpoint_file(path));
+  // Crash consistency: the temp file is renamed over the target, never left.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, GarbageFileRejected) {
+  const std::string path = temp_path("parpp_ck_garbage.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "definitely not a checkpoint";
+  }
+  EXPECT_THROW((void)io::load_checkpoint_file(path), parpp::error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  const std::string full = temp_path("parpp_ck_full.bin");
+  const std::string cut = temp_path("parpp_ck_cut.bin");
+  io::save_checkpoint_file(full, sample_state());
+  std::ifstream is(full, std::ios::binary);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string bytes = buf.str();
+  {
+    std::ofstream os(cut, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW((void)io::load_checkpoint_file(cut), parpp::error);
+  std::remove(full.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST(Checkpoint, MissingFileRejected) {
+  EXPECT_THROW((void)io::load_checkpoint_file("/nonexistent/parpp_ck.bin"),
+               parpp::error);
+}
+
+// --- facade resume ---------------------------------------------------------
+
+[[nodiscard]] solver::SolverSpec base_spec(int max_sweeps) {
+  solver::SolverSpec spec;
+  spec.rank = 4;
+  spec.seed = 7;
+  spec.stopping.max_sweeps = max_sweeps;
+  spec.stopping.fitness_tol = 1e-14;  // force the full sweep budget
+  return spec;
+}
+
+TEST(Checkpoint, SequentialResumeMatchesUninterrupted) {
+  const tensor::DenseTensor t = test::random_tensor({14, 12, 10}, 3);
+  const std::string path = temp_path("parpp_ck_seq.bin");
+  std::remove(path.c_str());
+
+  const solver::SolveReport whole = parpp::solve(t, base_spec(10));
+
+  solver::SolverSpec first = base_spec(5);
+  first.checkpoint.path = path;
+  first.checkpoint.every = 1;
+  (void)parpp::solve(t, first);
+
+  solver::SolverSpec second = base_spec(10);
+  second.checkpoint.path = path;
+  second.checkpoint.resume = true;
+  const solver::SolveReport resumed = parpp::solve(t, second);
+
+  EXPECT_EQ(resumed.sweeps, whole.sweeps);
+  // The MSDT engine rebuilds its contraction tree on warm start, so the
+  // resumed sweeps associate the same sums in a different order: parity is
+  // a couple of ulps, far inside the 1e-10 the restart contract promises.
+  EXPECT_NEAR(resumed.fitness, whole.fitness, 1e-12);
+  ASSERT_EQ(resumed.factors.size(), whole.factors.size());
+  for (std::size_t m = 0; m < whole.factors.size(); ++m)
+    EXPECT_LE(resumed.factors[m].max_abs_diff(whole.factors[m]), 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ParallelResumeMatchesUninterrupted) {
+  const tensor::DenseTensor t = test::random_tensor({12, 12, 8}, 4);
+  const std::string path = temp_path("parpp_ck_par.bin");
+  std::remove(path.c_str());
+
+  solver::SolverSpec whole_spec = base_spec(8);
+  whole_spec.execution = solver::Execution::simulated_parallel(4);
+  const solver::SolveReport whole = parpp::solve(t, whole_spec);
+
+  solver::SolverSpec first = base_spec(4);
+  first.execution = solver::Execution::simulated_parallel(4);
+  first.checkpoint.path = path;
+  first.checkpoint.every = 2;
+  (void)parpp::solve(t, first);
+
+  solver::SolverSpec second = base_spec(8);
+  second.execution = solver::Execution::simulated_parallel(4);
+  second.checkpoint.path = path;
+  second.checkpoint.resume = true;
+  const solver::SolveReport resumed = parpp::solve(t, second);
+
+  EXPECT_EQ(resumed.sweeps, whole.sweeps);
+  EXPECT_NEAR(resumed.fitness, whole.fitness, 1e-12);
+  ASSERT_EQ(resumed.factors.size(), whole.factors.size());
+  for (std::size_t m = 0; m < whole.factors.size(); ++m)
+    EXPECT_LE(resumed.factors[m].max_abs_diff(whole.factors[m]), 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumePastExhaustedBudgetReturnsCheckpoint) {
+  const tensor::DenseTensor t = test::random_tensor({10, 10, 10}, 5);
+  const std::string path = temp_path("parpp_ck_exhausted.bin");
+  std::remove(path.c_str());
+
+  solver::SolverSpec first = base_spec(6);
+  first.checkpoint.path = path;
+  first.checkpoint.every = 1;
+  const solver::SolveReport before = parpp::solve(t, first);
+
+  // The checkpoint (sweep 6) already covers a 4-sweep budget: nothing runs,
+  // the checkpointed state comes back as-is.
+  solver::SolverSpec second = base_spec(4);
+  second.checkpoint.path = path;
+  second.checkpoint.resume = true;
+  const solver::SolveReport resumed = parpp::solve(t, second);
+
+  EXPECT_EQ(resumed.sweeps, 6);
+  EXPECT_EQ(resumed.stop_reason, solver::StopReason::kMaxSweeps);
+  EXPECT_EQ(resumed.fitness, before.fitness);
+  ASSERT_EQ(resumed.factors.size(), before.factors.size());
+  for (std::size_t m = 0; m < before.factors.size(); ++m)
+    EXPECT_EQ(resumed.factors[m].max_abs_diff(before.factors[m]), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeWithoutFileColdStarts) {
+  const tensor::DenseTensor t = test::random_tensor({10, 10, 10}, 6);
+  const std::string path = temp_path("parpp_ck_never_written.bin");
+  std::remove(path.c_str());
+
+  const solver::SolveReport cold = parpp::solve(t, base_spec(5));
+
+  // resume with no checkpoint on disk (the previous run "died" before its
+  // first checkpoint) must behave exactly like a cold start.
+  solver::SolverSpec spec = base_spec(5);
+  spec.checkpoint.path = path;
+  spec.checkpoint.every = 2;
+  spec.checkpoint.resume = true;
+  const solver::SolveReport resumed = parpp::solve(t, spec);
+
+  EXPECT_EQ(resumed.sweeps, cold.sweeps);
+  EXPECT_EQ(resumed.fitness, cold.fitness);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeWithoutPathRejected) {
+  const tensor::DenseTensor t = test::random_tensor({8, 8, 8}, 7);
+  solver::SolverSpec spec = base_spec(5);
+  spec.checkpoint.resume = true;
+  EXPECT_THROW((void)parpp::solve(t, spec), parpp::error);
+}
+
+TEST(Checkpoint, PpResumeCompletes) {
+  // PP checkpoints land after exact sweeps only, so a resumed PP run
+  // restarts cleanly in exact mode (operator state is rebuilt, not saved);
+  // fitness parity with the uninterrupted run is approximate, not bitwise.
+  const tensor::DenseTensor t = test::low_rank_tensor({16, 14, 12}, 4, 8);
+  const std::string path = temp_path("parpp_ck_pp.bin");
+  std::remove(path.c_str());
+
+  solver::SolverSpec first = base_spec(6);
+  first.method = solver::Method::kPp;
+  first.checkpoint.path = path;
+  first.checkpoint.every = 1;
+  (void)parpp::solve(t, first);
+  ASSERT_TRUE(std::ifstream(path).good());
+
+  solver::SolverSpec second = base_spec(30);
+  second.method = solver::Method::kPp;
+  second.stopping.fitness_tol = 1e-8;
+  second.checkpoint.path = path;
+  second.checkpoint.resume = true;
+  const solver::SolveReport resumed = parpp::solve(t, second);
+
+  EXPECT_EQ(resumed.status, core::SolveStatus::kOk);
+  EXPECT_GT(resumed.fitness, 0.99);
+  EXPECT_GT(resumed.sweeps, 6);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SavedStateCarriesRngProvenance) {
+  const tensor::DenseTensor t = test::random_tensor({10, 10, 10}, 9);
+  const std::string path = temp_path("parpp_ck_prov.bin");
+  std::remove(path.c_str());
+
+  solver::SolverSpec spec = base_spec(4);
+  spec.seed = 123;
+  spec.checkpoint.path = path;
+  spec.checkpoint.every = 2;
+  (void)parpp::solve(t, spec);
+
+  const io::CheckpointState ck = io::load_checkpoint_file(path);
+  EXPECT_EQ(ck.seed, 123u);
+  EXPECT_EQ(ck.rng_state, Rng(123).state());
+  EXPECT_EQ(ck.sweep, 4);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace parpp

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "parpp/la/cholesky.hpp"
 #include "parpp/la/eig_jacobi.hpp"
@@ -86,24 +87,52 @@ TEST(SolveGram, MatchesDirectSolveOnSpd) {
   test::expect_matrix_near(xg, m, 1e-8, "X G == M");
 }
 
-TEST(SolveGram, PseudoInverseFallbackOnSingular) {
-  // G singular: rank 1.
+TEST(SolveGram, RidgeRecoveryOnSingular) {
+  // G singular (rank 1): Cholesky breaks down and the ridge retry takes
+  // over. With M in range(G) — the case ALS produces when a rank-deficient
+  // Gram comes from duplicated factor columns — the ridge solution still
+  // satisfies the normal equations to the relative size of the ridge.
   const index_t r = 6;
   Matrix u(r, 1);
   for (index_t i = 0; i < r; ++i) u(i, 0) = static_cast<double>(i + 1);
   const Matrix g = matmul(u, u, Trans::kNo, Trans::kYes);
-  const Matrix m = test::random_matrix(4, r, 61);
+  const Matrix z = test::random_matrix(4, r, 61);
+  const Matrix m = matmul(z, g);  // M in range(G)
+  const SpdStats before = spd_stats();
   const Matrix x = solve_gram(g, m);
-  // Minimal-norm least squares: X G G† == X and residual orthogonality
-  // M G† G == X G†... check the normal-equation property X G == M P_range.
+  const SpdStats after = spd_stats();
+  EXPECT_EQ(after.cholesky_failures, before.cholesky_failures + 1);
+  EXPECT_EQ(after.ridge_recoveries, before.ridge_recoveries + 1);
+  EXPECT_EQ(after.pinv_fallbacks, before.pinv_fallbacks);
+  EXPECT_TRUE(x.all_finite());
   const Matrix xg = matmul(x, g);
-  // Project M onto range(G): P = u u^T / (u^T u).
-  double uu = 0.0;
-  for (index_t i = 0; i < r; ++i) uu += u(i, 0) * u(i, 0);
-  Matrix p = matmul(u, u, Trans::kNo, Trans::kYes);
-  p.scale(1.0 / uu);
-  const Matrix mp = matmul(m, p);
-  test::expect_matrix_near(xg, mp, 1e-8, "X G == M P_range");
+  test::expect_matrix_near(xg, m, 1e-8, "X G == M for M in range(G)");
+}
+
+TEST(SolveGram, PseudoInverseFallbackOnIndefinite) {
+  // Indefinite G defeats Cholesky and every ridge retry (the negative
+  // eigenvalue dwarfs the largest ridge), so the eig-based pseudo-inverse
+  // is the last resort. Here G is invertible, so G† = G^{-1}: X G == M.
+  const Matrix g(2, 2, {1.0, 2.0, 2.0, 1.0});  // eigenvalues 3, -1
+  const Matrix m = test::random_matrix(5, 2, 62);
+  const SpdStats before = spd_stats();
+  const Matrix x = solve_gram(g, m);
+  const SpdStats after = spd_stats();
+  EXPECT_EQ(after.pinv_fallbacks, before.pinv_fallbacks + 1);
+  const Matrix xg = matmul(x, g);
+  test::expect_matrix_near(xg, m, 1e-8, "X G == M via pseudo-inverse");
+}
+
+TEST(SolveGram, NonFiniteGramReturnsZeros) {
+  Matrix g = identity(3);
+  g(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  const Matrix m = test::random_matrix(4, 3, 63);
+  const SpdStats before = spd_stats();
+  const Matrix x = solve_gram(g, m);
+  const SpdStats after = spd_stats();
+  EXPECT_EQ(after.nonfinite_grams, before.nonfinite_grams + 1);
+  EXPECT_TRUE(x.all_finite());
+  EXPECT_EQ(x.frobenius_norm(), 0.0);
 }
 
 TEST(SolveGram, IdentityGramReturnsM) {

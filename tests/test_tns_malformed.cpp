@@ -1,0 +1,124 @@
+// Malformed FROSTT .tns input must fail with a line-numbered parpp::error,
+// never a silent truncation or a bad tensor.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "parpp/tensor/coo_tensor.hpp"
+#include "parpp/util/common.hpp"
+#include "parpp/util/serialize.hpp"
+
+namespace parpp {
+namespace {
+
+[[nodiscard]] std::string load_error(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    (void)io::load_tns(is);
+  } catch (const parpp::error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "load_tns accepted malformed input:\n" << text;
+  return {};
+}
+
+TEST(TnsMalformed, ZeroIndexRejected) {
+  const std::string err = load_error("1 1 1 2.0\n0 1 1 3.0\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("positive integers"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, NegativeIndexRejected) {
+  const std::string err = load_error("2 1 1 2.0\n1 -3 1 1.0\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("positive integers"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, FractionalIndexRejected) {
+  const std::string err = load_error("1 1.5 1 2.0\n");
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("positive integers"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, IndexBeyondDimsHeaderRejected) {
+  const std::string err = load_error("# dims 2 2 2\n1 1 1 1.0\n1 3 1 1.0\n");
+  EXPECT_NE(err.find("index exceeds dims header"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, NonFiniteValueRejected) {
+  // istream's double parser rejects "nan"/"inf" outright, so these trip the
+  // unparseable-token guard (still line-numbered) rather than the isfinite
+  // backstop, which covers values that arrive non-finite by other routes.
+  const std::string err = load_error("1 1 1 1.0\n1 2 1 nan\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("unparseable token"), std::string::npos) << err;
+  const std::string inf_err = load_error("1 1 1 inf\n");
+  EXPECT_NE(inf_err.find("line 1"), std::string::npos) << inf_err;
+  EXPECT_NE(inf_err.find("unparseable token"), std::string::npos) << inf_err;
+}
+
+TEST(TnsMalformed, WrongArityRejected) {
+  // The first data line fixes the order; later lines must match it.
+  const std::string err = load_error("1 1 1 1.0\n1 2 2.0\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("expected 4 fields"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, BareValueLineRejected) {
+  const std::string err = load_error("3.25\n");
+  EXPECT_NE(err.find("at least one coordinate and a value"),
+            std::string::npos)
+      << err;
+}
+
+TEST(TnsMalformed, TrailingGarbageTokenRejected) {
+  const std::string err = load_error("1 1 1 1.0 xyz\n");
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("unparseable token"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, NonNumericCoordinateRejected) {
+  const std::string err = load_error("1 1 1 1.0\n1 a 1 1.0\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("unparseable token"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, MalformedDimsHeaderRejected) {
+  const std::string err = load_error("# dims 4 x 4\n1 1 1 1.0\n");
+  EXPECT_NE(err.find("malformed dims header"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, DimsHeaderOrderMismatchRejected) {
+  const std::string err = load_error("# dims 4 4\n1 1 1 1.0\n");
+  EXPECT_NE(err.find("dims header order mismatch"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, EmptyFileRejected) {
+  const std::string err = load_error("# just a comment\n\n");
+  EXPECT_NE(err.find("no nonzero entries"), std::string::npos) << err;
+}
+
+TEST(TnsMalformed, MissingFileRejected) {
+  EXPECT_THROW((void)io::load_tns_file("/nonexistent/tensor.tns"),
+               parpp::error);
+}
+
+// The happy path stays intact around all the checks above.
+TEST(TnsMalformed, WellFormedInputStillLoads) {
+  std::istringstream is(
+      "# dims 3 4 2\n"
+      "1 1 1 1.5\n"
+      "3 4 2 -2.0\n"
+      "# trailing comment\n"
+      "2 2 1 0.25\n");
+  const tensor::CooTensor t = io::load_tns(is);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.nnz(), 3);
+  EXPECT_EQ(t.shape()[0], 3);
+  EXPECT_EQ(t.shape()[1], 4);
+  EXPECT_EQ(t.shape()[2], 2);
+}
+
+}  // namespace
+}  // namespace parpp

@@ -17,6 +17,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <optional>
 #include <string>
 
 #include "parpp/core/normalize.hpp"
@@ -59,6 +61,17 @@ struct Cli {
   bool pp = false;
   bool nonneg = false;
   bool help = false;
+
+  // Chaos / resilience knobs.
+  std::string fault = "none";
+  int fault_rank = 0;
+  int fault_nth = 1;
+  std::string fault_collective;  ///< empty: any collective class
+  double fault_delay = 0.05;
+  double comm_timeout = 0.0;
+  std::string checkpoint_path;
+  int checkpoint_every = 0;
+  bool resume = false;
 };
 
 Cli parse(int argc, char** argv) {
@@ -98,6 +111,16 @@ Cli parse(int argc, char** argv) {
     else if (flag == "--seed") cli.seed = std::strtoull(next(), nullptr, 10);
     else if (flag == "--pp") cli.pp = true;
     else if (flag == "--nonneg") cli.nonneg = true;
+    else if (flag == "--fault") cli.fault = next();
+    else if (flag == "--fault-rank") cli.fault_rank = std::atoi(next());
+    else if (flag == "--fault-nth") cli.fault_nth = std::atoi(next());
+    else if (flag == "--fault-collective") cli.fault_collective = next();
+    else if (flag == "--fault-delay") cli.fault_delay = std::atof(next());
+    else if (flag == "--comm-timeout") cli.comm_timeout = std::atof(next());
+    else if (flag == "--checkpoint") cli.checkpoint_path = next();
+    else if (flag == "--checkpoint-every")
+      cli.checkpoint_every = std::atoi(next());
+    else if (flag == "--resume") cli.resume = true;
     else if (flag == "--help" || flag == "-h") cli.help = true;
     else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
@@ -137,7 +160,21 @@ void usage() {
       "  --max-sweeps N  (default 200)   --tol T (default 1e-6)\n"
       "  --pp-tol E      PP tolerance epsilon (default 0.1)\n"
       "  --max-seconds S wall-clock budget, 0 = unlimited (default 0)\n"
-      "  --seed N        RNG seed (default 42)\n");
+      "  --seed N        RNG seed (default 42)\n\n"
+      "resilience (chaos runs need --ranks N > 1):\n"
+      "  --fault K       inject a deterministic communication fault:\n"
+      "                  delay | timeout | rank-abort | corruption\n"
+      "  --fault-rank R  world rank that misbehaves (default 0)\n"
+      "  --fault-nth N   fire at rank R's Nth collective (default 1)\n"
+      "  --fault-collective C  restrict to one collective class:\n"
+      "                  allgather | reduce-scatter | allreduce | bcast |\n"
+      "                  alltoall (default: any)\n"
+      "  --fault-delay S sleep length for --fault delay (default 0.05)\n"
+      "  --comm-timeout S  collective timeout; 0 = runtime default\n"
+      "  --checkpoint FILE  crash-consistent checkpoint file\n"
+      "  --checkpoint-every K  checkpoint period in sweeps (default 0 = "
+      "off)\n"
+      "  --resume        warm-start from --checkpoint FILE when it exists\n");
 }
 
 tensor::DenseTensor make_dataset(const Cli& cli) {
@@ -203,15 +240,16 @@ solver::Method method_of(const Cli& cli) {
   return solver::Method::kAls;
 }
 
-}  // namespace
+std::optional<mpsim::Collective> collective_of(const std::string& s) {
+  if (s == "allgather") return mpsim::Collective::kAllGather;
+  if (s == "reduce-scatter") return mpsim::Collective::kReduceScatter;
+  if (s == "allreduce") return mpsim::Collective::kAllReduce;
+  if (s == "bcast") return mpsim::Collective::kBcast;
+  if (s == "alltoall") return mpsim::Collective::kAllToAll;
+  return std::nullopt;
+}
 
-int main(int argc, char** argv) {
-  const Cli cli = parse(argc, argv);
-  if (cli.help) {
-    usage();
-    return 0;
-  }
-
+int run(const Cli& cli) {
   // Validate flag combinations before the (possibly expensive) dataset.
   if (cli.density_set && !(cli.density > 0.0 && cli.density <= 1.0)) {
     std::fprintf(stderr, "--density must be in (0, 1]\n");
@@ -262,6 +300,36 @@ int main(int argc, char** argv) {
                  "N > 1 (a single rank has nothing to balance)\n");
     return 2;
   }
+  const auto fault_kind = solver::fault_kind_from_string(cli.fault);
+  if (!fault_kind) {
+    std::fprintf(stderr,
+                 "unknown fault %s (none | delay | timeout | rank-abort | "
+                 "corruption)\n",
+                 cli.fault.c_str());
+    return 2;
+  }
+  if (*fault_kind != mpsim::FaultKind::kNone && cli.procs <= 1) {
+    std::fprintf(stderr,
+                 "--fault injects communication faults; pass --ranks N > 1\n");
+    return 2;
+  }
+  std::optional<mpsim::Collective> fault_coll;
+  if (!cli.fault_collective.empty()) {
+    fault_coll = collective_of(cli.fault_collective);
+    if (!fault_coll) {
+      std::fprintf(stderr,
+                   "unknown collective %s (allgather | reduce-scatter | "
+                   "allreduce | bcast | alltoall)\n",
+                   cli.fault_collective.c_str());
+      return 2;
+    }
+  }
+  if ((cli.checkpoint_every > 0 || cli.resume) &&
+      cli.checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-every/--resume need --checkpoint FILE\n");
+    return 2;
+  }
 
   solver::SolverSpec spec;
   spec.method = method;
@@ -283,6 +351,21 @@ int main(int argc, char** argv) {
     // per-rank limit does in parallel runs.
     omp_set_num_threads(cli.threads_per_rank);
   }
+  if (*fault_kind != mpsim::FaultKind::kNone) {
+    spec.execution.fault.kind = *fault_kind;
+    spec.execution.fault.rank = cli.fault_rank;
+    spec.execution.fault.nth = cli.fault_nth;
+    spec.execution.fault.delay_seconds = cli.fault_delay;
+    spec.execution.fault.seed = cli.seed;
+    if (fault_coll) {
+      spec.execution.fault.filter_collective = true;
+      spec.execution.fault.collective = *fault_coll;
+    }
+  }
+  spec.execution.comm_timeout_seconds = cli.comm_timeout;
+  spec.checkpoint.path = cli.checkpoint_path;
+  spec.checkpoint.every = cli.checkpoint_every;
+  spec.checkpoint.resume = cli.resume;
 
   auto print_run = [&](const char* engine_name) {
     std::printf("method %s, engine %s, %s\n",
@@ -338,9 +421,16 @@ int main(int argc, char** argv) {
                 report.num_als_sweeps, report.num_pp_init,
                 report.num_pp_approx);
   }
-  std::printf("fitness %.8f after %d sweeps in %.3fs (stop: %s)\n",
+  std::printf("fitness %.10f after %d sweeps in %.3fs (stop: %s, status: "
+              "%s)\n",
               report.fitness, report.sweeps, timer.seconds(),
-              std::string(solver::to_string(report.stop_reason)).c_str());
+              std::string(solver::to_string(report.stop_reason)).c_str(),
+              std::string(solver::to_string(report.status)).c_str());
+  if (!report.recovery_log.empty()) {
+    std::printf("recovery log (%zu event(s)):\n", report.recovery_log.size());
+    for (const core::RecoveryEvent& e : report.recovery_log)
+      std::printf("  [sweep %d] %s\n", e.sweep, e.what.c_str());
+  }
 
   if (!cli.save_path.empty()) {
     auto factors = std::move(report.factors);
@@ -351,4 +441,22 @@ int main(int argc, char** argv) {
                 cli.save_path.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse(argc, argv);
+  if (cli.help) {
+    usage();
+    return 0;
+  }
+  // Structured errors (bad spec, malformed input file, I/O failure) exit 1
+  // with one line on stderr; flag misuse exits 2 above.
+  try {
+    return run(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
