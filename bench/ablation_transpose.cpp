@@ -27,7 +27,8 @@ void run_order(int order, index_t s, index_t rank, int sweeps) {
 
   for (bool copy : {false, true}) {
     core::EngineOptions opt;
-    opt.use_transposed_copy = copy ? core::TransposedCopy::kOn : core::TransposedCopy::kOff;
+    opt.use_transposed_copy =
+      copy ? core::TransposedCopy::kOn : core::TransposedCopy::kOff;
     WallTimer build_timer;
     core::MsdtEngine engine(t, factors, nullptr, opt);
     const double build = build_timer.seconds();

@@ -70,7 +70,8 @@ void FactorDist::gather_slice(int mode) {
   PARPP_ASSERT(slice.rows() == q.rows() * comm.size(),
                "gather_slice: slab/chunk mismatch");
   // Chunks land in slice-rank order, which is exactly slab row order.
-  comm.allgather(q.data(), q.size(), slice.data());
+  comm.allgather(q.data(), q.size(), slice.data(),
+                 PARPP_COMM_TAG("factor-slice-allgather"));
 }
 
 la::Matrix FactorDist::reduce_scatter(int mode,
@@ -81,7 +82,7 @@ la::Matrix FactorDist::reduce_scatter(int mode,
   const auto& comm = grid_->slice_comm(mode);
   la::Matrix out(dist_->rows_q(mode), rank_);
   comm.reduce_scatter_sum(contribution.data(), contribution.size(),
-                          out.data());
+                          out.data(), PARPP_COMM_TAG("mttkrp-reduce-scatter"));
   return out;
 }
 
@@ -90,7 +91,8 @@ la::Matrix FactorDist::allgather_global(int mode) {
   const la::Matrix& q = q_[static_cast<std::size_t>(mode)];
   std::vector<double> all(static_cast<std::size_t>(q.size()) *
                           static_cast<std::size_t>(world.size()));
-  world.allgather(q.data(), q.size(), all.data());
+  world.allgather(q.data(), q.size(), all.data(),
+                  PARPP_COMM_TAG("factor-global-allgather"));
 
   const index_t s = dist_->global_shape()[static_cast<std::size_t>(mode)];
   const index_t rows_q = dist_->rows_q(mode);

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "parpp/util/omp_sync.hpp"
 #include "parpp/util/workspace.hpp"
 
 namespace parpp::la {
@@ -235,8 +236,11 @@ Matrix gram(const Matrix& a, Profile* profile, util::KernelWorkspace* ws) {
   double* locals = slab.data();
   std::fill(locals, locals + static_cast<index_t>(maxt) * nn, 0.0);
 
+  util::OmpJoinFence fence;
+  fence.fork();
 #pragma omp parallel
   {
+    fence.enter();
     const int tid = omp_get_thread_num();
     const int nthreads = omp_get_num_threads();
     double* local = locals + static_cast<index_t>(tid) * nn;
@@ -251,7 +255,11 @@ Matrix gram(const Matrix& a, Profile* profile, util::KernelWorkspace* ws) {
       }
     }
     for (int stride = 1; stride < nthreads; stride *= 2) {
+      // Each reduction round reads slabs the previous round wrote on other
+      // threads; publish/observe restate the barrier edge for TSan.
+      fence.publish();
 #pragma omp barrier
+      fence.observe();
       if (tid % (2 * stride) == 0 && tid + stride < nthreads) {
         const double* other = locals + static_cast<index_t>(tid + stride) * nn;
         for (index_t j = 0; j < n; ++j)
@@ -259,7 +267,9 @@ Matrix gram(const Matrix& a, Profile* profile, util::KernelWorkspace* ws) {
             local[j * n + l] += other[j * n + l];
       }
     }
+    fence.leave();
   }
+  fence.join();
 
   for (index_t j = 0; j < n; ++j)
     for (index_t l = j; l < n; ++l) s(j, l) = locals[j * n + l];

@@ -37,8 +37,23 @@ Group::Group(int size_in)
     : size(size_in),
       src(static_cast<std::size_t>(size_in), nullptr),
       dst(static_cast<std::size_t>(size_in), nullptr),
+      fps(static_cast<std::size_t>(size_in)),
+      seq_counters(static_cast<std::size_t>(size_in), 0),
       split_keys(static_cast<std::size_t>(size_in), {0, 0}) {
   PARPP_CHECK(size_in >= 1, "communicator group must have >= 1 rank");
+}
+
+Group::~Group() {
+  // The last member to release its handle destroys the group, and that can
+  // happen on a rank thread while a registry-wide poison cascade has only
+  // just published this group's fail reason and broadcast its cv from
+  // another thread. The poisoner holds a shared_ptr for the duration of the
+  // call, so teardown cannot truly overlap it -- but the only ordering
+  // between its critical section and this destructor is the refcount chain.
+  // Take each lock once so the poisoner's unlock is explicitly ordered
+  // before the cv, mutex, and reason string are destroyed.
+  { std::lock_guard<std::mutex> lk(mutex); }
+  { std::lock_guard<std::mutex> lk(split_mutex); }
 }
 
 void Group::poison(const std::string& reason) {
@@ -127,15 +142,56 @@ Comm::Comm(std::shared_ptr<detail::Group> group, int rank, CostCounter* cost,
       profile_(profile),
       fault_(fault) {}
 
-void Comm::barrier() const {
+void Comm::sync() const {
   if (group_ && group_->size > 1) group_->barrier_wait();
+}
+
+void Comm::enter_collective(VerifyOp op, index_t count, int root,
+                            CommTag tag) const {
+  auto& g = *group_;
+  if (!g.verify) {
+    sync();
+    return;
+  }
+  // Publish this rank's claim next to its staging pointer; the barrier that
+  // opens the copy window also publishes the fingerprints — no extra
+  // rendezvous. Rank-indexed slots, so the writes race with nothing.
+  auto& mine = g.fps[static_cast<std::size_t>(rank_)];
+  mine.op = op;
+  mine.count = count;
+  mine.root = root;
+  mine.seq = g.seq_counters[static_cast<std::size_t>(rank_)]++;
+  mine.tag = tag;
+  sync();
+  // Cross-check before any payload copy: a count mismatch would otherwise
+  // read out of bounds, a kind mismatch would corrupt staging slots. Every
+  // rank sees the identical table, computes the identical diagnosis, and
+  // throws — nobody copies, nobody hangs.
+  for (int r = 1; r < g.size; ++r) {
+    if (fingerprints_match(g.fps[0], g.fps[static_cast<std::size_t>(r)]))
+      continue;
+    const std::string reason = describe_mismatch(g.fps);
+    g.poison_tree(reason);
+    throw CommFailure(reason);
+  }
+  // Every other collective has at least one more internal phase, which pins
+  // all ranks inside the op until every cross-check above finished. A bare
+  // barrier has none, so a fast rank could return, enter its next
+  // collective, and overwrite its fingerprint slot while a slow rank still
+  // reads it. Close the check window explicitly for that one op.
+  if (op == VerifyOp::kBarrier) sync();
+}
+
+void Comm::barrier(CommTag tag) const {
+  if (group_ && group_->size > 1)
+    enter_collective(VerifyOp::kBarrier, 0, -1, tag);
 }
 
 void Comm::poison(const std::string& reason) const {
   if (group_) group_->poison_tree(reason);
 }
 
-void Comm::allreduce_sum(double* data, index_t count) const {
+void Comm::allreduce_sum(double* data, index_t count, CommTag tag) const {
   if (size() <= 1) return;
   ScopedProfile sp(profile_ ? *profile_ : Profile::thread_default(),
                    Kernel::kComm);
@@ -145,7 +201,7 @@ void Comm::allreduce_sum(double* data, index_t count) const {
 
   auto& g = *group_;
   g.src[static_cast<std::size_t>(rank_)] = data;
-  barrier();
+  enter_collective(VerifyOp::kAllReduce, count, -1, tag);
   // Each rank sums its own slice from everyone into a private buffer, then
   // publishes the slice; a final gather pass assembles the full result.
   const int p = size();
@@ -158,10 +214,10 @@ void Comm::allreduce_sum(double* data, index_t count) const {
     for (index_t i = lo; i < hi; ++i)
       slice[static_cast<std::size_t>(i - lo)] += s[i];
   }
-  barrier();  // all reads of src complete
+  sync();  // all reads of src complete
   g.src[static_cast<std::size_t>(rank_)] = slice.data();
   g.dst[static_cast<std::size_t>(rank_)] = data;
-  barrier();
+  sync();
   // Everyone copies every slice into their own buffer.
   for (int r = 0; r < p; ++r) {
     const index_t rlo = std::min<index_t>(count, r * chunk);
@@ -169,12 +225,15 @@ void Comm::allreduce_sum(double* data, index_t count) const {
     std::memcpy(data + rlo, g.src[static_cast<std::size_t>(r)],
                 static_cast<std::size_t>(rhi - rlo) * sizeof(double));
   }
-  barrier();  // slices stay alive until all ranks finished copying
+  sync();  // slices stay alive until all ranks finished copying
 }
 
-void Comm::allgather(const double* in, index_t local_count, double* out) const {
+void Comm::allgather(const double* in, index_t local_count, double* out,
+                     CommTag tag) const {
   if (size() <= 1) {
-    if (out != in) std::memcpy(out, in, static_cast<std::size_t>(local_count) * sizeof(double));
+    if (out != in)
+      std::memcpy(out, in,
+                  static_cast<std::size_t>(local_count) * sizeof(double));
     return;
   }
   ScopedProfile sp(profile_ ? *profile_ : Profile::thread_default(),
@@ -187,21 +246,21 @@ void Comm::allgather(const double* in, index_t local_count, double* out) const {
                               local_count * size());
   auto& g = *group_;
   g.src[static_cast<std::size_t>(rank_)] = in;
-  barrier();
+  enter_collective(VerifyOp::kAllGather, local_count, -1, tag);
   for (int r = 0; r < size(); ++r) {
     const double* s = g.src[static_cast<std::size_t>(r)];
     if (out + r * local_count != s)
       std::memcpy(out + r * local_count, s,
                   static_cast<std::size_t>(local_count) * sizeof(double));
   }
-  barrier();
+  sync();
   if (fault_)
     fault_->after_collective(Collective::kAllGather, out,
                              local_count * size());
 }
 
 void Comm::reduce_scatter_sum(const double* in, index_t total_count,
-                              double* out) const {
+                              double* out, CommTag tag) const {
   const int p = size();
   PARPP_CHECK(total_count % p == 0,
               "reduce_scatter: count must divide by ranks (use padding)");
@@ -220,18 +279,18 @@ void Comm::reduce_scatter_sum(const double* in, index_t total_count,
                               total_count);
   auto& g = *group_;
   g.src[static_cast<std::size_t>(rank_)] = in;
-  barrier();
+  enter_collective(VerifyOp::kReduceScatter, total_count, -1, tag);
   const index_t lo = rank_ * chunk;
   std::fill(out, out + chunk, 0.0);
   for (int r = 0; r < p; ++r) {
     const double* s = g.src[static_cast<std::size_t>(r)] + lo;
     for (index_t i = 0; i < chunk; ++i) out[i] += s[i];
   }
-  barrier();
+  sync();
   if (fault_) fault_->after_collective(Collective::kReduceScatter, out, chunk);
 }
 
-void Comm::bcast(double* data, index_t count, int root) const {
+void Comm::bcast(double* data, index_t count, int root, CommTag tag) const {
   if (size() <= 1) return;
   ScopedProfile sp(profile_ ? *profile_ : Profile::thread_default(),
                    Kernel::kComm);
@@ -242,16 +301,17 @@ void Comm::bcast(double* data, index_t count, int root) const {
                               rank_ == root ? data : nullptr, count);
   auto& g = *group_;
   if (rank_ == root) g.src[static_cast<std::size_t>(root)] = data;
-  barrier();
+  enter_collective(VerifyOp::kBcast, count, root, tag);
   if (rank_ != root)
     std::memcpy(data, g.src[static_cast<std::size_t>(root)],
                 static_cast<std::size_t>(count) * sizeof(double));
-  barrier();
+  sync();
   if (fault_ && rank_ != root)
     fault_->after_collective(Collective::kBcast, data, count);
 }
 
-void Comm::alltoall(const double* in, index_t count_per_pair, double* out) const {
+void Comm::alltoall(const double* in, index_t count_per_pair, double* out,
+                    CommTag tag) const {
   const int p = size();
   if (p == 1) {
     if (out != in)
@@ -268,19 +328,19 @@ void Comm::alltoall(const double* in, index_t count_per_pair, double* out) const
                               count_per_pair * p);
   auto& g = *group_;
   g.src[static_cast<std::size_t>(rank_)] = in;
-  barrier();
+  enter_collective(VerifyOp::kAllToAll, count_per_pair, -1, tag);
   for (int r = 0; r < p; ++r) {
     // Receive chunk destined to me (index rank_) from rank r.
     std::memcpy(out + r * count_per_pair,
                 g.src[static_cast<std::size_t>(r)] + rank_ * count_per_pair,
                 static_cast<std::size_t>(count_per_pair) * sizeof(double));
   }
-  barrier();
+  sync();
   if (fault_)
     fault_->after_collective(Collective::kAllToAll, out, count_per_pair * p);
 }
 
-Comm Comm::split(int color, int key) const {
+Comm Comm::split(int color, int key, CommTag tag) const {
   if (!group_ || group_->size == 1) {
     auto child =
         detail::make_group(1, group_ ? group_->registry : nullptr);
@@ -289,7 +349,9 @@ Comm Comm::split(int color, int key) const {
   }
   auto& g = *group_;
   g.split_keys[static_cast<std::size_t>(rank_)] = {color, key};
-  barrier();
+  // Colors and keys are rank-local by design, so the fingerprint checks
+  // only that everyone is *in* a split (count 0) at the same point.
+  enter_collective(VerifyOp::kSplit, 0, -1, tag);
   // One designated rank per color builds the child group.
   bool lowest_of_color = true;
   int my_child_size = 0;
@@ -302,10 +364,11 @@ Comm Comm::split(int color, int key) const {
   if (lowest_of_color) {
     auto child = detail::make_group(my_child_size, g.registry);
     child->timeout_seconds = g.timeout_seconds;
+    child->verify = g.verify;
     std::lock_guard<std::mutex> lk(g.split_mutex);
     g.split_children[color] = std::move(child);
   }
-  barrier();
+  sync();
   std::shared_ptr<detail::Group> child;
   {
     std::lock_guard<std::mutex> lk(g.split_mutex);
@@ -322,7 +385,7 @@ Comm Comm::split(int color, int key) const {
         (other.second == mine.second && r < rank_))
       ++child_rank;
   }
-  barrier();  // ensure map reads finish before any later split reuses it
+  sync();  // ensure map reads finish before any later split reuses it
   return Comm(child, child_rank, cost_, profile_, fault_);
 }
 

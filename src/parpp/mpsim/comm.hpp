@@ -28,6 +28,7 @@
 
 #include "parpp/mpsim/cost.hpp"
 #include "parpp/mpsim/fault.hpp"
+#include "parpp/mpsim/verify.hpp"
 #include "parpp/util/common.hpp"
 #include "parpp/util/profile.hpp"
 
@@ -51,6 +52,7 @@ struct GroupRegistry {
 /// Group through shared_ptr; staging slots are indexed by group rank.
 struct Group {
   explicit Group(int size);
+  ~Group();
 
   int size;
   /// Longest a rank waits at a barrier before declaring the group dead.
@@ -59,6 +61,15 @@ struct Group {
 
   std::vector<const double*> src;  ///< publish slots (one per rank)
   std::vector<double*> dst;        ///< destination slots where needed
+
+  // Collective-matching verifier state (see verify.hpp). When `verify` is
+  // set, every rendezvous publishes a per-rank fingerprint alongside its
+  // staging pointer and cross-checks the group before any payload copy
+  // window opens. Slots are rank-indexed; the publication barrier is the
+  // only synchronization they need.
+  bool verify = false;
+  std::vector<Fingerprint> fps;
+  std::vector<std::uint64_t> seq_counters;
 
   // Phased barrier with poison support.
   std::mutex mutex;
@@ -106,32 +117,39 @@ class Comm {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return group_ ? group_->size : 1; }
 
-  void barrier() const;
+  // Every collective takes a mandatory call-site tag (PARPP_COMM_TAG) so
+  // the matching verifier can attribute a mismatched rendezvous to exact
+  // source lines on every rank. The compiler enforces that a tag exists;
+  // tools/parpp_lint enforces that it is the macro, not a bare {}.
+
+  void barrier(CommTag tag) const;
 
   /// All ranks contribute `count` words at `data`; on return every rank's
   /// buffer holds the element-wise sum. In place.
-  void allreduce_sum(double* data, index_t count) const;
+  void allreduce_sum(double* data, index_t count, CommTag tag) const;
 
   /// Gathers `local_count` words from each rank into `out` (size
   /// local_count * size) in rank order. `in` may alias `out + rank*count`.
-  void allgather(const double* in, index_t local_count, double* out) const;
+  void allgather(const double* in, index_t local_count, double* out,
+                 CommTag tag) const;
 
   /// Element-wise sums the full `total_count`-word buffers across ranks and
   /// leaves chunk `rank` (of size total_count / size, which must divide) in
   /// `out`.
-  void reduce_scatter_sum(const double* in, index_t total_count,
-                          double* out) const;
+  void reduce_scatter_sum(const double* in, index_t total_count, double* out,
+                          CommTag tag) const;
 
   /// Broadcast `count` words from `root` to all ranks. In place.
-  void bcast(double* data, index_t count, int root) const;
+  void bcast(double* data, index_t count, int root, CommTag tag) const;
 
   /// Personalized all-to-all: rank r sends chunk q of `in` to rank q, which
   /// stores it at chunk r of `out`. Chunk size = count_per_pair words.
-  void alltoall(const double* in, index_t count_per_pair, double* out) const;
+  void alltoall(const double* in, index_t count_per_pair, double* out,
+                CommTag tag) const;
 
   /// Collective split: every member must call with some (color, key); ranks
   /// sharing a color form a child communicator ordered by (key, old rank).
-  [[nodiscard]] Comm split(int color, int key) const;
+  [[nodiscard]] Comm split(int color, int key, CommTag tag) const;
 
   /// Poison this communicator's whole tree: every rank's next barrier (in
   /// any group) throws CommFailure with `reason`. Used by the runtime when
@@ -144,6 +162,18 @@ class Comm {
   [[nodiscard]] FaultyComm* fault() const { return fault_; }
 
  private:
+  /// Raw phased-barrier wait for the internal synchronization points of a
+  /// collective already past its verified entry (these are protocol steps,
+  /// not program-order rendezvous, so they are never fingerprinted).
+  void sync() const;
+
+  /// Verified rendezvous entry: publishes this rank's fingerprint (when the
+  /// group verifies), runs the publication barrier, then cross-checks every
+  /// rank's claim — throwing CommFailure with per-rank call-site
+  /// diagnostics on mismatch, before any payload copy window opens.
+  void enter_collective(VerifyOp op, index_t count, int root,
+                        CommTag tag) const;
+
   std::shared_ptr<detail::Group> group_;
   int rank_ = 0;
   CostCounter* cost_ = nullptr;

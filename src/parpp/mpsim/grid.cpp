@@ -24,7 +24,8 @@ ProcessorGrid::ProcessorGrid(Comm world, std::vector<int> dims)
       if (m == mode) continue;
       key = key * dim(m) + coord(m);
     }
-    slice_comms_.push_back(world_.split(coord(mode), key));
+    slice_comms_.push_back(
+        world_.split(coord(mode), key, PARPP_COMM_TAG("grid-slice-split")));
   }
 }
 

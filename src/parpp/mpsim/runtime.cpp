@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <string>
@@ -57,6 +58,10 @@ RunResult run(int nprocs, const std::function<void(Comm&)>& body,
   group->timeout_seconds = options.comm_timeout_seconds > 0.0
                                ? options.comm_timeout_seconds
                                : (faulty ? 2.0 : 60.0);
+  bool verify = options.verify_collectives;
+  if (const char* env = std::getenv("PARPP_VERIFY_COLLECTIVES"))
+    verify = env[0] != '\0' && env[0] != '0';
+  group->verify = verify;
   std::vector<std::unique_ptr<FaultyComm>> faults(
       static_cast<std::size_t>(nprocs));
   if (faulty) {

@@ -18,6 +18,16 @@ struct RunOptions {
   /// Barrier timeout; <= 0 picks the default (60 s, or 2 s when a fault
   /// plan is active so timeout-class chaos tests fail fast).
   double comm_timeout_seconds = 0.0;
+  /// Collective-matching verifier (see mpsim/verify.hpp): fingerprint every
+  /// rendezvous (op kind, payload count, call-site tag, program-order
+  /// sequence number) and cross-check the group before any payload moves,
+  /// so a mismatched collective aborts deterministically with per-rank
+  /// call-site diagnostics instead of deadlocking or corrupting buffers.
+  /// On by default — the simulator is the test bed where matching bugs must
+  /// surface before a real-MPI backend can inherit them; the check costs a
+  /// small struct write plus a compare per collective, no extra barriers.
+  /// The PARPP_VERIFY_COLLECTIVES environment variable (0/1) overrides.
+  bool verify_collectives = true;
 };
 
 /// Result of a simulated run: per-rank cost tallies and kernel profiles.

@@ -1,0 +1,92 @@
+// Collective-matching verifier for mpsim::Comm.
+//
+// Every rendezvous a rank enters (the five payload collectives, plus
+// barrier and split) is fingerprinted: operation kind, payload word count,
+// bcast root, a program-order sequence number, and the call-site tag the
+// caller passed via PARPP_COMM_TAG. The fingerprints are published through
+// the group's existing publication barrier — zero extra synchronization —
+// and cross-checked by every rank before any payload copy window opens.
+// A rank calling allreduce_sum(5) while a peer calls bcast(5), or the same
+// op with a different count, therefore aborts deterministically with
+// per-rank call-site diagnostics instead of deadlocking, reading out of
+// bounds, or silently corrupting payloads.
+//
+// This is the contract a future MPI_Comm-backed implementation must
+// satisfy, expressed as an executable check: if the simulator's verifier
+// never fires, the same program order is safe to hand to real MPI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parpp/util/common.hpp"
+
+namespace parpp::mpsim {
+
+/// Call-site tag carried by every collective call. Construct with
+/// PARPP_COMM_TAG so mismatch reports name the exact source line. The
+/// pointers reference string literals / static storage; tags are trivially
+/// copyable and never own memory.
+struct CommTag {
+  const char* name = nullptr;  ///< semantic label, e.g. "gram-allreduce"
+  const char* file = nullptr;
+  int line = 0;
+};
+
+/// Tags a Comm collective call-site for the matching verifier. House rule
+/// (enforced by tools/parpp_lint): every collective call in src/parpp uses
+/// this macro, so cross-rank mismatch reports always carry file:line.
+#define PARPP_COMM_TAG(name) \
+  ::parpp::mpsim::CommTag { (name), __FILE__, __LINE__ }
+
+/// Everything that rendezvouses on a group barrier, a superset of the
+/// cost-model Collective enum (barrier and split rendezvous too and can be
+/// mismatched just as fatally).
+enum class VerifyOp : int {
+  kAllReduce = 0,
+  kAllGather,
+  kReduceScatter,
+  kBcast,
+  kAllToAll,
+  kBarrier,
+  kSplit,
+};
+
+[[nodiscard]] const char* verify_op_name(VerifyOp op);
+
+/// One rank's claim about the rendezvous it is entering.
+struct Fingerprint {
+  VerifyOp op = VerifyOp::kBarrier;
+  /// Payload words. 0 where per-rank values legitimately differ (barrier,
+  /// split — split colors/keys are rank-local by design).
+  index_t count = 0;
+  /// Root rank for rooted collectives (bcast); -1 elsewhere. Disagreeing
+  /// about the root corrupts the staging-slot protocol, so it is checked.
+  int root = -1;
+  /// Program-order rendezvous number on this group (per rank). Catches a
+  /// rank that skipped or repeated a collective even when kinds align.
+  std::uint64_t seq = 0;
+  CommTag tag;
+};
+
+/// True when the two claims describe the same collective: op, count, root
+/// and sequence number equal, and the call-site tag *names* agree (file and
+/// line are diagnostic only — a tagged helper is one call-site no matter
+/// who inlined it). SPMD control flow is replicated, so ranks arriving at
+/// the same rendezvous from differently-named sites is a matching bug even
+/// when the shapes coincide.
+[[nodiscard]] bool fingerprints_match(const Fingerprint& a,
+                                      const Fingerprint& b);
+
+/// Renders one rank's claim, e.g.
+///   allreduce_sum(count=25) 'gram' at par/par_cp_als.cpp:101 [seq 12]
+[[nodiscard]] std::string describe_fingerprint(const Fingerprint& fp);
+
+/// Deterministic per-rank diagnosis of a mismatched rendezvous: identical
+/// claims are grouped ("rank(s) 0,2,3: ...") in first-rank order, so every
+/// rank of the group computes — and reports — the byte-identical string.
+[[nodiscard]] std::string describe_mismatch(
+    const std::vector<Fingerprint>& fps);
+
+}  // namespace parpp::mpsim

@@ -45,7 +45,8 @@ bool rescue_zero_columns(mpsim::Comm& comm, dist::FactorDist& fd, int mode,
       if (fd.q_row_global(mode, r) >= 0) q(r, j) = eps_floor;
   }
   s = la::gram(q);
-  comm.allreduce_sum(s.data(), s.size());
+  comm.allreduce_sum(s.data(), s.size(),
+                     PARPP_COMM_TAG("gram-rescue-allreduce"));
   return true;
 }
 
@@ -56,7 +57,7 @@ bool hooks_continue_collective(mpsim::Comm& comm,
   static const std::vector<la::Matrix> kNoFactors;
   double stop = 0.0;
   if (comm.rank() == 0 && !hooks.on_sweep(rec, kNoFactors)) stop = 1.0;
-  comm.allreduce_sum(&stop, 1);
+  comm.allreduce_sum(&stop, 1, PARPP_COMM_TAG("observer-stop-allreduce"));
   return stop == 0.0;
 }
 
@@ -98,7 +99,8 @@ ParCpContext::ParCpContext(mpsim::Comm& comm, const ParOptions& options,
   for (int m = 0; m < n_; ++m) {
     fd_.set_q_from_global(m, global_factors[static_cast<std::size_t>(m)]);
     la::Matrix s = la::gram(fd_.q(m));
-    comm_.allreduce_sum(s.data(), s.size());
+    comm_.allreduce_sum(s.data(), s.size(),
+                        PARPP_COMM_TAG("init-gram-allreduce"));
     grams_[static_cast<std::size_t>(m)] = std::move(s);
     fd_.gather_slice(m);
   }
@@ -106,7 +108,7 @@ ParCpContext::ParCpContext(mpsim::Comm& comm, const ParOptions& options,
                                 options_.engine_options);
 
   double sq = local_->squared_norm();
-  comm_.allreduce_sum(&sq, 1);
+  comm_.allreduce_sum(&sq, 1, PARPP_COMM_TAG("tensor-sqnorm-allreduce"));
   t_sq_ = sq;
 
   // Observed per-rank load balance (one setup-time collective; nnz() is -1
@@ -114,7 +116,8 @@ ParCpContext::ParCpContext(mpsim::Comm& comm, const ParOptions& options,
   if (local_->nnz() >= 0) {
     const double mine = static_cast<double>(local_->nnz());
     std::vector<double> all(static_cast<std::size_t>(comm_.size()));
-    comm_.allgather(&mine, 1, all.data());
+    comm_.allgather(&mine, 1, all.data(),
+                    PARPP_COMM_TAG("nnz-imbalance-allgather"));
     double total = 0.0, worst = 0.0;
     for (double v : all) {
       total += v;
@@ -148,7 +151,8 @@ void ParCpContext::solve_and_propagate(int mode, const la::Matrix& m_q,
     for (int pass = 0; pass < hals_inner_; ++pass)
       hals_update_rows(q, m_q, gamma, hals_epsilon_);
     la::Matrix s = la::gram(q);
-    comm_.allreduce_sum(s.data(), s.size());
+    comm_.allreduce_sum(s.data(), s.size(),
+                        PARPP_COMM_TAG("hals-gram-allreduce"));
     rescue_zero_columns(comm_, fd_, mode, s, hals_epsilon_);
     grams_[static_cast<std::size_t>(mode)] = std::move(s);
     fd_.gather_slice(mode);
@@ -165,7 +169,8 @@ void ParCpContext::solve_and_propagate(int mode, const la::Matrix& m_q,
     // differs (extra All-Gather + replicated solve flops).
     const index_t rows_q = m_q.rows();
     la::Matrix m_full(rows_q * comm_.size(), m_q.cols());
-    comm_.allgather(m_q.data(), m_q.size(), m_full.data());
+    comm_.allgather(m_q.data(), m_q.size(), m_full.data(),
+                    PARPP_COMM_TAG("planc-mttkrp-allgather"));
     la::Matrix a_full = core::update_factor(gamma, m_full);
     a_q = la::Matrix(rows_q, m_q.cols());
     std::copy(a_full.row(comm_.rank() * rows_q),
@@ -173,7 +178,7 @@ void ParCpContext::solve_and_propagate(int mode, const la::Matrix& m_q,
   }
   fd_.q(mode) = std::move(a_q);
   la::Matrix s = la::gram(fd_.q(mode));
-  comm_.allreduce_sum(s.data(), s.size());
+  comm_.allreduce_sum(s.data(), s.size(), PARPP_COMM_TAG("gram-allreduce"));
   grams_[static_cast<std::size_t>(mode)] = std::move(s);
   fd_.gather_slice(mode);
   engine_->notify_update(mode);
@@ -221,7 +226,7 @@ double ParCpContext::reduce_with_health(double local_scalar) {
     buf[3] = static_cast<double>(fault->take_delay_notices());
     buf[4] = static_cast<double>(fault->take_corruption_notices());
   }
-  comm_.allreduce_sum(buf, 5);
+  comm_.allreduce_sum(buf, 5, PARPP_COMM_TAG("residual-health-allreduce"));
   last_health_.nonfinite = buf[1];
   last_health_.guardrail = buf[2];
   last_health_.delays = buf[3];
@@ -276,7 +281,8 @@ std::vector<double> ParCpContext::global_sq_norms(
     const double f = q_mats[i].frobenius_norm();
     sq[i] = f * f;
   }
-  comm_.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()));
+  comm_.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()),
+                      PARPP_COMM_TAG("factor-sqnorm-allreduce"));
   return sq;
 }
 

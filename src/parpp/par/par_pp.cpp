@@ -52,7 +52,8 @@ class LocalPp {
     la::Matrix dq = q;
     dq.axpy(-1.0, a_p_q_[static_cast<std::size_t>(i)]);
     la::Matrix ds = la::matmul(q, dq, la::Trans::kYes);
-    comm_.allreduce_sum(ds.data(), ds.size());
+    comm_.allreduce_sum(ds.data(), ds.size(),
+                        PARPP_COMM_TAG("pp-dgram-allreduce"));
     d_grams_[static_cast<std::size_t>(i)] = std::move(ds);
   }
 
@@ -111,7 +112,8 @@ class LocalPp {
       sq[static_cast<std::size_t>(i)] = fd * fd;
       sq[static_cast<std::size_t>(n_ + i)] = fa * fa;
     }
-    comm_.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()));
+    comm_.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()),
+                        PARPP_COMM_TAG("pp-drift-allreduce"));
     std::vector<double> rel(static_cast<std::size_t>(n_));
     for (int i = 0; i < n_; ++i) {
       const double fa = std::sqrt(sq[static_cast<std::size_t>(n_ + i)]);
@@ -201,7 +203,8 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
             sq[static_cast<std::size_t>(n + i)] =
                 std::pow(q.frobenius_norm(), 2);
           }
-          comm.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()));
+          comm.allreduce_sum(sq.data(), static_cast<index_t>(sq.size()),
+                             PARPP_COMM_TAG("ppbench-drift-allreduce"));
           std::vector<double> rel(static_cast<std::size_t>(n));
           for (int i = 0; i < n; ++i) {
             const double fa = std::sqrt(sq[static_cast<std::size_t>(n + i)]);
@@ -504,7 +507,7 @@ PpKernelTimings time_pp_kernels(const tensor::DenseTensor& global_t,
           WallTimer t;
           const Profile before = Profile::thread_default();
           pp.build();
-          comm.barrier();
+          comm.barrier(PARPP_COMM_TAG("ppbench-init-barrier"));
           init_secs[r] = t.seconds();
           init_prof[r] = Profile::thread_default().delta_since(before);
         }
@@ -512,7 +515,7 @@ PpKernelTimings time_pp_kernels(const tensor::DenseTensor& global_t,
           WallTimer t;
           const Profile before = Profile::thread_default();
           for (int s = 0; s < sweeps; ++s) pp.approx_sweep();
-          comm.barrier();
+          comm.barrier(PARPP_COMM_TAG("ppbench-sweep-barrier"));
           approx_secs[r] = t.seconds() / std::max(1, sweeps);
           approx_prof[r] = Profile::thread_default().delta_since(before);
         }

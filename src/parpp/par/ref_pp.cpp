@@ -33,7 +33,9 @@ class RefPp {
           if (m == i || m == j) continue;
           key = key * grid.dim(m) + grid.coord(m);
         }
-        pair_comms_.emplace(std::make_pair(i, j), comm_.split(color, key));
+        pair_comms_.emplace(
+            std::make_pair(i, j),
+            comm_.split(color, key, PARPP_COMM_TAG("refpp-pair-split")));
       }
     }
   }
@@ -47,7 +49,8 @@ class RefPp {
       for (int j = i + 1; j < n_; ++j) {
         auto& op = ops_->mutable_pair_op(i, j);
         const auto& pc = pair_comms_.at(std::make_pair(i, j));
-        pc.allreduce_sum(op.data.data(), op.data.size());
+        pc.allreduce_sum(op.data.data(), op.data.size(),
+                         PARPP_COMM_TAG("refpp-pairop-allreduce"));
       }
     }
     a_p_slice_.clear();
@@ -77,7 +80,8 @@ class RefPp {
         // cost the reference implementation pays).
         const auto& pc_in =
             pair_comms_.at(std::make_pair(std::min(j, i), std::max(j, i)));
-        pc_in.bcast(d_slice.data(), d_slice.size(), 0);
+        pc_in.bcast(d_slice.data(), d_slice.size(), 0,
+                    PARPP_COMM_TAG("refpp-da-bcast"));
         tensor::DenseTensor u = tensor::mttv(op.data, pos, d_slice);
         la::Matrix u_m(u.extent(0), u.extent(1));
         std::copy(u.data(), u.data() + u.size(), u_m.data());
@@ -128,7 +132,7 @@ PpKernelTimings time_ref_pp_kernels(const tensor::DenseTensor& global_t,
           WallTimer t;
           const Profile before = Profile::thread_default();
           pp.build();
-          comm.barrier();
+          comm.barrier(PARPP_COMM_TAG("refpp-init-barrier"));
           init_secs[r] = t.seconds();
           init_prof[r] = Profile::thread_default().delta_since(before);
         }
@@ -136,7 +140,7 @@ PpKernelTimings time_ref_pp_kernels(const tensor::DenseTensor& global_t,
           WallTimer t;
           const Profile before = Profile::thread_default();
           for (int s = 0; s < sweeps; ++s) pp.approx_sweep();
-          comm.barrier();
+          comm.barrier(PARPP_COMM_TAG("refpp-sweep-barrier"));
           approx_secs[r] = t.seconds() / std::max(1, sweeps);
           approx_prof[r] = Profile::thread_default().delta_since(before);
         }

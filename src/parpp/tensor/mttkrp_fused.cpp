@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "parpp/la/gemm.hpp"
+#include "parpp/util/omp_sync.hpp"
 
 namespace parpp::tensor {
 
@@ -112,10 +113,13 @@ void mttkrp_into(const DenseTensor& t, const std::vector<la::Matrix>& factors,
   const index_t left = t.extent_product(0, n);
   const index_t right = t.extent_product(n + 1, order);
 
-  std::vector<const la::Matrix*> left_mats, right_mats;
+  // O(order) pointer setup before the panel loops, not steady-state work.
+  std::vector<const la::Matrix*> left_mats, right_mats;  // parpp-lint: allow(alloc)
   for (int m = 0; m < n; ++m)
+    // parpp-lint: allow(alloc)
     left_mats.push_back(&factors[static_cast<std::size_t>(m)]);
   for (int m = n + 1; m < order; ++m)
+    // parpp-lint: allow(alloc)
     right_mats.push_back(&factors[static_cast<std::size_t>(m)]);
 
   ScopedProfile sp(profile ? *profile : Profile::thread_default(),
@@ -174,8 +178,11 @@ void mttkrp_into(const DenseTensor& t, const std::vector<la::Matrix>& factors,
   double* scratch0 = mlocal0 + static_cast<index_t>(maxt) * msize;
   const index_t scratch_per_thread = msize + r + pb * r;
 
+  util::OmpJoinFence fence;
+  fence.fork();
 #pragma omp parallel
   {
+    fence.enter();
     const int tid = omp_get_thread_num();
     double* mlocal = mlocal0 + static_cast<index_t>(tid) * msize;
     double* scratch = scratch0 + static_cast<index_t>(tid) * scratch_per_thread;
@@ -200,7 +207,9 @@ void mttkrp_into(const DenseTensor& t, const std::vector<la::Matrix>& factors,
         for (index_t k = 0; k < r; ++k) mi[k] += pi[k] * lrow[k];
       }
     }
+    fence.leave();
   }
+  fence.join();
 
   // Deterministic reduction in thread order.
   double* dst = out.data();

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "parpp/util/omp_sync.hpp"
+
 namespace parpp::tensor {
 
 namespace {
@@ -41,9 +43,16 @@ int openmp_team_size() {
   const int maxt = omp_get_max_threads();
   if (maxt != cached_max) {
     int team = 1;
+    util::OmpJoinFence fence;
+    fence.fork();
 #pragma omp parallel
+    {
+      fence.enter();
 #pragma omp single
-    team = omp_get_num_threads();
+      team = omp_get_num_threads();
+      fence.leave();
+    }
+    fence.join();
     cached_max = maxt;
     cached_team = team;
   }
@@ -170,8 +179,11 @@ void pair_mttkrp_csf_into(const CsfTensor& t,
   const auto& root_fptr = tree.fptr.front();
   const index_t slab_stride = t.extent(j) * r;
   double* const out_base = out.data();
+  util::OmpJoinFence fence;
+  fence.fork();
 #pragma omp parallel num_threads(team)
   {
+    fence.enter();
     double* mine = slab.data() +
                    static_cast<index_t>(omp_get_thread_num()) * per_thread;
     double* ones = mine + static_cast<index_t>(order) * r;
@@ -184,7 +196,9 @@ void pair_mttkrp_csf_into(const CsfTensor& t,
                 out_base + root_fids[static_cast<std::size_t>(k)] *
                                slab_stride);
     }
+    fence.leave();
   }
+  fence.join();
 }
 
 DenseTensor pair_mttkrp_coo(const CooTensor& t,
@@ -249,13 +263,16 @@ void csf_walk_fiber(const CsfTensor::Tree& tree,
                     index_t levels, int team, la::Matrix& out,
                     util::KernelWorkspace& wsp) {
   // One slab of interior-level accumulators per thread, leased up front so
-  // the parallel region never touches the pool (it is not synchronized).
+  // the parallel region never contends on the pool lock.
   auto slab = wsp.lease(static_cast<index_t>(team) * levels * r);
   const index_t roots = tree.root_count();
   const auto& root_fids = tree.fids.front();
   const auto& root_fptr = tree.fptr.front();
+  util::OmpJoinFence fence;
+  fence.fork();
 #pragma omp parallel num_threads(team)
   {
+    fence.enter();
     double* acc = slab.data() + static_cast<index_t>(omp_get_thread_num()) *
                                     levels * r;
     // Root fibers can be heavily skewed in real sparse tensors; dynamic
@@ -267,7 +284,9 @@ void csf_walk_fiber(const CsfTensor::Tree& tree,
                           root_fptr[static_cast<std::size_t>(j + 1)], r, acc,
                           out.row(root_fids[static_cast<std::size_t>(j)]));
     }
+    fence.leave();
   }
+  fence.join();
 }
 
 /// Tiled schedule: work stealing over the tree's cache-sized level-1 tiles.
@@ -300,8 +319,13 @@ void csf_walk_tiled(const CsfTensor::Tree& tree,
            ce == root_fptr[static_cast<std::size_t>(root) + 1];
   };
 
+  // The serial fix-up below reads worker-written partial rows (part_base);
+  // the fence makes that join edge visible to TSan (see omp_sync.hpp).
+  util::OmpJoinFence fence;
+  fence.fork();
 #pragma omp parallel num_threads(team)
   {
+    fence.enter();
     double* acc = slab.data() + static_cast<index_t>(omp_get_thread_num()) *
                                     levels * r;
 #pragma omp for schedule(dynamic, 1)
@@ -322,7 +346,9 @@ void csf_walk_tiled(const CsfTensor::Tree& tree,
         accumulate_children(tree, factors, 1, cb, ce, r, acc, dst);
       }
     }
+    fence.leave();
   }
+  fence.join();
 
   for (index_t tt = 0; tt < tiles; ++tt) {
     const index_t rb = tree.tile_root[static_cast<std::size_t>(tt)];

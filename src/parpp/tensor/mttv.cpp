@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "parpp/util/omp_sync.hpp"
+
 namespace parpp::tensor {
 
 namespace {
@@ -50,11 +52,13 @@ void mttv_into(const DenseTensor& k, int pos, const la::Matrix& a,
   const index_t dp = k.extent(pos);
   const index_t right = k.extent_product(pos + 1, n - 1);  // excludes rank
 
+  // O(order) shape bookkeeping once per call — not steady-state work.
   std::vector<index_t> out_shape;
-  out_shape.reserve(static_cast<std::size_t>(n - 1));
+  out_shape.reserve(static_cast<std::size_t>(n - 1));  // parpp-lint: allow(alloc)
   for (int m = 0; m < n - 1; ++m)
+    // parpp-lint: allow(alloc)
     if (m != pos) out_shape.push_back(k.extent(m));
-  out_shape.push_back(r);
+  out_shape.push_back(r);  // parpp-lint: allow(alloc)
   out.reshape(std::move(out_shape));
   out.set_zero();  // the kernel accumulates; reused buffers are stale
 
@@ -76,8 +80,11 @@ void mttv_into(const DenseTensor& k, int pos, const la::Matrix& a,
     }
   } else if (right > 1) {
     // Single slab: split the rt range across threads (disjoint outputs).
+    util::OmpJoinFence fence;
+    fence.fork();
 #pragma omp parallel
     {
+      fence.enter();
       const int nt = omp_get_num_threads();
       const int tid = omp_get_thread_num();
       const index_t chunk = (right + nt - 1) / nt;
@@ -85,12 +92,17 @@ void mttv_into(const DenseTensor& k, int pos, const la::Matrix& a,
       const index_t rt1 = std::min<index_t>(right, rt0 + chunk);
       if (rt0 < rt1)
         accumulate_rt_range(src, am, dst, dp, right, r, rt0, rt1);
+      fence.leave();
     }
+    fence.join();
   } else {
     // Final leaf contraction: out(r) view is (1 x R); reduce over y in
     // parallel with a per-thread accumulator.
+    util::OmpJoinFence fence;
+    fence.fork();
 #pragma omp parallel
     {
+      fence.enter();
       std::vector<double> local(static_cast<std::size_t>(r), 0.0);
 #pragma omp for schedule(static) nowait
       for (index_t y = 0; y < dp; ++y) {
@@ -99,10 +111,18 @@ void mttv_into(const DenseTensor& k, int pos, const la::Matrix& a,
         for (index_t j = 0; j < r; ++j)
           local[static_cast<std::size_t>(j)] += ip[j] * arow[j];
       }
+      // The critical section's lock lives in libgomp, invisible to TSan;
+      // observe-on-entry / publish-on-exit restate the serialization the
+      // lock provides, so the dst accumulation is provably ordered.
 #pragma omp critical
-      for (index_t j = 0; j < r; ++j)
-        dst[j] += local[static_cast<std::size_t>(j)];
+      {
+        fence.observe();
+        for (index_t j = 0; j < r; ++j)
+          dst[j] += local[static_cast<std::size_t>(j)];
+        fence.publish();
+      }
     }
+    fence.join();
   }
 }
 

@@ -1,0 +1,81 @@
+// TSan-visible happens-before edges for OpenMP fork/join points.
+//
+// GCC's libgomp is not ThreadSanitizer-instrumented, so the synchronization
+// a parallel region really performs — the fork that publishes the master's
+// setup to the team, the implicit join barrier that publishes worker writes
+// back, and any explicit `#pragma omp barrier` — is invisible to TSan. The
+// racing *accesses* it then reports are in instrumented user code (a kernel
+// reading its per-thread slabs after the join), which a library suppression
+// cannot cover. OmpJoinFence restates those edges with C++ atomics that
+// TSan does understand: a release/acquire pair over one counter, mirroring
+// exactly the ordering the OpenMP memory model already guarantees.
+//
+// In normal builds every method is an empty inline — the fence exists only
+// so that `-fsanitize=thread` builds can prove the joins instead of
+// flagging them. Usage:
+//
+//   OmpJoinFence fence;
+//   fence.fork();                 // master: publish pre-region writes
+//   #pragma omp parallel
+//   {
+//     fence.enter();              // worker: observe master's setup
+//     ... work ...
+//     fence.leave();              // worker: publish this thread's writes
+//   }
+//   fence.join();                 // master: observe every worker's writes
+//
+// For a mid-region `#pragma omp barrier`, call publish() before and
+// observe() after on every thread; the acq_rel RMW chain over the shared
+// counter gives each post-barrier observer an edge from every pre-barrier
+// publisher.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define PARPP_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARPP_TSAN_BUILD 1
+#endif
+#endif
+
+#ifdef PARPP_TSAN_BUILD
+#include <atomic>
+#endif
+
+namespace parpp::util {
+
+#ifdef PARPP_TSAN_BUILD
+
+class OmpJoinFence {
+ public:
+  /// Release this thread's writes-so-far to later observers.
+  void publish() noexcept { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+  /// Acquire every prior publisher's writes.
+  void observe() noexcept {
+    (void)epoch_.load(std::memory_order_acquire);
+  }
+
+  void fork() noexcept { publish(); }    ///< master, before the region
+  void enter() noexcept { observe(); }   ///< worker, first thing inside
+  void leave() noexcept { publish(); }   ///< worker, after its last write
+  void join() noexcept { observe(); }    ///< master, after the region
+
+ private:
+  std::atomic<unsigned> epoch_{0};
+};
+
+#else  // normal builds: the OpenMP join itself is the synchronization
+
+class OmpJoinFence {
+ public:
+  void publish() noexcept {}
+  void observe() noexcept {}
+  void fork() noexcept {}
+  void enter() noexcept {}
+  void leave() noexcept {}
+  void join() noexcept {}
+};
+
+#endif
+
+}  // namespace parpp::util

@@ -1,6 +1,7 @@
 #include "parpp/util/workspace.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <new>
 
 namespace parpp::util {
@@ -34,10 +35,18 @@ struct WorkspacePool {
     index_t capacity = 0;
     bool in_use = false;
   };
+  // Guards buffers/alloc_count. A lease can outlive the thread that took it
+  // (workspace-backed tensors move across rank threads; OpenMP workers
+  // return panels drawn on the team leader), so the free-list must be
+  // internally synchronized even though each pool is *owned* by one driver.
+  // Uncontended in the steady state — hot kernels lease once per panel, not
+  // per element — so the lock never shows up in profiles.
+  mutable std::mutex mutex;
   std::vector<Buffer> buffers;
   std::size_t alloc_count = 0;
 
   void release(double* p) {
+    const std::lock_guard<std::mutex> lock(mutex);
     for (auto& b : buffers) {
       if (b.data.get() == p) {
         PARPP_ASSERT(b.in_use, "workspace: double release");
@@ -75,6 +84,7 @@ KernelWorkspace::Lease KernelWorkspace::lease(index_t n) {
   PARPP_CHECK(n >= 0, "workspace: negative lease size");
   if (n == 0) return {};
 
+  const std::lock_guard<std::mutex> lock(pool_->mutex);
   // Best fit among free buffers: smallest capacity that still holds n.
   WorkspacePool::Buffer* best = nullptr;
   for (auto& b : pool_->buffers) {
@@ -95,6 +105,7 @@ KernelWorkspace::Lease KernelWorkspace::lease(index_t n) {
 }
 
 std::size_t KernelWorkspace::total_bytes() const {
+  const std::lock_guard<std::mutex> lock(pool_->mutex);
   std::size_t bytes = 0;
   for (const auto& b : pool_->buffers)
     bytes += static_cast<std::size_t>(b.capacity) * sizeof(double);
@@ -102,16 +113,19 @@ std::size_t KernelWorkspace::total_bytes() const {
 }
 
 std::size_t KernelWorkspace::allocation_count() const {
+  const std::lock_guard<std::mutex> lock(pool_->mutex);
   return pool_->alloc_count;
 }
 
 std::size_t KernelWorkspace::leased_buffers() const {
+  const std::lock_guard<std::mutex> lock(pool_->mutex);
   std::size_t n = 0;
   for (const auto& b : pool_->buffers) n += b.in_use ? 1 : 0;
   return n;
 }
 
 void KernelWorkspace::trim() {
+  const std::lock_guard<std::mutex> lock(pool_->mutex);
   auto& v = pool_->buffers;
   v.erase(std::remove_if(v.begin(), v.end(),
                          [](const WorkspacePool::Buffer& b) {

@@ -7,12 +7,15 @@
 // its steady-state footprint, after which acquire/release never touches the
 // allocator. Tests assert this via total_bytes()/allocation_count().
 //
-// Threading: a workspace instance is NOT internally synchronized — it is
-// meant to be owned by one driver thread (one mpsim rank, one engine).
-// Kernels that need scratch inside an OpenMP region use the thread-local
-// thread_default() workspace of each worker, which is private by
-// construction. Leases keep the underlying pool alive through a shared_ptr,
-// so releasing a lease after its workspace has been destroyed is safe.
+// Threading: each pool guards its free-list with a mutex, because a lease
+// can legitimately cross threads — workspace-backed tensors are moved
+// between rank threads, and an OpenMP worker may return a panel the team
+// leader acquired. The lock is per-lease (not per-element) and uncontended
+// in the steady state, so it costs nothing measurable. Kernels that need
+// scratch inside an OpenMP region still prefer each worker's thread-local
+// thread_default() workspace, which is private by construction. Leases keep
+// the underlying pool alive through a shared_ptr, so releasing a lease
+// after its workspace has been destroyed is safe.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Format gate: every tracked C++ source must be clang-format clean.
+# Usage: format_check.sh <clang-format-binary> <repo-root>
+set -eu
+
+CLANG_FORMAT="$1"
+ROOT="$2"
+
+cd "$ROOT"
+FILES=$(find src tests bench examples tools \
+        \( -name '*.cpp' -o -name '*.hpp' -o -name '*.h' \) -type f)
+
+FAIL=0
+for f in $FILES; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" 2>/dev/null; then
+    echo "needs formatting: $f"
+    FAIL=1
+  fi
+done
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "FAIL: run: $CLANG_FORMAT -i on the files above"
+  exit 1
+fi
+echo "PASS: clang-format clean"

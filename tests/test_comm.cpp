@@ -20,7 +20,7 @@ TEST_P(CommRanks, AllReduceSumsAcrossRanks) {
     for (index_t i = 0; i < n; ++i)
       data[static_cast<std::size_t>(i)] =
           static_cast<double>(comm.rank() + 1) * static_cast<double>(i);
-    comm.allreduce_sum(data.data(), n);
+    comm.allreduce_sum(data.data(), n, PARPP_COMM_TAG("t-allreduce"));
     results[static_cast<std::size_t>(comm.rank())] = data;
   });
   const double rank_sum = p * (p + 1) / 2.0;
@@ -42,7 +42,7 @@ TEST_P(CommRanks, AllGatherConcatenatesInRankOrder) {
     std::vector<double> mine(static_cast<std::size_t>(n),
                              static_cast<double>(comm.rank()));
     std::vector<double> all(static_cast<std::size_t>(n * p));
-    comm.allgather(mine.data(), n, all.data());
+    comm.allgather(mine.data(), n, all.data(), PARPP_COMM_TAG("t-allgather"));
     results[static_cast<std::size_t>(comm.rank())] = all;
   });
   for (int r = 0; r < p; ++r)
@@ -64,7 +64,8 @@ TEST_P(CommRanks, ReduceScatterSumsAndPartitions) {
       contribution[static_cast<std::size_t>(i)] =
           static_cast<double>(i) + static_cast<double>(comm.rank());
     std::vector<double> out(static_cast<std::size_t>(chunk));
-    comm.reduce_scatter_sum(contribution.data(), total, out.data());
+    comm.reduce_scatter_sum(contribution.data(), total, out.data(),
+                            PARPP_COMM_TAG("t-reduce-scatter"));
     results[static_cast<std::size_t>(comm.rank())] = out;
   });
   const double rank_offset_sum = p * (p - 1) / 2.0;
@@ -82,7 +83,7 @@ TEST_P(CommRanks, BcastReplicatesRoot) {
   std::vector<double> seen(static_cast<std::size_t>(p), 0.0);
   run(p, [&](Comm& comm) {
     double v = comm.rank() == 1 % p ? 42.0 : -1.0;
-    comm.bcast(&v, 1, 1 % p);
+    comm.bcast(&v, 1, 1 % p, PARPP_COMM_TAG("t-bcast"));
     seen[static_cast<std::size_t>(comm.rank())] = v;
   });
   for (double v : seen) EXPECT_DOUBLE_EQ(v, 42.0);
@@ -99,7 +100,7 @@ TEST_P(CommRanks, AllToAllTransposesChunks) {
         in[static_cast<std::size_t>(q * c + i)] =
             comm.rank() * 100.0 + q * 10.0 + static_cast<double>(i);
     std::vector<double> out(static_cast<std::size_t>(c * p));
-    comm.alltoall(in.data(), c, out.data());
+    comm.alltoall(in.data(), c, out.data(), PARPP_COMM_TAG("t-alltoall"));
     results[static_cast<std::size_t>(comm.rank())] = out;
   });
   for (int r = 0; r < p; ++r)
@@ -120,11 +121,12 @@ TEST(Comm, SplitFormsCorrectSubgroups) {
   std::vector<double> sums(static_cast<std::size_t>(p), 0.0);
   run(p, [&](Comm& comm) {
     const int color = comm.rank() % 2;           // evens and odds
-    Comm sub = comm.split(color, comm.rank());   // key = old rank
+    // key = old rank
+    Comm sub = comm.split(color, comm.rank(), PARPP_COMM_TAG("t-split"));
     sub_rank[static_cast<std::size_t>(comm.rank())] = sub.rank();
     sub_size[static_cast<std::size_t>(comm.rank())] = sub.size();
     double v = static_cast<double>(comm.rank());
-    sub.allreduce_sum(&v, 1);
+    sub.allreduce_sum(&v, 1, PARPP_COMM_TAG("t-allreduce"));
     sums[static_cast<std::size_t>(comm.rank())] = v;
   });
   // Evens: ranks 0,2,4 -> sum 6; odds: 1,3,5 -> sum 9.
@@ -141,13 +143,14 @@ TEST(Comm, NestedCollectivesAfterSplit) {
   const int p = 4;
   std::vector<double> results(static_cast<std::size_t>(p), 0.0);
   run(p, [&](Comm& comm) {
-    Comm sub = comm.split(comm.rank() / 2, comm.rank());
+    Comm sub =
+        comm.split(comm.rank() / 2, comm.rank(), PARPP_COMM_TAG("t-split"));
     double a = 1.0;
-    comm.allreduce_sum(&a, 1);  // = 4
+    comm.allreduce_sum(&a, 1, PARPP_COMM_TAG("t-allreduce"));  // = 4
     double b = 1.0;
-    sub.allreduce_sum(&b, 1);  // = 2
+    sub.allreduce_sum(&b, 1, PARPP_COMM_TAG("t-allreduce"));  // = 2
     double c2 = 1.0;
-    comm.allreduce_sum(&c2, 1);  // = 4
+    comm.allreduce_sum(&c2, 1, PARPP_COMM_TAG("t-allreduce"));  // = 4
     results[static_cast<std::size_t>(comm.rank())] = a + b + c2;
   });
   for (double v : results) EXPECT_DOUBLE_EQ(v, 10.0);
@@ -159,7 +162,7 @@ TEST(Comm, CostChargesMatchModel) {
   std::vector<double> words(static_cast<std::size_t>(p), 0.0);
   run(p, [&](Comm& comm) {
     std::vector<double> data(64, 1.0);
-    comm.allreduce_sum(data.data(), 64);
+    comm.allreduce_sum(data.data(), 64, PARPP_COMM_TAG("t-allreduce"));
     msgs[static_cast<std::size_t>(comm.rank())] =
         comm.cost()->total().messages;
     words[static_cast<std::size_t>(comm.rank())] =
@@ -179,10 +182,10 @@ TEST(Runtime, PropagatesExceptions) {
 TEST(Runtime, SingleRankCollectivesAreIdentity) {
   run(1, [](Comm& comm) {
     double v = 3.0;
-    comm.allreduce_sum(&v, 1);
+    comm.allreduce_sum(&v, 1, PARPP_COMM_TAG("t-allreduce"));
     EXPECT_DOUBLE_EQ(v, 3.0);
     double out = 0.0;
-    comm.reduce_scatter_sum(&v, 1, &out);
+    comm.reduce_scatter_sum(&v, 1, &out, PARPP_COMM_TAG("t-reduce-scatter"));
     EXPECT_DOUBLE_EQ(out, 3.0);
     EXPECT_EQ(comm.cost()->total().messages, 0.0);  // no charge for P = 1
   });

@@ -29,7 +29,7 @@ TEST(ProcessorGrid, SliceCommsGroupByCoordinate) {
       // All members share my coordinate on `mode`: verified via a sum of
       // coordinates — every member contributes the same value.
       double v = static_cast<double>(grid.coord(mode));
-      grid.slice_comm(mode).allreduce_sum(&v, 1);
+      grid.slice_comm(mode).allreduce_sum(&v, 1, PARPP_COMM_TAG("t-allreduce"));
       EXPECT_DOUBLE_EQ(v, 4.0 * grid.coord(mode));
     }
   });
@@ -118,7 +118,7 @@ TEST(FactorDist, QRowsPartitionGlobalRows) {
         mine.push_back(static_cast<double>(fd.q_row_global(mode, r)));
       std::vector<double> all(mine.size() * 8);
       comm.allgather(mine.data(), static_cast<index_t>(mine.size()),
-                     all.data());
+                     all.data(), PARPP_COMM_TAG("t-allgather"));
       if (comm.rank() == 0) {
         std::multiset<long> owned;
         for (double v : all)

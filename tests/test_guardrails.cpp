@@ -66,8 +66,9 @@ TEST(Guardrails, RankAboveSmallestModeConverges) {
   for (const la::Matrix& f : report.factors) EXPECT_TRUE(f.all_finite());
   // Singular Grams are expected to trip the guardrail; whatever fired must
   // be in the log.
-  if (report.status != core::SolveStatus::kOk)
+  if (report.status != core::SolveStatus::kOk) {
     EXPECT_FALSE(report.recovery_log.empty());
+  }
 }
 
 TEST(Guardrails, RankAboveSmallestModeConvergesParallel) {

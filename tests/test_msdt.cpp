@@ -30,7 +30,8 @@ TEST_P(MsdtShapes, BitwiseAgreesWithDtUnderAls) {
     auto factors = test::random_factors(param.shape, param.rank, 202);
     auto grams = all_grams(factors);
     EngineOptions opts;
-    opts.use_transposed_copy = param.transposed_copy ? TransposedCopy::kOn : TransposedCopy::kOff;
+    opts.use_transposed_copy =
+        param.transposed_copy ? TransposedCopy::kOn : TransposedCopy::kOff;
     auto engine = make_engine(kind, t, factors, nullptr, opts);
     for (int sweep = 0; sweep < 4; ++sweep) {
       for (int i = 0; i < n; ++i) {

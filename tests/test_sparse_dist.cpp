@@ -261,7 +261,8 @@ TEST(SparseBlockDist, SetupIsASingleBucketingPass) {
   const dist::SparseBlockDist uniform(coo);
   const dist::BalancedSparseDist balanced(coo);
   for (const dist::SparseBlockDist* p : {&uniform,
-                                         static_cast<const dist::SparseBlockDist*>(&balanced)}) {
+                                         static_cast<const dist::SparseBlockDist*>(
+                                             &balanced)}) {
     EXPECT_EQ(p->partition_passes(), 0u);
     for_each_rank_of(*p, 8, {2, 2, 2},
                      [&](const dist::BlockDist& bd, const std::vector<int>& c) {

@@ -65,7 +65,8 @@ TEST(Transpose, RoundTripIsIdentity) {
   const std::vector<int> perm{2, 0, 1};
   // inverse[perm[m]] = m
   std::vector<int> inv(3);
-  for (int m = 0; m < 3; ++m) inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(m)])] = m;
+  for (int m = 0; m < 3; ++m)
+    inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(m)])] = m;
   const DenseTensor back = transpose(transpose(t, perm), inv);
   test::expect_tensor_near(back, t, 0.0, "round trip");
 }
