@@ -15,10 +15,14 @@
 #include <vector>
 
 #include "parpp/core/gram.hpp"
+#include "parpp/data/sparse_synthetic.hpp"
 #include "parpp/la/gemm.hpp"
+#include "parpp/la/scalar.hpp"
 #include "parpp/la/spd_solve.hpp"
+#include "parpp/tensor/csf_tensor.hpp"
 #include "parpp/tensor/mttkrp_fused.hpp"
 #include "parpp/tensor/mttkrp_naive.hpp"
+#include "parpp/tensor/mttkrp_sparse.hpp"
 #include "parpp/tensor/mttv.hpp"
 #include "parpp/tensor/transpose.hpp"
 #include "parpp/tensor/ttm.hpp"
@@ -72,6 +76,8 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  const double nn = static_cast<double>(n) * static_cast<double>(n);
+  set_rates(state, 2.0 * nn * static_cast<double>(n), 3.0 * nn * 8.0);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
@@ -84,6 +90,8 @@ void BM_TtmFirstMode(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * s * s * s * 32);
+  const double ts = static_cast<double>(t.size());
+  set_rates(state, 2.0 * ts * 32.0, (ts + ts / s * 32.0) * 8.0);
 }
 BENCHMARK(BM_TtmFirstMode)->Arg(48)->Arg(96);
 
@@ -96,6 +104,8 @@ void BM_TtmMiddleMode(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * s * s * s * 32);
+  const double ts = static_cast<double>(t.size());
+  set_rates(state, 2.0 * ts * 32.0, (ts + ts / s * 32.0) * 8.0);
 }
 BENCHMARK(BM_TtmMiddleMode)->Arg(48)->Arg(96);
 
@@ -108,6 +118,8 @@ void BM_Mttv(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * s * s * 32);
+  const double ks = static_cast<double>(k.size());
+  set_rates(state, 2.0 * ks, (ks + static_cast<double>(s) * 32.0) * 8.0);
 }
 BENCHMARK(BM_Mttv)->Arg(128)->Arg(256);
 
@@ -120,6 +132,7 @@ void BM_Transpose(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * s * s * s);
+  set_rates(state, 0.0, 2.0 * static_cast<double>(t.size()) * 8.0);
 }
 BENCHMARK(BM_Transpose)->Arg(64)->Arg(128);
 
@@ -131,6 +144,8 @@ void BM_Gram(benchmark::State& state) {
     benchmark::DoNotOptimize(g.data());
   }
   state.SetItemsProcessed(state.iterations() * s * 64 * 64);
+  set_rates(state, static_cast<double>(s) * 64.0 * 64.0,
+            static_cast<double>(s) * 64.0 * 8.0);
 }
 BENCHMARK(BM_Gram)->Arg(1024)->Arg(8192);
 
@@ -145,6 +160,8 @@ void BM_SolveGram(benchmark::State& state) {
     benchmark::DoNotOptimize(x.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * 512 * r * r);
+  const double rd = static_cast<double>(r);
+  set_rates(state, 2.0 * 512.0 * rd * rd, (2.0 * 512.0 * rd + rd * rd) * 8.0);
 }
 BENCHMARK(BM_SolveGram)->Arg(32)->Arg(96);
 
@@ -240,6 +257,157 @@ void BM_MttkrpOrder4Fused(benchmark::State& state) {
   set_rates(state, mttkrp_flops(t, kMttkrpR, 4), mttkrp_bytes(t, kMttkrpR, 4));
 }
 BENCHMARK(BM_MttkrpOrder4Fused);
+
+// ---------------------------------------------------------------------------
+// The scalar-type axis (fp32 storage, fp64 accumulation). Two regimes:
+//
+//   * compute-bound (s=128, R=32 — the default fused config above): fp32
+//     mostly measures the conversion overhead, speedup ~1x.
+//   * bandwidth-bound (R=8, s=320 — arithmetic intensity R/4 = 2 flop/byte
+//     over a 327 MB tensor): the tensor stream has to come from DRAM, which
+//     a single core drains far slower than the register-blocked kernel
+//     computes, so halving the streamed bytes is the whole game; fp32
+//     storage must be >= 1.5x (acceptance bar). The size matters: at
+//     ~64 MB the tensor is served out of the (large, shared) L3 on the
+//     reference host and the same config reads as compute-bound.
+
+std::vector<float> to_f32(const double* src, index_t n) {
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    out[static_cast<std::size_t>(i)] = static_cast<float>(src[i]);
+  return out;
+}
+
+double mttkrp_bytes_f32(const tensor::DenseTensor& t, index_t r, int modes) {
+  return (static_cast<double>(t.size()) +
+          static_cast<double>(t.extent(0)) * r) *
+         4.0 * modes;
+}
+
+void BM_MttkrpFusedF32(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const auto t = rand_tensor({kMttkrpS, kMttkrpS, kMttkrpS}, 13);
+  const auto f = rand_factors(t.shape(), kMttkrpR, 14);
+  const std::vector<float> t32 = to_f32(t.data(), t.size());
+  std::vector<la::MatrixF32> mirrors;
+  la::sync_mirrors(f, mirrors);
+  util::KernelWorkspace ws;
+  la::Matrix out;
+  for (auto _ : state) {
+    tensor::mttkrp_into_f32(t32.data(), t.shape(), mirrors, mode, out,
+                            nullptr, &ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_rates(state, mttkrp_flops(t, kMttkrpR, 1),
+            mttkrp_bytes_f32(t, kMttkrpR, 1));
+}
+BENCHMARK(BM_MttkrpFusedF32)->Arg(0)->Arg(1)->Arg(2);
+
+constexpr index_t kBwS = 320;
+constexpr index_t kBwR = 8;
+
+void BM_MttkrpFusedBandwidth(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const auto t = rand_tensor({kBwS, kBwS, kBwS}, 17);
+  const auto f = rand_factors(t.shape(), kBwR, 18);
+  util::KernelWorkspace ws;
+  la::Matrix out;
+  for (auto _ : state) {
+    tensor::mttkrp_into(t, f, mode, out, nullptr, &ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_rates(state, mttkrp_flops(t, kBwR, 1), mttkrp_bytes(t, kBwR, 1));
+}
+BENCHMARK(BM_MttkrpFusedBandwidth)->Arg(0)->Arg(1);
+
+void BM_MttkrpFusedBandwidthF32(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const auto t = rand_tensor({kBwS, kBwS, kBwS}, 17);
+  const auto f = rand_factors(t.shape(), kBwR, 18);
+  const std::vector<float> t32 = to_f32(t.data(), t.size());
+  std::vector<la::MatrixF32> mirrors;
+  la::sync_mirrors(f, mirrors);
+  util::KernelWorkspace ws;
+  la::Matrix out;
+  for (auto _ : state) {
+    tensor::mttkrp_into_f32(t32.data(), t.shape(), mirrors, mode, out,
+                            nullptr, &ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_rates(state, mttkrp_flops(t, kBwR, 1), mttkrp_bytes_f32(t, kBwR, 1));
+}
+BENCHMARK(BM_MttkrpFusedBandwidthF32)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------------
+// CSF walk at large extents: every nonzero gathers a random factor row
+// (256 B = 4 cache lines at R=32 fp64), so the walk is a bandwidth/latency
+// gather over ~190 MB of factors — the sparse bandwidth-bound regime. fp32
+// storage halves both the gathered lines per row and the streamed values.
+// As with the fused bandwidth config, the factors must overflow the shared
+// L3 of the reference host for the gather stream to actually hit DRAM —
+// at extent 2^16 (16 MB per factor) the same walk reads as cache-resident.
+
+constexpr index_t kCsfExtent = 1 << 18;
+constexpr index_t kCsfR = 32;
+
+const tensor::CsfTensor& big_csf() {
+  // ~3M nonzeros at extent 2^18: density 1.7e-10.
+  static const tensor::CsfTensor csf(data::make_sparse_random(
+      {kCsfExtent, kCsfExtent, kCsfExtent}, 1.7e-10, 21));
+  return csf;
+}
+
+double csf_flops(const tensor::CsfTensor& t, int mode, index_t r) {
+  return 2.0 * static_cast<double>(r) *
+         static_cast<double>(t.nnz() + t.tree(mode).internal_nodes);
+}
+
+// Bytes-moved model of the root walk: values + one gathered leaf row per
+// nonzero + one row per interior node (all at the storage width), plus the
+// fp64 output scatter.
+double csf_bytes(const tensor::CsfTensor& t, int mode, index_t r,
+                 double storage_bytes) {
+  return static_cast<double>(t.nnz()) * (1.0 + static_cast<double>(r)) *
+             storage_bytes +
+         static_cast<double>(t.tree(mode).internal_nodes) *
+             static_cast<double>(r) * storage_bytes +
+         static_cast<double>(t.extent(mode)) * static_cast<double>(r) * 8.0;
+}
+
+void BM_CsfWalkBandwidth(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const tensor::CsfTensor& csf = big_csf();
+  const auto f = rand_factors(csf.shape(), kCsfR, 22);
+  util::KernelWorkspace ws;
+  la::Matrix out;
+  for (auto _ : state) {
+    tensor::mttkrp_csf_into(csf, f, mode, out, nullptr, &ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_rates(state, csf_flops(csf, mode, kCsfR),
+            csf_bytes(csf, mode, kCsfR, 8.0));
+}
+BENCHMARK(BM_CsfWalkBandwidth)->Arg(0)->Arg(1);
+
+void BM_CsfWalkBandwidthF32(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const tensor::CsfTensor& csf = big_csf();
+  const auto f = rand_factors(csf.shape(), kCsfR, 22);
+  std::vector<la::MatrixF32> mirrors;
+  la::sync_mirrors(f, mirrors);
+  tensor::CsfValsF32 vals32;
+  vals32.sync(csf);
+  util::KernelWorkspace ws;
+  la::Matrix out;
+  for (auto _ : state) {
+    tensor::mttkrp_csf_into_f32(csf, mirrors, mode, vals32, out, nullptr,
+                                &ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_rates(state, csf_flops(csf, mode, kCsfR),
+            csf_bytes(csf, mode, kCsfR, 4.0));
+}
+BENCHMARK(BM_CsfWalkBandwidthF32)->Arg(0)->Arg(1);
 
 }  // namespace
 

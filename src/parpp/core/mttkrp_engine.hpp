@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "parpp/la/matrix.hpp"
+#include "parpp/la/scalar.hpp"
 #include "parpp/tensor/dense_tensor.hpp"
 #include "parpp/tensor/mttkrp_sparse.hpp"
 #include "parpp/util/profile.hpp"
@@ -71,6 +72,13 @@ struct EngineOptions {
   /// dense engines). kAuto tiles only when the root mode is too short to
   /// feed the OpenMP team.
   tensor::CsfWalk csf_walk = tensor::CsfWalk::kAuto;
+  /// Storage scalar for the data the hot kernels *stream* (factor mirrors,
+  /// the dense tensor copy / CSF value mirrors, PP pair operators). kF32
+  /// halves the streamed bytes while every accumulator stays fp64 —
+  /// supported by the naive (fused) and sparse engines; the dimension-tree
+  /// engines (kDt/kMsdt) and the dense PP operator chains are fp64-only
+  /// and reject it. kF64 is bit-for-bit the historical behavior.
+  la::Scalar scalar = la::Scalar::kF64;
 };
 
 /// Creates an engine bound to `t` and `factors`; both must outlive the
@@ -101,9 +109,11 @@ struct TensorProblem {
       make_engine;
   /// PP operators bound to the storage (dense dimension-tree chains or
   /// sparse CSF pair walks); both emit the same dense pair operators, so
-  /// PpApprox and the Algorithm 2/4 loops are storage-blind.
+  /// PpApprox and the Algorithm 2/4 loops are storage-blind. `options`
+  /// carries the storage scalar (EngineOptions::scalar): sparse builds
+  /// honor kF32, the dense chains reject it.
   std::function<std::unique_ptr<PpOperators>(const std::vector<la::Matrix>&,
-                                             Profile*)>
+                                             Profile*, const EngineOptions&)>
       make_pp_operators;
 
   [[nodiscard]] int order() const { return static_cast<int>(shape.size()); }

@@ -78,7 +78,7 @@ CpResult run_pp_driver(const TensorProblem& problem, const CpOptions& options,
   auto engine = problem.make_engine(pp_options.regular_engine, factors,
                                     &profile, eopt);
   auto* tree_engine = dynamic_cast<TreeEngineBase*>(engine.get());
-  auto ops_ptr = problem.make_pp_operators(factors, &profile);
+  auto ops_ptr = problem.make_pp_operators(factors, &profile, eopt);
   PpOperators& ops = *ops_ptr;
 
   // One mode update: apply the method's factor update, then refresh the

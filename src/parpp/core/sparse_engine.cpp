@@ -7,17 +7,36 @@ namespace parpp::core {
 
 SparseEngine::SparseEngine(const tensor::CsfTensor& t,
                            const std::vector<la::Matrix>& factors,
-                           Profile* profile, tensor::CsfWalk walk)
-    : t_(&t), factors_(&factors), profile_(profile), walk_(walk) {
+                           Profile* profile, const EngineOptions& options)
+    : t_(&t),
+      factors_(&factors),
+      profile_(profile),
+      walk_(options.csf_walk),
+      scalar_(options.scalar) {
   PARPP_CHECK(static_cast<int>(factors.size()) == t.order(),
               "engine: factor count mismatch");
   for (int m = 0; m < t.order(); ++m) {
     PARPP_CHECK(factors[static_cast<std::size_t>(m)].rows() == t.extent(m),
                 "engine: factor ", m, " rows mismatch");
   }
+  if (scalar_ == la::Scalar::kF32) {
+    mirrors_.resize(factors.size());
+    dirty_.assign(factors.size(), 1);
+    vals32_.sync(t);  // tensor values are immutable: one-time mirror
+  }
 }
 
 la::Matrix SparseEngine::mttkrp(int mode) {
+  if (scalar_ == la::Scalar::kF32) {
+    for (std::size_t m = 0; m < mirrors_.size(); ++m) {
+      if (dirty_[m] != 0) mirrors_[m].sync((*factors_)[m]);
+      dirty_[m] = 0;
+    }
+    la::Matrix out;
+    tensor::mttkrp_csf_into_f32(*t_, mirrors_, mode, vals32_, out, profile_,
+                                &ws_, walk_);
+    return out;
+  }
   return tensor::mttkrp_csf(*t_, *factors_, mode, profile_, &ws_, walk_);
 }
 
@@ -26,8 +45,7 @@ std::unique_ptr<MttkrpEngine> make_engine(EngineKind /*kind*/,
                                           const std::vector<la::Matrix>& factors,
                                           Profile* profile,
                                           const EngineOptions& options) {
-  return std::make_unique<SparseEngine>(t, factors, profile,
-                                        options.csf_walk);
+  return std::make_unique<SparseEngine>(t, factors, profile, options);
 }
 
 TensorProblem make_problem(const tensor::CsfTensor& t) {
@@ -39,8 +57,9 @@ TensorProblem make_problem(const tensor::CsfTensor& t) {
     return make_engine(kind, t, factors, profile, options);
   };
   p.make_pp_operators = [&t](const std::vector<la::Matrix>& factors,
-                             Profile* profile) {
-    return std::make_unique<PpOperators>(t, factors, profile);
+                             Profile* profile, const EngineOptions& options) {
+    return std::make_unique<PpOperators>(t, factors, profile,
+                                         options.scalar);
   };
   return p;
 }

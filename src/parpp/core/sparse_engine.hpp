@@ -18,12 +18,19 @@ namespace parpp::core {
 /// benches can reach workspace() for those assertions.
 class SparseEngine final : public MttkrpEngine {
  public:
+  /// `options.csf_walk` picks the parallel schedule; `options.scalar` the
+  /// storage scalar. Under kF32 the engine keeps fp32 factor mirrors
+  /// (re-synced lazily for the modes notify_update marked stale) plus a
+  /// one-time fp32 mirror of the tensor values, and every walk streams
+  /// those — accumulation stays fp64 (see mttkrp_sparse.hpp).
   SparseEngine(const tensor::CsfTensor& t,
                const std::vector<la::Matrix>& factors, Profile* profile,
-               tensor::CsfWalk walk = tensor::CsfWalk::kAuto);
+               const EngineOptions& options = {});
 
   [[nodiscard]] la::Matrix mttkrp(int mode) override;
-  void notify_update(int) override {}
+  void notify_update(int mode) override {
+    if (!dirty_.empty()) dirty_[static_cast<std::size_t>(mode)] = 1;
+  }
   [[nodiscard]] std::string_view name() const override { return "sparse"; }
 
   /// Engine-owned scratch arena (per-thread interior-level accumulators).
@@ -34,6 +41,10 @@ class SparseEngine final : public MttkrpEngine {
   const std::vector<la::Matrix>* factors_;
   Profile* profile_;
   tensor::CsfWalk walk_;
+  la::Scalar scalar_;
+  std::vector<la::MatrixF32> mirrors_;
+  std::vector<char> dirty_;
+  tensor::CsfValsF32 vals32_;
   util::KernelWorkspace ws_;
 };
 

@@ -23,8 +23,10 @@ class DenseLocalProblem final : public LocalProblem {
   }
 
   [[nodiscard]] std::unique_ptr<core::PpOperators> make_pp_operators(
-      const std::vector<la::Matrix>& slice_factors,
-      Profile* profile) const override {
+      const std::vector<la::Matrix>& slice_factors, Profile* profile,
+      const core::EngineOptions& options) const override {
+    PARPP_CHECK(options.scalar == la::Scalar::kF64,
+                "make_pp_operators: dense PP operator chains are fp64-only");
     return std::make_unique<core::PpOperators>(block_, slice_factors,
                                                profile);
   }

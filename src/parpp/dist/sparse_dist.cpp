@@ -31,10 +31,10 @@ class SparseLocalProblem final : public LocalProblem {
   }
 
   [[nodiscard]] std::unique_ptr<core::PpOperators> make_pp_operators(
-      const std::vector<la::Matrix>& slice_factors,
-      Profile* profile) const override {
+      const std::vector<la::Matrix>& slice_factors, Profile* profile,
+      const core::EngineOptions& options) const override {
     return std::make_unique<core::PpOperators>(block_, slice_factors,
-                                               profile);
+                                               profile, options.scalar);
   }
 
  private:

@@ -1,0 +1,130 @@
+// The scalar-type axis: reduced-precision *storage* for factor matrices
+// (and tensor values) with wide accumulation.
+//
+// The hot kernels (fused MTTKRP, the CSF walks, GEMM) are bandwidth-bound
+// at production sizes, so halving the bytes of the streamed operands buys
+// close to 2x regardless of the arithmetic — the ggml quantized-block
+// idiom. Factors are always *updated* in fp64 by the solvers; engines keep
+// fp32 mirrors (MatrixF32) that are re-quantized after each update. The
+// sparse walks widen every inner product to double before accumulating;
+// the dense GEMM micro-kernel accumulates fp32 within one 512-term k chunk
+// and adds chunks into fp64 (see gemm.cpp — this is what keeps the fp32
+// lane bandwidth-bound instead of convert-bound). The enum rides on
+// EngineOptions / SolverSpec (`--scalar {fp64,fp32}` on the CLI).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "parpp/la/matrix.hpp"
+#include "parpp/util/common.hpp"
+#include "parpp/util/workspace.hpp"
+
+// Non-aliasing pointer marker for the register-blocked inner loops; the
+// autovectorizer needs it to keep R-wide accumulators in registers.
+#if defined(__GNUC__) || defined(__clang__)
+#define PARPP_RESTRICT __restrict
+#else
+#define PARPP_RESTRICT
+#endif
+
+namespace parpp::la {
+
+/// Storage precision of factor matrices / tensor values inside an engine.
+/// Accumulation is fp64 for every member of the axis.
+enum class Scalar { kF64, kF32 };
+
+[[nodiscard]] constexpr const char* scalar_name(Scalar s) {
+  return s == Scalar::kF32 ? "fp32" : "fp64";
+}
+
+/// fp32 storage mirror of la::Matrix: same row-major layout, same const
+/// read surface (rows/cols/row/data) so kernels template over the matrix
+/// type. There is no mutable element access by design — the solvers update
+/// factors in fp64 and engines re-quantize via sync() afterward, so a
+/// mirror is never the authoritative copy.
+class MatrixF32 {
+ public:
+  MatrixF32() = default;
+
+  /// Re-quantizes from the fp64 source. Allocates only when the shape
+  /// changes (cold path); steady-state sweeps re-fill the same buffer.
+  void sync(const Matrix& src) {
+    if (rows_ != src.rows() || cols_ != src.cols()) {
+      rows_ = src.rows();
+      cols_ = src.cols();
+      // parpp-lint: allow(alloc) — shape change only; steady state re-fills
+      data_.resize(static_cast<std::size_t>(rows_ * cols_));
+    }
+    const double* PARPP_RESTRICT s = src.data();
+    float* PARPP_RESTRICT d = data_.data();
+    const index_t n = rows_ * cols_;
+#pragma omp simd
+    for (index_t i = 0; i < n; ++i) d[i] = static_cast<float>(s[i]);
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t size() const { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] const float* row(index_t i) const {
+    PARPP_ASSERT(i >= 0 && i < rows_, "MatrixF32::row: bad row ", i);
+    return data_.data() + i * cols_;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Element scalar of a factor-matrix type — the storage type kernels load
+/// before widening to double.
+template <typename MatT>
+using matrix_scalar_t = std::remove_cv_t<
+    std::remove_pointer_t<decltype(std::declval<const MatT&>().data())>>;
+
+/// Refreshes a bank of mirrors from the fp64 factors (resizing the vector
+/// itself only when the factor count changes).
+inline void sync_mirrors(const std::vector<Matrix>& src,
+                         std::vector<MatrixF32>& dst) {
+  // parpp-lint: allow(alloc) — factor-count change only (cold)
+  if (dst.size() != src.size()) dst.resize(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i].sync(src[i]);
+}
+
+/// Workspace lease size (in doubles — the arena's native unit) for `n`
+/// floats. Rounds up, so an fp32 lease of n elements and an fp64 lease of
+/// n elements carry *different* capacity keys (ceil(n/2) vs n) and can
+/// never be confused for one another in the free list.
+[[nodiscard]] constexpr index_t f32_lease_doubles(index_t n) {
+  return (n + 1) / 2;
+}
+
+/// View a (double-granular) workspace lease as float scratch.
+[[nodiscard]] inline float* as_f32(util::KernelWorkspace::Lease& lease) {
+  return reinterpret_cast<float*>(lease.data());
+}
+
+/// Dispatches a runtime CP rank to a compile-time register-block width.
+/// The blocked kernels instantiate R ∈ {8, 16, 32} with exact trip counts
+/// (the autovectorizer fully unrolls the rank loop into registers); every
+/// other rank takes the generic `0` instantiation with a runtime bound.
+template <typename Fn>
+decltype(auto) rank_dispatch(index_t r, Fn&& fn) {
+  switch (r) {
+    case 8:
+      return fn(std::integral_constant<int, 8>{});
+    case 16:
+      return fn(std::integral_constant<int, 16>{});
+    case 32:
+      return fn(std::integral_constant<int, 32>{});
+    default:
+      return fn(std::integral_constant<int, 0>{});
+  }
+}
+
+}  // namespace parpp::la

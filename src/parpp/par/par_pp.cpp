@@ -24,7 +24,7 @@ class LocalPp {
   LocalPp(mpsim::Comm& comm, ParCpContext& ctx)
       : comm_(comm), ctx_(ctx), n_(ctx.order()),
         ops_(ctx.local_problem().make_pp_operators(
-            ctx.factor_dist().slices(), nullptr)) {}
+            ctx.factor_dist().slices(), nullptr, ctx.engine_options())) {}
 
   /// Algorithm 4 line 2: local PP initialization. The donor is the local
   /// regular-sweep tree engine (footnote-1 amortization applies per rank;

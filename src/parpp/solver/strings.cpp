@@ -36,6 +36,18 @@ std::string_view to_string(core::EngineKind kind) {
   return "?";
 }
 
+std::string_view to_string(la::Scalar scalar) {
+  return la::scalar_name(scalar);
+}
+
+std::string_view to_string(tensor::CsfLayout layout) {
+  switch (layout) {
+    case tensor::CsfLayout::kAllModes: return "all-modes";
+    case tensor::CsfLayout::kHalf: return "half";
+  }
+  return "?";
+}
+
 std::string_view to_string(par::SolveMode mode) {
   switch (mode) {
     case par::SolveMode::kDistributedRows: return "distributed-rows";
@@ -93,6 +105,20 @@ std::optional<core::EngineKind> engine_from_string(std::string_view s) {
   if (t == "dt") return core::EngineKind::kDt;
   if (t == "msdt") return core::EngineKind::kMsdt;
   if (t == "sparse") return core::EngineKind::kSparse;
+  return std::nullopt;
+}
+
+std::optional<la::Scalar> scalar_from_string(std::string_view s) {
+  const std::string t = lower(s);
+  if (t == "fp64" || t == "f64" || t == "double") return la::Scalar::kF64;
+  if (t == "fp32" || t == "f32" || t == "float") return la::Scalar::kF32;
+  return std::nullopt;
+}
+
+std::optional<tensor::CsfLayout> csf_layout_from_string(std::string_view s) {
+  const std::string t = lower(s);
+  if (t == "all-modes" || t == "all") return tensor::CsfLayout::kAllModes;
+  if (t == "half") return tensor::CsfLayout::kHalf;
   return std::nullopt;
 }
 

@@ -10,22 +10,25 @@ namespace {
 
 void build_tiles(CsfTensor::Tree& tree, int n);
 
-CsfTensor::Tree build_tree(const CooTensor& coo, int root_mode) {
+bool is_identity(const std::vector<int>& mode_order) {
+  for (std::size_t l = 0; l < mode_order.size(); ++l)
+    if (mode_order[l] != static_cast<int>(l)) return false;
+  return true;
+}
+
+CsfTensor::Tree build_tree(const CooTensor& coo, std::vector<int> mode_order) {
   const int n = coo.order();
   const index_t nnz = coo.nnz();
 
   CsfTensor::Tree tree;
-  tree.mode_order.reserve(static_cast<std::size_t>(n));
-  tree.mode_order.push_back(root_mode);
-  for (int m = 0; m < n; ++m)
-    if (m != root_mode) tree.mode_order.push_back(m);
+  tree.mode_order = std::move(mode_order);
 
   // Entry order for this tree: lexicographic in the permuted coordinates.
-  // The COO is coalesced (sorted, duplicate-free), so for root_mode == 0
-  // the identity permutation already sorts; other roots re-sort.
+  // The COO is coalesced (sorted, duplicate-free), so an identity mode
+  // order is already sorted; other orders re-sort.
   std::vector<index_t> perm(static_cast<std::size_t>(nnz));
   std::iota(perm.begin(), perm.end(), index_t{0});
-  if (root_mode != 0) {
+  if (!is_identity(tree.mode_order)) {
     std::sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
       for (int l = 0; l < n; ++l) {
         const int m = tree.mode_order[static_cast<std::size_t>(l)];
@@ -74,6 +77,34 @@ CsfTensor::Tree build_tree(const CooTensor& coo, int root_mode) {
   return tree;
 }
 
+/// Mode order for root tree `m` of the kAllModes layout: root first, the
+/// rest ascending.
+std::vector<int> all_modes_order(int n, int m) {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  order.push_back(m);
+  for (int k = 0; k < n; ++k)
+    if (k != m) order.push_back(k);
+  return order;
+}
+
+/// Mode order for tree `m` of the kHalf layout: rooted at m, leaf n-1-m,
+/// remaining modes ascending in between — each tree serves its root mode
+/// (upward walk) and its leaf mode (downward scatter walk). The middle
+/// tree of an odd order would have leaf == root; it falls back to the
+/// plain ascending order and serves only its root.
+std::vector<int> half_order(int n, int m) {
+  const int leaf = n - 1 - m;
+  if (leaf == m) return all_modes_order(n, m);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  order.push_back(m);
+  for (int k = 0; k < n; ++k)
+    if (k != m && k != leaf) order.push_back(k);
+  order.push_back(leaf);
+  return order;
+}
+
 /// Splits the level-1 node array into tiles of ~kTileLeafTarget leaf
 /// entries and records which root fibers each tile intersects. Level-1
 /// granularity (rather than whole root fibers) is what lets the tiled
@@ -119,30 +150,73 @@ void build_tiles(CsfTensor::Tree& tree, int n) {
 
 }  // namespace
 
-CsfTensor::CsfTensor(const CooTensor& coo)
-    : shape_(coo.shape()), nnz_(coo.nnz()), dense_size_(coo.dense_size()) {
+CsfTensor::CsfTensor(const CooTensor& coo) : CsfTensor(coo, CsfOptions{}) {}
+
+CsfTensor::CsfTensor(const CooTensor& coo, const CsfOptions& options)
+    : shape_(coo.shape()),
+      nnz_(coo.nnz()),
+      dense_size_(coo.dense_size()),
+      layout_(options.layout) {
   PARPP_CHECK(order() >= 2, "CsfTensor: tensor order must be >= 2");
   PARPP_CHECK(coo.coalesced(),
               "CsfTensor: COO input must be coalesced (sorted, no duplicate "
               "coordinates) — call CooTensor::coalesce() first");
   squared_norm_ = coo.squared_norm();
-  trees_.reserve(static_cast<std::size_t>(order()));
-  for (int m = 0; m < order(); ++m) trees_.push_back(build_tree(coo, m));
+  build(coo);
+}
+
+void CsfTensor::build(const CooTensor& coo) {
+  const int n = order();
+  if (layout_ == CsfLayout::kAllModes) {
+    trees_.reserve(static_cast<std::size_t>(n));
+    for (int m = 0; m < n; ++m)
+      trees_.push_back(build_tree(coo, all_modes_order(n, m)));
+  } else {
+    const int half = (n + 1) / 2;
+    trees_.reserve(static_cast<std::size_t>(half));
+    for (int m = 0; m < half; ++m)
+      trees_.push_back(build_tree(coo, half_order(n, m)));
+  }
+}
+
+CsfTensor::Walk CsfTensor::walk_for(int mode) const {
+  PARPP_CHECK(mode >= 0 && mode < order(), "walk_for: bad mode ", mode);
+  if (mode < tree_count())
+    return {&trees_[static_cast<std::size_t>(mode)], mode, /*leaf=*/false};
+  // kHalf upper-half mode: served as the leaf level of tree n-1-mode.
+  const int ti = order() - 1 - mode;
+  const Walk w{&trees_[static_cast<std::size_t>(ti)], ti, /*leaf=*/true};
+  PARPP_ASSERT(w.tree->mode_order.back() == mode,
+               "walk_for: tree ", ti, " does not end in mode ", mode);
+  return w;
+}
+
+index_t CsfTensor::pattern_words() const {
+  index_t words = 0;
+  for (const Tree& t : trees_) {
+    for (const auto& v : t.fptr) words += static_cast<index_t>(v.size());
+    for (const auto& v : t.fids) words += static_cast<index_t>(v.size());
+  }
+  return words;
 }
 
 CooTensor CsfTensor::to_coo() const {
   CooTensor coo(shape_);
   coo.reserve(nnz_);
   const Tree& tree = trees_.front();  // mode order is the identity
+  PARPP_ASSERT(tree.mode_order.front() == 0, "to_coo: tree 0 not rooted at 0");
   const int n = order();
   std::vector<index_t> idx(static_cast<std::size_t>(n), 0);
-  // Depth-first walk emitting one entry per leaf; the identity mode order
-  // makes the output lexicographically sorted, so coalesce() below only
-  // restores the invariant flag (no re-sort work, no duplicates to merge).
+  // Depth-first walk emitting one entry per leaf; tree 0's identity mode
+  // order (both layouts) makes the output lexicographically sorted, so
+  // coalesce() below only restores the invariant flag (no re-sort work, no
+  // duplicates to merge).
   auto walk = [&](auto&& self, int lv, index_t begin, index_t end) -> void {
     const auto& fids = tree.fids[static_cast<std::size_t>(lv)];
     for (index_t k = begin; k < end; ++k) {
-      idx[static_cast<std::size_t>(lv)] = fids[static_cast<std::size_t>(k)];
+      idx[static_cast<std::size_t>(
+          tree.mode_order[static_cast<std::size_t>(lv)])] =
+          fids[static_cast<std::size_t>(k)];
       if (lv == n - 1) {
         coo.push(idx, tree.vals[static_cast<std::size_t>(k)]);
       } else {
@@ -155,6 +229,17 @@ CooTensor CsfTensor::to_coo() const {
   walk(walk, 0, 0, tree.root_count());
   coo.coalesce();
   return coo;
+}
+
+void CsfValsF32::sync(const CsfTensor& t) {
+  trees.resize(static_cast<std::size_t>(t.tree_count()));
+  for (int m = 0; m < t.tree_count(); ++m) {
+    const auto& vals = t.walk_for(m).tree->vals;
+    auto& dst = trees[static_cast<std::size_t>(m)];
+    dst.resize(vals.size());
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      dst[i] = static_cast<float>(vals[i]);
+  }
 }
 
 double CsfTensor::frobenius_norm() const { return std::sqrt(squared_norm_); }

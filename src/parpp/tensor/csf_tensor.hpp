@@ -8,13 +8,33 @@
 
 namespace parpp::tensor {
 
+/// How many fiber trees a CsfTensor keeps (SPLATT's "number of CSF
+/// allocations" knob, specialized to the two layouts the kernels support).
+enum class CsfLayout {
+  /// One tree per mode (root first, remaining modes ascending). Every
+  /// MTTKRP is a root walk — branch-free and mode-symmetric, at the cost
+  /// of N copies of the nonzero pattern.
+  kAllModes,
+  /// ceil(N/2) trees: tree m is rooted at mode m with mode N-1-m as its
+  /// *leaf* level, so each tree serves two modes — mode m by the classic
+  /// root walk and mode N-1-m by a downward product-carrying walk that
+  /// scatters at the leaves. Halves the pattern memory for order-N
+  /// tensors. (The middle tree of an odd order serves only its root.)
+  kHalf,
+};
+
+struct CsfOptions {
+  CsfLayout layout = CsfLayout::kAllModes;
+};
+
 /// SPLATT-style compressed sparse fiber storage. One fiber tree is kept per
 /// root mode (mode order: root first, remaining modes ascending), so the
 /// MTTKRP of any mode walks a tree rooted at that mode and parallelizes
 /// over its root fibers without write conflicts. The N-tree layout trades
 /// memory (N copies of the pattern, still O(N * nnz) words versus the dense
 /// prod(shape)) for a branch-free, mode-symmetric kernel — the right trade
-/// for the repeated sweeps of ALS.
+/// for the repeated sweeps of ALS. `CsfLayout::kHalf` halves that pattern
+/// memory by serving two modes per tree (see walk_for).
 ///
 /// Immutable once built: construct from a coalesced CooTensor.
 class CsfTensor {
@@ -57,9 +77,11 @@ class CsfTensor {
   /// a single level-1 node with a larger subtree is never split).
   static constexpr index_t kTileLeafTarget = 2048;
 
-  /// Builds the per-mode trees. `coo` must be coalesced (sorted entries,
-  /// no duplicate coordinates) — call CooTensor::coalesce() first.
+  /// Builds the per-mode trees (kAllModes). `coo` must be coalesced (sorted
+  /// entries, no duplicate coordinates) — call CooTensor::coalesce() first.
   explicit CsfTensor(const CooTensor& coo);
+  /// Layout-selecting constructor; same coalesced-input contract.
+  CsfTensor(const CooTensor& coo, const CsfOptions& options);
 
   [[nodiscard]] int order() const { return static_cast<int>(shape_.size()); }
   [[nodiscard]] const std::vector<index_t>& shape() const { return shape_; }
@@ -71,26 +93,65 @@ class CsfTensor {
   [[nodiscard]] double squared_norm() const { return squared_norm_; }
   [[nodiscard]] double frobenius_norm() const;
   [[nodiscard]] double density() const;
+  [[nodiscard]] CsfLayout layout() const { return layout_; }
+  [[nodiscard]] int tree_count() const {
+    return static_cast<int>(trees_.size());
+  }
+  /// Index/pointer words across all trees' fptr+fids arrays — the pattern
+  /// memory the kHalf layout halves. Diagnostic for tests and benches.
+  [[nodiscard]] index_t pattern_words() const;
 
   /// Reconstructs the coalesced COO entry list (mode-0 tree walk; entries
   /// come out lexicographically sorted). The inverse of construction — used
   /// to re-partition an already-compressed tensor, e.g. for the
-  /// dist::SparseBlockDist grid decomposition.
+  /// dist::SparseBlockDist grid decomposition. Valid under both layouts:
+  /// tree 0's mode order is the identity in each.
   [[nodiscard]] CooTensor to_coo() const;
 
-  /// The fiber tree rooted at `root_mode`.
+  /// The fiber tree *rooted* at `root_mode`. Under kHalf only modes
+  /// [0, tree_count()) have a root tree — use walk_for() for the general
+  /// mode→tree mapping.
   [[nodiscard]] const Tree& tree(int root_mode) const {
-    PARPP_ASSERT(root_mode >= 0 && root_mode < order(),
-                 "tree: bad root mode ", root_mode);
+    PARPP_CHECK(root_mode >= 0 && root_mode < tree_count(), "tree: mode ",
+                root_mode, " has no root tree (layout keeps ", tree_count(),
+                " trees) — use walk_for()");
     return trees_[static_cast<std::size_t>(root_mode)];
   }
 
+  /// How the MTTKRP of `mode` traverses the tensor.
+  struct Walk {
+    const Tree* tree = nullptr;
+    int tree_index = 0;  ///< index into the tree array (vals mirrors key)
+    /// false: `mode` is the tree's root — classic upward walk. true:
+    /// `mode` is the tree's leaf level — downward product-carrying walk.
+    bool leaf = false;
+  };
+  [[nodiscard]] Walk walk_for(int mode) const;
+
  private:
+  void build(const CooTensor& coo);
+
   std::vector<index_t> shape_;
   index_t nnz_ = 0;
   double dense_size_ = 0.0;  ///< CooTensor::dense_size() of the source
   double squared_norm_ = 0.0;
-  std::vector<Tree> trees_;  ///< one per root mode
+  CsfLayout layout_ = CsfLayout::kAllModes;
+  std::vector<Tree> trees_;  ///< one per root mode (kAllModes) or ceil(N/2)
+};
+
+/// fp32 mirrors of a CsfTensor's per-tree value arrays, indexed like the
+/// tensor's trees (CsfTensor::Walk::tree_index). Engines build one mirror
+/// bank per tensor and reuse it across sweeps — tensor values are
+/// immutable, so unlike factor mirrors it never re-syncs.
+struct CsfValsF32 {
+  std::vector<std::vector<float>> trees;
+  void sync(const CsfTensor& t);
+  [[nodiscard]] const float* tree_vals(int tree_index) const {
+    PARPP_ASSERT(tree_index >= 0 &&
+                     tree_index < static_cast<int>(trees.size()),
+                 "CsfValsF32: bad tree index ", tree_index);
+    return trees[static_cast<std::size_t>(tree_index)].data();
+  }
 };
 
 }  // namespace parpp::tensor

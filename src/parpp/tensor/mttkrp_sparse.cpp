@@ -10,9 +10,8 @@ namespace parpp::tensor {
 
 namespace {
 
-template <typename Tensor>
-void check_factors(const Tensor& t, const std::vector<la::Matrix>& factors,
-                   int n) {
+template <typename Tensor, typename MatT>
+void check_factors(const Tensor& t, const std::vector<MatT>& factors, int n) {
   PARPP_CHECK(n >= 0 && n < t.order(), "mttkrp: bad mode ", n);
   PARPP_CHECK(static_cast<int>(factors.size()) == t.order(),
               "mttkrp: factor count mismatch");
@@ -59,34 +58,70 @@ int openmp_team_size() {
   return cached_team;
 }
 
+// All walks below are templated on the factor-matrix type (la::Matrix or
+// la::MatrixF32 — `vals` matches its storage scalar) and on a register
+// block RB ∈ {0, 8, 16, 32}: nonzero RB instantiates the rank loops with
+// exact compile-time trip counts the autovectorizer holds in registers,
+// RB = 0 is the runtime-bound generic. Loads widen to fp64 at the register
+// boundary; every accumulator (`acc` slabs, `dst` rows, partial rows) is
+// fp64 for both storage scalars, element-wise over the rank index, so the
+// fp64 instantiation reproduces the pre-blocking summation order exactly.
+
+// The gathered rows are the latency wall of every walk: the pattern stream
+// (fids / values / fptr) prefetches itself, but each nonzero's factor (or
+// output) row is a random fetch the hardware cannot predict, and at bench
+// extents almost every one misses to DRAM. The leaf loops therefore stay
+// kGatherAhead nonzeros in front of the walk; interior loops prefetch one
+// node ahead (the recursion underneath is the latency window). Prefetching
+// changes no arithmetic — fp64 stays bit-for-bit.
+constexpr index_t kGatherAhead = 16;
+
 /// Sums the contributions of the level-`lv` nodes [begin, end) into `dst`
 /// (length R). `acc` holds one R-vector per interior level (lv in
 /// [1, order-2]), indexed acc + (lv-1)*R.
+template <int RB, typename MatT>
 void accumulate_children(const CsfTensor::Tree& tree,
-                         const std::vector<la::Matrix>& factors, int lv,
+                         const la::matrix_scalar_t<MatT>* vals,
+                         const std::vector<MatT>& factors, int lv,
                          index_t begin, index_t end, index_t r, double* acc,
                          double* dst) {
+  using S = la::matrix_scalar_t<MatT>;
+  const index_t rr = RB != 0 ? RB : r;
   const int leaf = static_cast<int>(tree.mode_order.size()) - 1;
   const auto& fids = tree.fids[static_cast<std::size_t>(lv)];
-  const la::Matrix& factor =
+  const MatT& factor =
       factors[static_cast<std::size_t>(tree.mode_order[static_cast<std::size_t>(lv)])];
   if (lv == leaf) {
+    double* PARPP_RESTRICT d = dst;
     for (index_t k = begin; k < end; ++k) {
-      const double v = tree.vals[static_cast<std::size_t>(k)];
-      const double* arow = factor.row(fids[static_cast<std::size_t>(k)]);
-      for (index_t j = 0; j < r; ++j) dst[j] += v * arow[j];
+      const index_t pf = k + kGatherAhead < end ? k + kGatherAhead : end - 1;
+      const char* prow = reinterpret_cast<const char*>(
+          factor.row(fids[static_cast<std::size_t>(pf)]));
+      __builtin_prefetch(prow);
+      if (rr * static_cast<index_t>(sizeof(S)) > 64)
+        __builtin_prefetch(prow + 64);
+      const double v = static_cast<double>(vals[k]);
+      const S* PARPP_RESTRICT arow = factor.row(fids[static_cast<std::size_t>(k)]);
+#pragma omp simd
+      for (index_t j = 0; j < rr; ++j) d[j] += v * static_cast<double>(arow[j]);
     }
     return;
   }
   const auto& fptr = tree.fptr[static_cast<std::size_t>(lv)];
   double* mine = acc + static_cast<std::size_t>((lv - 1) * r);
   for (index_t k = begin; k < end; ++k) {
+    if (k + 1 < end)
+      __builtin_prefetch(factor.row(fids[static_cast<std::size_t>(k + 1)]));
     std::fill(mine, mine + r, 0.0);
-    accumulate_children(tree, factors, lv + 1,
-                        fptr[static_cast<std::size_t>(k)],
-                        fptr[static_cast<std::size_t>(k + 1)], r, acc, mine);
-    const double* arow = factor.row(fids[static_cast<std::size_t>(k)]);
-    for (index_t j = 0; j < r; ++j) dst[j] += mine[j] * arow[j];
+    accumulate_children<RB>(tree, vals, factors, lv + 1,
+                            fptr[static_cast<std::size_t>(k)],
+                            fptr[static_cast<std::size_t>(k + 1)], r, acc,
+                            mine);
+    const S* PARPP_RESTRICT arow = factor.row(fids[static_cast<std::size_t>(k)]);
+    const double* PARPP_RESTRICT m = mine;
+    double* PARPP_RESTRICT d = dst;
+#pragma omp simd
+    for (index_t j = 0; j < rr; ++j) d[j] += m[j] * static_cast<double>(arow[j]);
   }
 }
 
@@ -95,27 +130,45 @@ void accumulate_children(const CsfTensor::Tree& tree,
 /// the current coordinate of free mode j (valid once the walk passed
 /// j_level). `out_slab` points at out(x_i, 0, 0); per-level product slabs
 /// live at scratch + lv*r.
+template <int RB, typename MatT>
 void pair_walk(const CsfTensor::Tree& tree,
-               const std::vector<la::Matrix>& factors, int j_level, int lv,
+               const la::matrix_scalar_t<MatT>* vals,
+               const std::vector<MatT>& factors, int j_level, int lv,
                index_t begin, index_t end, const double* prod, index_t xj,
                index_t r, double* scratch, double* out_slab) {
+  using S = la::matrix_scalar_t<MatT>;
+  const index_t rr = RB != 0 ? RB : r;
   const int leaf = static_cast<int>(tree.mode_order.size()) - 1;
   const auto& fids = tree.fids[static_cast<std::size_t>(lv)];
-  const la::Matrix& factor = factors[static_cast<std::size_t>(
+  const MatT& factor = factors[static_cast<std::size_t>(
       tree.mode_order[static_cast<std::size_t>(lv)])];
   if (lv == leaf) {
     if (lv == j_level) {
+      const double* PARPP_RESTRICT p = prod;
       for (index_t k = begin; k < end; ++k) {
-        const double v = tree.vals[static_cast<std::size_t>(k)];
-        double* dst = out_slab + fids[static_cast<std::size_t>(k)] * r;
-        for (index_t q = 0; q < r; ++q) dst[q] += v * prod[q];
+        const index_t pf =
+            k + kGatherAhead < end ? k + kGatherAhead : end - 1;
+        __builtin_prefetch(out_slab + fids[static_cast<std::size_t>(pf)] * r,
+                           1);
+        const double v = static_cast<double>(vals[k]);
+        double* PARPP_RESTRICT dst =
+            out_slab + fids[static_cast<std::size_t>(k)] * r;
+#pragma omp simd
+        for (index_t q = 0; q < rr; ++q) dst[q] += v * p[q];
       }
     } else {
-      double* dst = out_slab + xj * r;
+      double* PARPP_RESTRICT dst = out_slab + xj * r;
+      const double* PARPP_RESTRICT p = prod;
       for (index_t k = begin; k < end; ++k) {
-        const double v = tree.vals[static_cast<std::size_t>(k)];
-        const double* arow = factor.row(fids[static_cast<std::size_t>(k)]);
-        for (index_t q = 0; q < r; ++q) dst[q] += v * arow[q] * prod[q];
+        const index_t pf =
+            k + kGatherAhead < end ? k + kGatherAhead : end - 1;
+        __builtin_prefetch(factor.row(fids[static_cast<std::size_t>(pf)]));
+        const double v = static_cast<double>(vals[k]);
+        const S* PARPP_RESTRICT arow =
+            factor.row(fids[static_cast<std::size_t>(k)]);
+#pragma omp simd
+        for (index_t q = 0; q < rr; ++q)
+          dst[q] += v * static_cast<double>(arow[q]) * p[q];
       }
     }
     return;
@@ -123,32 +176,39 @@ void pair_walk(const CsfTensor::Tree& tree,
   const auto& fptr = tree.fptr[static_cast<std::size_t>(lv)];
   if (lv == j_level) {
     for (index_t k = begin; k < end; ++k) {
-      pair_walk(tree, factors, j_level, lv + 1,
-                fptr[static_cast<std::size_t>(k)],
-                fptr[static_cast<std::size_t>(k + 1)], prod,
-                fids[static_cast<std::size_t>(k)], r, scratch, out_slab);
+      pair_walk<RB>(tree, vals, factors, j_level, lv + 1,
+                    fptr[static_cast<std::size_t>(k)],
+                    fptr[static_cast<std::size_t>(k + 1)], prod,
+                    fids[static_cast<std::size_t>(k)], r, scratch, out_slab);
     }
     return;
   }
   double* mine = scratch + static_cast<index_t>(lv) * r;
   for (index_t k = begin; k < end; ++k) {
-    const double* arow = factor.row(fids[static_cast<std::size_t>(k)]);
-    for (index_t q = 0; q < r; ++q) mine[q] = prod[q] * arow[q];
-    pair_walk(tree, factors, j_level, lv + 1,
-              fptr[static_cast<std::size_t>(k)],
-              fptr[static_cast<std::size_t>(k + 1)], mine, xj, r, scratch,
-              out_slab);
+    const S* PARPP_RESTRICT arow = factor.row(fids[static_cast<std::size_t>(k)]);
+    const double* PARPP_RESTRICT p = prod;
+    double* PARPP_RESTRICT m = mine;
+#pragma omp simd
+    for (index_t q = 0; q < rr; ++q) m[q] = p[q] * static_cast<double>(arow[q]);
+    pair_walk<RB>(tree, vals, factors, j_level, lv + 1,
+                  fptr[static_cast<std::size_t>(k)],
+                  fptr[static_cast<std::size_t>(k + 1)], mine, xj, r, scratch,
+                  out_slab);
   }
 }
 
-}  // namespace
-
-void pair_mttkrp_csf_into(const CsfTensor& t,
-                          const std::vector<la::Matrix>& factors, int i,
-                          int j, DenseTensor& out, Profile* profile,
-                          util::KernelWorkspace* ws) {
+template <typename MatT>
+void pair_mttkrp_csf_into_impl(const CsfTensor& t,
+                               const la::matrix_scalar_t<MatT>* vals,
+                               const std::vector<MatT>& factors, int i, int j,
+                               DenseTensor& out, Profile* profile,
+                               util::KernelWorkspace* ws) {
   PARPP_CHECK(t.order() >= 3, "pair_mttkrp: order must be >= 3");
   PARPP_CHECK(i != j, "pair_mttkrp: free modes must differ");
+  PARPP_CHECK(t.layout() == CsfLayout::kAllModes,
+              "pair_mttkrp: pair operators need a root tree per mode — "
+              "build the CsfTensor with CsfLayout::kAllModes (the kHalf "
+              "layout serves plain MTTKRPs only)");
   check_factors(t, factors, i);
   PARPP_CHECK(j >= 0 && j < t.order(), "pair_mttkrp: bad mode ", j);
   const int order = t.order();
@@ -171,6 +231,8 @@ void pair_mttkrp_csf_into(const CsfTensor& t,
   // Per thread: one ones-vector (the root's incoming product) plus one
   // product slab per level, leased up front like the MTTKRP walk and sized
   // by the team that will actually run (not the global thread maximum).
+  // Products and accumulators are fp64 for both storage scalars, so the
+  // slab size never depends on the scalar axis.
   const index_t per_thread = static_cast<index_t>(order + 1) * r;
   auto slab = wsp.lease(static_cast<index_t>(team) * per_thread);
 
@@ -190,15 +252,42 @@ void pair_mttkrp_csf_into(const CsfTensor& t,
     std::fill(ones, ones + r, 1.0);
 #pragma omp for schedule(dynamic, 32)
     for (index_t k = 0; k < roots; ++k) {
-      pair_walk(tree, factors, j_level, 1,
-                root_fptr[static_cast<std::size_t>(k)],
-                root_fptr[static_cast<std::size_t>(k + 1)], ones, 0, r, mine,
-                out_base + root_fids[static_cast<std::size_t>(k)] *
-                               slab_stride);
+      la::rank_dispatch(r, [&](auto rb) {
+        pair_walk<decltype(rb)::value>(
+            tree, vals, factors, j_level, 1,
+            root_fptr[static_cast<std::size_t>(k)],
+            root_fptr[static_cast<std::size_t>(k + 1)], ones, 0, r, mine,
+            out_base + root_fids[static_cast<std::size_t>(k)] * slab_stride);
+      });
     }
     fence.leave();
   }
   fence.join();
+}
+
+}  // namespace
+
+void pair_mttkrp_csf_into(const CsfTensor& t,
+                          const std::vector<la::Matrix>& factors, int i,
+                          int j, DenseTensor& out, Profile* profile,
+                          util::KernelWorkspace* ws) {
+  PARPP_CHECK(t.layout() == CsfLayout::kAllModes,
+              "pair_mttkrp: pair operators need a root tree per mode — "
+              "build the CsfTensor with CsfLayout::kAllModes");
+  pair_mttkrp_csf_into_impl(t, t.tree(i).vals.data(), factors, i, j, out,
+                            profile, ws);
+}
+
+void pair_mttkrp_csf_into_f32(const CsfTensor& t,
+                              const std::vector<la::MatrixF32>& factors,
+                              int i, int j, const CsfValsF32& vals32,
+                              DenseTensor& out, Profile* profile,
+                              util::KernelWorkspace* ws) {
+  PARPP_CHECK(t.layout() == CsfLayout::kAllModes,
+              "pair_mttkrp: pair operators need a root tree per mode — "
+              "build the CsfTensor with CsfLayout::kAllModes");
+  pair_mttkrp_csf_into_impl(t, vals32.tree_vals(i), factors, i, j, out,
+                            profile, ws);
 }
 
 DenseTensor pair_mttkrp_coo(const CooTensor& t,
@@ -258,12 +347,15 @@ la::Matrix mttkrp_coo(const CooTensor& t, const std::vector<la::Matrix>& factors
 namespace {
 
 /// Classic schedule: one root fiber per task.
+template <int RB, typename MatT>
 void csf_walk_fiber(const CsfTensor::Tree& tree,
-                    const std::vector<la::Matrix>& factors, index_t r,
+                    const la::matrix_scalar_t<MatT>* vals,
+                    const std::vector<MatT>& factors, index_t r,
                     index_t levels, int team, la::Matrix& out,
                     util::KernelWorkspace& wsp) {
   // One slab of interior-level accumulators per thread, leased up front so
-  // the parallel region never contends on the pool lock.
+  // the parallel region never contends on the pool lock. Accumulators are
+  // fp64 regardless of the storage scalar.
   auto slab = wsp.lease(static_cast<index_t>(team) * levels * r);
   const index_t roots = tree.root_count();
   const auto& root_fids = tree.fids.front();
@@ -279,10 +371,11 @@ void csf_walk_fiber(const CsfTensor::Tree& tree,
     // scheduling keeps the long ones from serializing the sweep.
 #pragma omp for schedule(dynamic, 32)
     for (index_t j = 0; j < roots; ++j) {
-      accumulate_children(tree, factors, 1,
-                          root_fptr[static_cast<std::size_t>(j)],
-                          root_fptr[static_cast<std::size_t>(j + 1)], r, acc,
-                          out.row(root_fids[static_cast<std::size_t>(j)]));
+      accumulate_children<RB>(tree, vals, factors, 1,
+                              root_fptr[static_cast<std::size_t>(j)],
+                              root_fptr[static_cast<std::size_t>(j + 1)], r,
+                              acc,
+                              out.row(root_fids[static_cast<std::size_t>(j)]));
     }
     fence.leave();
   }
@@ -294,14 +387,17 @@ void csf_walk_fiber(const CsfTensor::Tree& tree,
 /// directly); its first/last root may be shared with neighbor tiles, so
 /// those contributions go to tile-private partial rows merged in a serial
 /// O(tiles) fix-up after the parallel region.
+template <int RB, typename MatT>
 void csf_walk_tiled(const CsfTensor::Tree& tree,
-                    const std::vector<la::Matrix>& factors, index_t r,
+                    const la::matrix_scalar_t<MatT>* vals,
+                    const std::vector<MatT>& factors, index_t r,
                     index_t levels, int team, la::Matrix& out,
                     util::KernelWorkspace& wsp) {
   const index_t tiles = tree.tile_count();
   const auto& root_fids = tree.fids.front();
   const auto& root_fptr = tree.fptr.front();
-  // Per-thread accumulator slabs, then two partial rows per tile.
+  // Per-thread accumulator slabs, then two partial rows per tile — all
+  // fp64; the scalar axis never changes accumulator sizing.
   auto slab = wsp.lease(static_cast<index_t>(team) * levels * r +
                         tiles * 2 * r);
   double* const part_base = slab.data() + static_cast<index_t>(team) * levels * r;
@@ -343,7 +439,7 @@ void csf_walk_tiled(const CsfTensor::Tree& tree,
           dst = root == rb ? part : part + r;
           std::fill(dst, dst + r, 0.0);
         }
-        accumulate_children(tree, factors, 1, cb, ce, r, acc, dst);
+        accumulate_children<RB>(tree, vals, factors, 1, cb, ce, r, acc, dst);
       }
     }
     fence.leave();
@@ -371,15 +467,136 @@ void csf_walk_tiled(const CsfTensor::Tree& tree,
   }
 }
 
-}  // namespace
+/// Downward scatter pass of the kHalf leaf walk: `prod` holds the Hadamard
+/// product of the factor rows of every level above `lv`; leaves add
+/// val * prod into their output row. Interior product slabs live at
+/// scratch + lv*r.
+template <int RB, typename MatT>
+void leaf_scatter(const CsfTensor::Tree& tree,
+                  const la::matrix_scalar_t<MatT>* vals,
+                  const std::vector<MatT>& factors, int lv, index_t begin,
+                  index_t end, const double* prod, index_t r, double* scratch,
+                  double* out0) {
+  using S = la::matrix_scalar_t<MatT>;
+  const index_t rr = RB != 0 ? RB : r;
+  const int leaf = static_cast<int>(tree.mode_order.size()) - 1;
+  const auto& fids = tree.fids[static_cast<std::size_t>(lv)];
+  if (lv == leaf) {
+    const double* PARPP_RESTRICT p = prod;
+    for (index_t k = begin; k < end; ++k) {
+      const index_t pf = k + kGatherAhead < end ? k + kGatherAhead : end - 1;
+      const char* prow = reinterpret_cast<const char*>(
+          out0 + fids[static_cast<std::size_t>(pf)] * r);
+      __builtin_prefetch(prow, 1);
+      if (rr > 8) __builtin_prefetch(prow + 64, 1);
+      const double v = static_cast<double>(vals[k]);
+      double* PARPP_RESTRICT dst = out0 + fids[static_cast<std::size_t>(k)] * r;
+#pragma omp simd
+      for (index_t q = 0; q < rr; ++q) dst[q] += v * p[q];
+    }
+    return;
+  }
+  const MatT& factor = factors[static_cast<std::size_t>(
+      tree.mode_order[static_cast<std::size_t>(lv)])];
+  const auto& fptr = tree.fptr[static_cast<std::size_t>(lv)];
+  double* mine = scratch + static_cast<index_t>(lv) * r;
+  for (index_t k = begin; k < end; ++k) {
+    if (k + 1 < end)
+      __builtin_prefetch(factor.row(fids[static_cast<std::size_t>(k + 1)]));
+    const S* PARPP_RESTRICT arow = factor.row(fids[static_cast<std::size_t>(k)]);
+    const double* PARPP_RESTRICT p = prod;
+    double* PARPP_RESTRICT m = mine;
+#pragma omp simd
+    for (index_t q = 0; q < rr; ++q) m[q] = p[q] * static_cast<double>(arow[q]);
+    leaf_scatter<RB>(tree, vals, factors, lv + 1,
+                     fptr[static_cast<std::size_t>(k)],
+                     fptr[static_cast<std::size_t>(k + 1)], mine, r, scratch,
+                     out0);
+  }
+}
 
-void mttkrp_csf_into(const CsfTensor& t, const std::vector<la::Matrix>& factors,
-                     int n, la::Matrix& out, Profile* profile,
-                     util::KernelWorkspace* ws, CsfWalk walk) {
+/// kHalf leaf-mode schedule: roots are split over the team like the fiber
+/// walk, but distinct roots may reach the *same* leaf-mode output row, so a
+/// parallel team scatters into per-thread output slabs merged in thread
+/// order (deterministic for a fixed team size); a single thread writes the
+/// output directly.
+template <int RB, typename MatT>
+void csf_walk_leaf(const CsfTensor::Tree& tree,
+                   const la::matrix_scalar_t<MatT>* vals,
+                   const std::vector<MatT>& factors, index_t r, int team,
+                   la::Matrix& out, util::KernelWorkspace& wsp) {
+  using S = la::matrix_scalar_t<MatT>;
+  const int order = static_cast<int>(tree.mode_order.size());
+  const index_t roots = tree.root_count();
+  const auto& root_fids = tree.fids.front();
+  const auto& root_fptr = tree.fptr.front();
+  const MatT& root_factor =
+      factors[static_cast<std::size_t>(tree.mode_order.front())];
+  const index_t osize = out.rows() * r;
+  // Per thread: one product slab per level (levels 0..order-2; the root
+  // product occupies slot 0) plus, when the team is parallel, a private
+  // output copy. fp64 throughout — the scalar axis only changes what the
+  // loads stream.
+  const index_t scratch_per_thread = static_cast<index_t>(order) * r;
+  const index_t per_thread =
+      scratch_per_thread + (team > 1 ? osize : index_t{0});
+  auto slab = wsp.lease(static_cast<index_t>(team) * per_thread);
+  double* const slab0 = slab.data();
+  if (team > 1)
+    std::fill(slab0 + scratch_per_thread * team,
+              slab0 + scratch_per_thread * team +
+                  static_cast<index_t>(team) * osize,
+              0.0);
+  double* const outlocal0 = slab0 + scratch_per_thread * team;
+
+  util::OmpJoinFence fence;
+  fence.fork();
+#pragma omp parallel num_threads(team)
+  {
+    fence.enter();
+    const int tid = omp_get_thread_num();
+    double* scratch = slab0 + static_cast<index_t>(tid) * scratch_per_thread;
+    double* out0 =
+        team > 1 ? outlocal0 + static_cast<index_t>(tid) * osize : out.data();
+    double* rootprod = scratch;
+#pragma omp for schedule(dynamic, 32)
+    for (index_t k = 0; k < roots; ++k) {
+      const S* PARPP_RESTRICT arow =
+          root_factor.row(root_fids[static_cast<std::size_t>(k)]);
+      double* PARPP_RESTRICT rp = rootprod;
+      const index_t rr = RB != 0 ? RB : r;
+#pragma omp simd
+      for (index_t q = 0; q < rr; ++q) rp[q] = static_cast<double>(arow[q]);
+      leaf_scatter<RB>(tree, vals, factors, 1,
+                       root_fptr[static_cast<std::size_t>(k)],
+                       root_fptr[static_cast<std::size_t>(k + 1)], rootprod, r,
+                       scratch, out0);
+    }
+    fence.leave();
+  }
+  fence.join();
+
+  if (team > 1) {
+    // Deterministic reduction in thread order.
+    double* dst = out.data();
+    for (int tid = 0; tid < team; ++tid) {
+      const double* src = outlocal0 + static_cast<index_t>(tid) * osize;
+      for (index_t i = 0; i < osize; ++i) dst[i] += src[i];
+    }
+  }
+}
+
+template <typename MatT>
+void mttkrp_csf_into_impl(const CsfTensor& t,
+                          const la::matrix_scalar_t<MatT>* vals,
+                          const std::vector<MatT>& factors, int n,
+                          la::Matrix& out, Profile* profile,
+                          util::KernelWorkspace* ws, CsfWalk walk) {
   check_factors(t, factors, n);
   const int order = t.order();
   const index_t r = factors.front().cols();
-  const CsfTensor::Tree& tree = t.tree(n);
+  const CsfTensor::Walk wk = t.walk_for(n);
+  const CsfTensor::Tree& tree = *wk.tree;
   ScopedProfile sp(profile ? *profile : Profile::thread_default(),
                    Kernel::kTTM,
                    2.0 * static_cast<double>(r) *
@@ -391,6 +608,17 @@ void mttkrp_csf_into(const CsfTensor& t, const std::vector<la::Matrix>& factors,
   const index_t levels = std::max(order - 2, 0);
   const int team = openmp_team_size();
 
+  if (wk.leaf) {
+    // kHalf layout, upper-half mode: downward scatter walk. The
+    // fiber/tiled distinction does not apply (scatter targets are output
+    // rows, not subtree sums).
+    la::rank_dispatch(r, [&](auto rb) {
+      csf_walk_leaf<decltype(rb)::value>(tree, vals, factors, r, team, out,
+                                         wsp);
+    });
+    return;
+  }
+
   if (walk == CsfWalk::kAuto) {
     // The fiber schedule hands out chunks of 32 roots; when the root mode
     // cannot fill the team at that granularity, switch to tiles.
@@ -398,11 +626,35 @@ void mttkrp_csf_into(const CsfTensor& t, const std::vector<la::Matrix>& factors,
     walk = (team > 1 && starved && tree.tile_count() > 1) ? CsfWalk::kTiled
                                                           : CsfWalk::kFiber;
   }
-  if (walk == CsfWalk::kTiled) {
-    csf_walk_tiled(tree, factors, r, levels, team, out, wsp);
-  } else {
-    csf_walk_fiber(tree, factors, r, levels, team, out, wsp);
-  }
+  la::rank_dispatch(r, [&](auto rb) {
+    if (walk == CsfWalk::kTiled) {
+      csf_walk_tiled<decltype(rb)::value>(tree, vals, factors, r, levels,
+                                          team, out, wsp);
+    } else {
+      csf_walk_fiber<decltype(rb)::value>(tree, vals, factors, r, levels,
+                                          team, out, wsp);
+    }
+  });
+}
+
+}  // namespace
+
+void mttkrp_csf_into(const CsfTensor& t, const std::vector<la::Matrix>& factors,
+                     int n, la::Matrix& out, Profile* profile,
+                     util::KernelWorkspace* ws, CsfWalk walk) {
+  const CsfTensor::Walk wk = t.walk_for(n);
+  mttkrp_csf_into_impl(t, wk.tree->vals.data(), factors, n, out, profile, ws,
+                       walk);
+}
+
+void mttkrp_csf_into_f32(const CsfTensor& t,
+                         const std::vector<la::MatrixF32>& factors, int n,
+                         const CsfValsF32& vals32, la::Matrix& out,
+                         Profile* profile, util::KernelWorkspace* ws,
+                         CsfWalk walk) {
+  const CsfTensor::Walk wk = t.walk_for(n);
+  mttkrp_csf_into_impl(t, vals32.tree_vals(wk.tree_index), factors, n, out,
+                       profile, ws, walk);
 }
 
 la::Matrix mttkrp_csf(const CsfTensor& t, const std::vector<la::Matrix>& factors,

@@ -14,14 +14,22 @@
 //     added back in a serial O(tiles) fix-up, so short root modes still
 //     scale.
 //
+// Under CsfLayout::kHalf a mode may instead be the *leaf* level of its
+// serving tree; that takes a third schedule — a downward product-carrying
+// walk that scatters val * prod into the leaf-mode rows (per-thread output
+// slabs merged in thread order when the team is parallel).
+//
 // Per-thread accumulators (and the tile-boundary rows) are leased from the
 // workspace and sized by the actual OpenMP team, making steady-state sweeps
-// allocation-free exactly like the dense fused path.
+// allocation-free exactly like the dense fused path. Accumulation is always
+// fp64 — the fp32 entry points below change only the *streamed* storage
+// (factor mirrors + CsfValsF32 value mirrors), never the accumulator slabs.
 #pragma once
 
 #include <vector>
 
 #include "parpp/la/matrix.hpp"
+#include "parpp/la/scalar.hpp"
 #include "parpp/tensor/coo_tensor.hpp"
 #include "parpp/tensor/csf_tensor.hpp"
 #include "parpp/util/profile.hpp"
@@ -60,6 +68,19 @@ void mttkrp_csf_into(const CsfTensor& t,
                      util::KernelWorkspace* ws = nullptr,
                      CsfWalk walk = CsfWalk::kAuto);
 
+/// fp32-storage CSF MTTKRP: identical walk with fp32 factor mirrors and
+/// fp32 value mirrors (`vals32`, built once per tensor via
+/// CsfValsF32::sync), widening every load to fp64 before accumulating —
+/// the per-thread accumulator slabs stay fp64-sized. Halves the bytes of
+/// the dominant streams (factor rows + values); parity vs the fp64 walk
+/// is ~1e-5 relative (asserted in test_scalar_kernels.cpp).
+void mttkrp_csf_into_f32(const CsfTensor& t,
+                         const std::vector<la::MatrixF32>& factors, int n,
+                         const CsfValsF32& vals32, la::Matrix& out,
+                         Profile* profile = nullptr,
+                         util::KernelWorkspace* ws = nullptr,
+                         CsfWalk walk = CsfWalk::kAuto);
+
 /// Pairwise-perturbation pair operator M_p(i,j) over sparse storage: the
 /// (s_i, s_j, R) dense tensor obtained by contracting every mode except
 /// {i, j} with its factor — an MTTKRP with two free modes. Walks the tree
@@ -68,10 +89,19 @@ void mttkrp_csf_into(const CsfTensor& t,
 /// slabs, so there are no write conflicts). `out` is reshaped in place and
 /// may be workspace-backed, which is what keeps periodic PP operator
 /// rebuilds allocation-free. Requires order >= 3 and i != j.
+/// Requires CsfLayout::kAllModes (every mode must have a root tree).
 void pair_mttkrp_csf_into(const CsfTensor& t,
                           const std::vector<la::Matrix>& factors, int i,
                           int j, DenseTensor& out, Profile* profile = nullptr,
                           util::KernelWorkspace* ws = nullptr);
+
+/// fp32-storage pair operator: same walk as pair_mttkrp_csf_into over fp32
+/// factor/value mirrors with fp64 accumulation into `out`.
+void pair_mttkrp_csf_into_f32(const CsfTensor& t,
+                              const std::vector<la::MatrixF32>& factors,
+                              int i, int j, const CsfValsF32& vals32,
+                              DenseTensor& out, Profile* profile = nullptr,
+                              util::KernelWorkspace* ws = nullptr);
 
 /// Entry-wise COO reference for the pair operator (validation oracle).
 [[nodiscard]] DenseTensor pair_mttkrp_coo(const CooTensor& t,

@@ -48,6 +48,8 @@ struct Cli {
   std::string engine = "msdt";
   std::string method;  ///< empty: derived from --pp / --nonneg
   std::string partition = "uniform";
+  std::string scalar = "fp64";
+  std::string csf_layout = "all-modes";
   index_t size = 64;
   index_t rank = 16;
   int procs = 1;
@@ -94,6 +96,8 @@ Cli parse(int argc, char** argv) {
     }
     else if (flag == "--save") cli.save_path = next();
     else if (flag == "--engine") cli.engine = next();
+    else if (flag == "--scalar") cli.scalar = next();
+    else if (flag == "--csf-layout") cli.csf_layout = next();
     else if (flag == "--method") cli.method = next();
     else if (flag == "--size") cli.size = std::atol(next());
     else if (flag == "--rank") cli.rank = std::atol(next());
@@ -146,6 +150,13 @@ void usage() {
       "                  --nonneg compose to the same four methods)\n"
       "  --engine E      naive | dt | msdt | sparse (default msdt; sparse\n"
       "                  inputs always run the sparse engine)\n"
+      "  --scalar S      fp64 | fp32 — storage scalar the kernels stream\n"
+      "                  (fp32 halves bandwidth, accumulation stays fp64;\n"
+      "                  naive and sparse engines only; default fp64)\n"
+      "  --csf-layout L  all-modes | half — CSF trees kept for sparse\n"
+      "                  inputs (half keeps ceil(N/2) trees, halving\n"
+      "                  pattern memory; PP needs all-modes; default\n"
+      "                  all-modes)\n"
       "  --size S        synthetic mode size (default 64)\n"
       "  --rank R        CP rank (default 16)\n"
       "  --ranks N       simulated ranks (alias --procs); N > 1 runs\n"
@@ -278,6 +289,45 @@ int run(const Cli& cli) {
                  "FILE.tns or --density D\n");
     return 2;
   }
+  const auto scalar = solver::scalar_from_string(cli.scalar);
+  if (!scalar) {
+    std::fprintf(stderr, "unknown scalar %s (fp64 | fp32)\n",
+                 cli.scalar.c_str());
+    return 2;
+  }
+  if (*scalar == la::Scalar::kF32 && !sparse_mode &&
+      *engine != core::EngineKind::kNaive) {
+    std::fprintf(stderr,
+                 "--scalar fp32 on dense storage needs --engine naive (the "
+                 "dimension-tree engines are fp64-only)\n");
+    return 2;
+  }
+  if (*scalar == la::Scalar::kF32 && !sparse_mode && method != solver::Method::kAls &&
+      method != solver::Method::kNncpHals) {
+    std::fprintf(stderr,
+                 "--scalar fp32 with a PP method needs sparse storage (the "
+                 "dense PP operator chains are fp64-only)\n");
+    return 2;
+  }
+  const auto csf_layout = solver::csf_layout_from_string(cli.csf_layout);
+  if (!csf_layout) {
+    std::fprintf(stderr, "unknown csf layout %s (all-modes | half)\n",
+                 cli.csf_layout.c_str());
+    return 2;
+  }
+  if (*csf_layout == tensor::CsfLayout::kHalf && !sparse_mode) {
+    std::fprintf(stderr,
+                 "--csf-layout applies to sparse storage: pass --input "
+                 "FILE.tns or --density D\n");
+    return 2;
+  }
+  if (*csf_layout == tensor::CsfLayout::kHalf &&
+      (method == solver::Method::kPp || method == solver::Method::kPpNncp)) {
+    std::fprintf(stderr,
+                 "--csf-layout half cannot serve the PP pair operators "
+                 "(they need a root tree per mode); use all-modes\n");
+    return 2;
+  }
   if (cli.procs < 1 || cli.threads_per_rank < 1) {
     std::fprintf(stderr, "--ranks and --threads-per-rank must be >= 1\n");
     return 2;
@@ -334,6 +384,7 @@ int run(const Cli& cli) {
   solver::SolverSpec spec;
   spec.method = method;
   spec.engine = *engine;
+  spec.engine_options.scalar = *scalar;
   spec.rank = cli.rank;
   spec.seed = cli.seed;
   spec.stopping.max_sweeps = cli.max_sweeps;
@@ -383,7 +434,7 @@ int run(const Cli& cli) {
             : data::make_sparse_lowrank({cli.size, cli.size, cli.size},
                                         cli.rank, cli.density, cli.seed)
                   .tensor;
-    const tensor::CsfTensor t(coo);
+    const tensor::CsfTensor t(coo, tensor::CsfOptions{*csf_layout});
     std::printf("tensor:");
     for (index_t e : t.shape())
       std::printf(" %lld", static_cast<long long>(e));
