@@ -34,10 +34,11 @@ struct SweepRecord {
 /// Health verdict of a completed solve. Anything but kOk means the
 /// recovery_log has at least one event explaining what happened.
 enum class SolveStatus {
-  kOk,              ///< clean run, no guardrail fired
-  kRecovered,       ///< guardrails fired but the run completed
-  kNumericalAbort,  ///< non-finite state persisted past the rollback budget
-  kCommAbort,       ///< a communicator failure ended the run
+  kOk,               ///< clean run, no guardrail fired
+  kRecovered,        ///< guardrails fired but the run completed
+  kRecoveredShrunk,  ///< ranks were lost; the run finished on the survivors
+  kNumericalAbort,   ///< non-finite state persisted past the rollback budget
+  kCommAbort,        ///< a communicator failure ended the run
 };
 
 /// One guardrail / fault event, ordered by sweep. The messages are

@@ -17,6 +17,24 @@ std::chrono::steady_clock::duration to_duration(double seconds) {
 
 }  // namespace
 
+ShrinkBoard::ShrinkBoard(int world_size)
+    : dead(static_cast<std::size_t>(world_size), 0),
+      joined(static_cast<std::size_t>(world_size), 0) {}
+
+void ShrinkBoard::mark_dead(int world_rank, const std::string& why) {
+  std::lock_guard<std::mutex> lk(mutex);
+  if (!dead[static_cast<std::size_t>(world_rank)]) {
+    dead[static_cast<std::size_t>(world_rank)] = 1;
+    last_death_reason = why;
+  }
+  cv.notify_all();
+}
+
+bool ShrinkBoard::is_dead(int world_rank) {
+  std::lock_guard<std::mutex> lk(mutex);
+  return dead[static_cast<std::size_t>(world_rank)] != 0;
+}
+
 void GroupRegistry::add(const std::shared_ptr<Group>& g) {
   std::lock_guard<std::mutex> lk(mutex);
   groups.push_back(g);
@@ -94,6 +112,7 @@ void Group::barrier_wait() {
   auto deadline = std::chrono::steady_clock::now() +
                   to_duration(timeout_seconds);
   bool grace_applied = false;
+  int retries_left = barrier_retries;
   while (phase == my_phase && !dead) {
     if (failed && !grace_applied) {
       // Poisoned while waiting. Still rendezvous: peers between the
@@ -107,6 +126,16 @@ void Group::barrier_wait() {
     }
     if (cv.wait_until(lk, deadline) == std::cv_status::timeout &&
         phase == my_phase && !dead) {
+      if (!grace_applied && !failed && retries_left > 0) {
+        // Bounded retry-with-backoff: absorb a transient delay (a slow but
+        // live peer) by extending the deadline instead of declaring the
+        // group dead at the first expiry. The total budget stays below the
+        // kTimeout fault's stall bound, so genuine stalls still poison.
+        --retries_left;
+        deadline = std::chrono::steady_clock::now() +
+                   to_duration(timeout_seconds * retry_backoff);
+        continue;
+      }
       failed = true;
       dead = true;
       if (fail_reason.empty())
@@ -344,7 +373,12 @@ Comm Comm::split(int color, int key, CommTag tag) const {
   if (!group_ || group_->size == 1) {
     auto child =
         detail::make_group(1, group_ ? group_->registry : nullptr);
-    if (group_) child->timeout_seconds = group_->timeout_seconds;
+    if (group_) {
+      child->timeout_seconds = group_->timeout_seconds;
+      child->barrier_retries = group_->barrier_retries;
+      child->retry_backoff = group_->retry_backoff;
+      child->board = group_->board;
+    }
     return Comm(std::move(child), 0, cost_, profile_, fault_);
   }
   auto& g = *group_;
@@ -364,7 +398,12 @@ Comm Comm::split(int color, int key, CommTag tag) const {
   if (lowest_of_color) {
     auto child = detail::make_group(my_child_size, g.registry);
     child->timeout_seconds = g.timeout_seconds;
+    child->barrier_retries = g.barrier_retries;
+    child->retry_backoff = g.retry_backoff;
     child->verify = g.verify;
+    // Children share the tree's shrink board so an injected rank-abort at a
+    // slice collective still registers the death for the world consensus.
+    child->board = g.board;
     std::lock_guard<std::mutex> lk(g.split_mutex);
     g.split_children[color] = std::move(child);
   }
@@ -387,6 +426,127 @@ Comm Comm::split(int color, int key, CommTag tag) const {
   }
   sync();  // ensure map reads finish before any later split reuses it
   return Comm(child, child_rank, cost_, profile_, fault_);
+}
+
+int Comm::world_rank() const {
+  if (!group_ || group_->world_ranks.empty()) return rank_;
+  return group_->world_ranks[static_cast<std::size_t>(rank_)];
+}
+
+const std::vector<int>& Comm::group_world_ranks() const {
+  static const std::vector<int> kEmpty;
+  return group_ ? group_->world_ranks : kEmpty;
+}
+
+bool Comm::marked_dead() const {
+  if (!group_ || !group_->board) return false;
+  return group_->board->is_dead(world_rank());
+}
+
+void Comm::mark_self_dead(const std::string& why) const {
+  if (group_ && group_->board) group_->board->mark_dead(world_rank(), why);
+}
+
+Comm Comm::shrink(CommTag tag) const {
+  PARPP_CHECK(group_ != nullptr, "shrink: null communicator");
+  auto& g = *group_;
+  PARPP_CHECK(g.board != nullptr,
+              "shrink: communicator tree has no shrink board (runtime was "
+              "created without elastic support)");
+  PARPP_CHECK(!g.world_ranks.empty(),
+              "shrink: only the world communicator can shrink");
+  auto board = g.board;
+  const int me = world_rank();
+  const int world_size = static_cast<int>(board->dead.size());
+  // A live straggler reaches this consensus at most one kTimeout stall bound
+  // after the failure (the stall breaks once the tree is poisoned, see
+  // fault.cpp); waiting longer than that before declaring it dead keeps
+  // false declarations out of the common chaos scenarios.
+  const double grace = 3.0 * g.timeout_seconds + 1.5;
+
+  std::shared_ptr<detail::Group> adopted;  // strong ref; see last_group doc
+  std::unique_lock<std::mutex> lk(board->mutex);
+  if (board->dead[static_cast<std::size_t>(me)])
+    throw CommFailure("rank " + std::to_string(me) +
+                      " was declared dead; cannot rejoin the shrunken "
+                      "communicator");
+  board->joined[static_cast<std::size_t>(me)] = 1;
+  board->cv.notify_all();
+  const std::uint64_t my_epoch = board->epoch;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        detail::to_duration(grace);
+  while (board->epoch == my_epoch) {
+    bool pending = false;
+    for (int w = 0; w < world_size; ++w) {
+      const auto s = static_cast<std::size_t>(w);
+      if (!board->dead[s] && !board->joined[s]) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) {
+      // Every rank not marked dead has joined; the first thread to observe
+      // that builds this round's result. The new group gets a *fresh*
+      // registry — the old tree stays poisoned and must never infect the
+      // rebuilt communicator — and fresh verifier sequence counters.
+      std::vector<int> survivors;
+      for (int w = 0; w < world_size; ++w)
+        if (!board->dead[static_cast<std::size_t>(w)]) survivors.push_back(w);
+      if (survivors.empty())
+        throw CommFailure("shrink: no surviving ranks");
+      auto ng = detail::make_group(static_cast<int>(survivors.size()));
+      ng->timeout_seconds = g.timeout_seconds;
+      ng->barrier_retries = g.barrier_retries;
+      ng->retry_backoff = g.retry_backoff;
+      ng->verify = g.verify;
+      ng->board = board;
+      ng->world_ranks = survivors;
+      adopted = std::move(ng);
+      board->last_group = adopted;
+      board->last_survivors = std::move(survivors);
+      std::fill(board->joined.begin(), board->joined.end(), 0);
+      ++board->epoch;
+      board->cv.notify_all();
+      break;
+    }
+    if (board->cv.wait_until(lk, deadline) == std::cv_status::timeout &&
+        board->epoch == my_epoch) {
+      // Grace expired: whoever has not joined by now is unresponsive.
+      for (int w = 0; w < world_size; ++w) {
+        const auto s = static_cast<std::size_t>(w);
+        if (!board->dead[s] && !board->joined[s]) {
+          board->dead[s] = 1;
+          board->last_death_reason =
+              "rank " + std::to_string(w) +
+              " unresponsive during shrink consensus";
+        }
+      }
+      board->cv.notify_all();
+    }
+  }
+  if (board->dead[static_cast<std::size_t>(me)])
+    throw CommFailure("rank " + std::to_string(me) +
+                      " was declared unresponsive during shrink consensus");
+  int new_rank = -1;
+  for (std::size_t i = 0; i < board->last_survivors.size(); ++i) {
+    if (board->last_survivors[i] == me) {
+      new_rank = static_cast<int>(i);
+      break;
+    }
+  }
+  PARPP_CHECK(new_rank >= 0, "shrink: survivor missing from consensus result");
+  if (!adopted) adopted = board->last_group.lock();
+  lk.unlock();
+  if (!adopted)
+    throw CommFailure(
+        "shrink: rebuilt communicator was released before adoption (its "
+        "creating rank aborted during recovery)");
+  Comm out(std::move(adopted), new_rank, cost_, profile_, fault_);
+  // First collective on the rebuilt communicator: a verified rendezvous
+  // (fingerprinted when the tree verifies) proving the new group and its
+  // re-registered verifier round-trip before any payload moves.
+  out.barrier(tag);
+  return out;
 }
 
 }  // namespace parpp::mpsim

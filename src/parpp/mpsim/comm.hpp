@@ -20,6 +20,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,38 @@ struct GroupRegistry {
   void poison_all(const std::string& reason);
 };
 
+/// World-scope consensus state for elastic shrink (ULFM-style continuation).
+/// Lives *outside* the poisonable Group tree: once a failure poisons every
+/// group, the survivors can no longer use barriers to agree on anything, so
+/// they rendezvous here instead. Sticky death flags are indexed by original
+/// world rank and survive across shrinks; each consensus round (epoch)
+/// collects every rank not marked dead, declares unresponsive stragglers
+/// dead after a grace period, and publishes one rebuilt Group (fresh
+/// registry, fresh verifier sequence numbers) that all survivors adopt.
+struct ShrinkBoard {
+  explicit ShrinkBoard(int world_size);
+
+  /// Mark a world rank dead (sticky). Safe from any thread; wakes shrink
+  /// waiters so consensus can complete without waiting out the grace period.
+  void mark_dead(int world_rank, const std::string& why);
+  [[nodiscard]] bool is_dead(int world_rank);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<char> dead;       ///< sticky, world-rank indexed
+  std::vector<char> joined;     ///< current epoch's arrivals; reset per epoch
+  std::uint64_t epoch = 0;      ///< completed consensus rounds
+  /// Result of the last round. Weak on purpose: the rebuilt Group holds the
+  /// board through `Group::board`, so a strong handle here would form a
+  /// reference cycle that outlives the run. The creating thread keeps a
+  /// strong reference through the adoption barrier (which every survivor
+  /// must reach after locking this handle), so adoption never observes an
+  /// expired pointer unless the creator itself aborted mid-recovery.
+  std::weak_ptr<Group> last_group;
+  std::vector<int> last_survivors;     ///< world ranks, ascending
+  std::string last_death_reason;       ///< why the most recent rank died
+};
+
 /// Shared state for one communicator group. All member ranks hold the same
 /// Group through shared_ptr; staging slots are indexed by group rank.
 struct Group {
@@ -57,7 +90,23 @@ struct Group {
   int size;
   /// Longest a rank waits at a barrier before declaring the group dead.
   double timeout_seconds = 60.0;
+  /// Bounded retry-with-backoff on the timed barrier: after the first
+  /// timeout expires, a waiter extends its deadline `barrier_retries` times
+  /// (each extension timeout_seconds * retry_backoff) before declaring the
+  /// group dead. Transient delays in (T, T * (1 + retries * backoff)] are
+  /// absorbed without poisoning anything. The kTimeout fault's stall bound
+  /// (3 T + 0.1, see fault.cpp) exceeds the full budget, so a genuinely
+  /// unresponsive rank is still always declared dead.
+  int barrier_retries = 1;
+  double retry_backoff = 1.5;
   std::shared_ptr<GroupRegistry> registry;
+  /// Shrink consensus board shared by the whole communicator tree across
+  /// shrinks; null when the runtime did not enable elastic recovery.
+  std::shared_ptr<ShrinkBoard> board;
+  /// Group rank -> original world rank (identity for the initial world
+  /// group, the survivor list for shrunken ones; empty for split children,
+  /// which never shrink directly).
+  std::vector<int> world_ranks;
 
   std::vector<const double*> src;  ///< publish slots (one per rank)
   std::vector<double*> dst;        ///< destination slots where needed
@@ -150,6 +199,41 @@ class Comm {
   /// Collective split: every member must call with some (color, key); ranks
   /// sharing a color form a child communicator ordered by (key, old rank).
   [[nodiscard]] Comm split(int color, int key, CommTag tag) const;
+
+  /// Elastic shrink (ULFM-style): after observing CommFailure on this
+  /// (world) communicator, every surviving rank calls shrink(). Survivors
+  /// agree on the live-rank set through the shrink board — a poison-tolerant
+  /// consensus that waits for every rank not already marked dead, declaring
+  /// unresponsive stragglers dead after a grace period sized to outlast the
+  /// barrier retry budget and the kTimeout stall bound — then the first rank
+  /// past the consensus rebuilds a smaller Group under a *fresh* registry
+  /// (the old tree stays poisoned) with the verifier re-registered and
+  /// program-order sequence numbers reset. Returns the new communicator; the
+  /// first collective on it is a verified barrier carrying `tag`, proving
+  /// the rebuilt group round-trips before any payload moves. Throws
+  /// CommFailure if this rank was itself declared dead, or if no shrink
+  /// board exists (runtime without elastic support).
+  [[nodiscard]] Comm shrink(CommTag tag) const;
+
+  /// True when this communicator tree carries a shrink board.
+  [[nodiscard]] bool shrink_supported() const {
+    return group_ && group_->board != nullptr;
+  }
+
+  /// This rank's original world rank (identity before any shrink).
+  [[nodiscard]] int world_rank() const;
+
+  /// Group rank -> original world rank for every member (ascending after a
+  /// shrink). Empty for split children.
+  [[nodiscard]] const std::vector<int>& group_world_ranks() const;
+
+  /// True when the shrink board has declared this rank dead (it must abort
+  /// rather than rejoin).
+  [[nodiscard]] bool marked_dead() const;
+
+  /// Register this rank's own death on the shrink board (local failure
+  /// outside a collective) so a concurrent shrink excludes it immediately.
+  void mark_self_dead(const std::string& why) const;
 
   /// Poison this communicator's whole tree: every rank's next barrier (in
   /// any group) throws CommFailure with `reason`. Used by the runtime when

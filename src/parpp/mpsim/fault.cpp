@@ -21,28 +21,63 @@ const char* fault_kind_name(FaultKind k) {
   return "?";
 }
 
-bool FaultyComm::matches(Collective kind, index_t words) const {
-  if (plan_.filter_collective && kind != plan_.collective) return false;
+std::vector<FaultEvent> FaultPlan::events() const {
+  std::vector<FaultEvent> out;
+  if (kind != FaultKind::kNone) {
+    FaultEvent head;
+    head.kind = kind;
+    head.rank = rank;
+    head.nth = nth;
+    head.filter_collective = filter_collective;
+    head.collective = collective;
+    head.delay_seconds = delay_seconds;
+    head.repeat = repeat;
+    head.period = period;
+    out.push_back(head);
+  }
+  for (const auto& e : then)
+    if (e.kind != FaultKind::kNone) out.push_back(e);
+  return out;
+}
+
+FaultyComm::FaultyComm(const FaultPlan& plan, int world_rank)
+    : min_corrupt_words_(plan.min_corrupt_words),
+      seed_(plan.seed),
+      world_rank_(world_rank) {
+  for (const auto& ev : plan.events()) events_.push_back({ev, 0, 0});
+}
+
+bool FaultyComm::matches(const FaultEvent& ev, Collective kind,
+                         index_t words) const {
+  if (ev.filter_collective && kind != ev.collective) return false;
   // Corruption targets data payloads only; scalar control collectives
   // (stop flags, health verdicts) stay intact so the rank-replicated
   // control flow cannot diverge (see FaultPlan::min_corrupt_words).
-  if (plan_.kind == FaultKind::kCorruption &&
-      words < plan_.min_corrupt_words)
+  if (ev.kind == FaultKind::kCorruption && words < min_corrupt_words_)
     return false;
   return true;
 }
 
 void FaultyComm::before_collective(Collective kind, detail::Group& group,
                                    double* inout, index_t words) {
-  if (!plan_.active() || fired_ || world_rank_ != plan_.rank) return;
-  if (!matches(kind, words)) return;
-  if (++matched_ != plan_.nth) return;
-  fired_ = true;
+  for (auto& st : events_) {
+    if (world_rank_ != st.ev.rank) continue;
+    if (!matches(st.ev, kind, words)) continue;
+    ++st.matched;
+    if (st.fired >= st.ev.repeat) continue;
+    const int target = st.ev.nth + st.fired * st.ev.period;
+    if (st.matched != target) continue;
+    ++st.fired;
+    fire(st, group, inout, words);  // kRankAbort throws
+  }
+}
 
-  switch (plan_.kind) {
+void FaultyComm::fire(const EventState& st, detail::Group& group,
+                      double* inout, index_t words) {
+  switch (st.ev.kind) {
     case FaultKind::kDelay:
       std::this_thread::sleep_for(
-          std::chrono::duration<double>(plan_.delay_seconds));
+          std::chrono::duration<double>(st.ev.delay_seconds));
       delay_notices_.fetch_add(1);
       return;
 
@@ -51,6 +86,8 @@ void FaultyComm::before_collective(Collective kind, detail::Group& group,
       // Peers time out at their publication barrier and poison the tree;
       // this rank then observes the failure at its own first barrier below.
       // Bounded so a generous timeout cannot hang the simulation forever.
+      // The bound covers the peers' full retry-with-backoff budget (see
+      // Group::barrier_wait) so the stall always outlasts their patience.
       const double limit = 3.0 * group.timeout_seconds + 0.1;
       const auto t0 = std::chrono::steady_clock::now();
       while (!group.poisoned()) {
@@ -66,7 +103,11 @@ void FaultyComm::before_collective(Collective kind, detail::Group& group,
       const std::string reason =
           "rank " + std::to_string(world_rank_) +
           " aborted (injected fault at matching collective #" +
-          std::to_string(plan_.nth) + ")";
+          std::to_string(st.matched) + ")";
+      // Register the death on the shrink board (when the tree has one) so
+      // an elastic shrink consensus excludes this rank immediately instead
+      // of waiting out the straggler grace period.
+      if (group.board) group.board->mark_dead(world_rank_, reason);
       group.poison_tree(reason);
       throw CommFailure(reason);
     }
@@ -76,8 +117,8 @@ void FaultyComm::before_collective(Collective kind, detail::Group& group,
         // In-place collective: corrupt this rank's *contribution*, so every
         // rank receives the identical (NaN-poisoned) reduction and the
         // replicated state stays replicated.
-        inout[static_cast<index_t>(plan_.seed % static_cast<std::uint64_t>(
-                                       words))] =
+        inout[static_cast<index_t>(seed_ %
+                                   static_cast<std::uint64_t>(words))] =
             std::numeric_limits<double>::quiet_NaN();
         corruption_notices_.fetch_add(1);
       } else {
@@ -97,7 +138,7 @@ void FaultyComm::after_collective(Collective /*kind*/, double* out,
                                   index_t words) {
   if (!corrupt_output_pending_ || words <= 0) return;
   corrupt_output_pending_ = false;
-  out[static_cast<index_t>(plan_.seed % static_cast<std::uint64_t>(words))] =
+  out[static_cast<index_t>(seed_ % static_cast<std::uint64_t>(words))] =
       std::numeric_limits<double>::quiet_NaN();
   corruption_notices_.fetch_add(1);
 }

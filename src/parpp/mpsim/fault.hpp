@@ -1,7 +1,7 @@
 // Deterministic communication-fault injection for the thread-rank simulator.
 //
-// A FaultPlan describes one misbehaviour — a slow rank, an unresponsive
-// rank, a rank that dies, or a corrupted payload — triggered at the Nth
+// A FaultPlan describes scripted misbehaviour — slow ranks, unresponsive
+// ranks, ranks that die, corrupted payloads — triggered at the Nth
 // collective (of a chosen kind) that a chosen rank participates in. The
 // per-rank FaultyComm decorator counts that rank's collectives in program
 // order, so the trigger point is bit-reproducible across reruns: no clocks,
@@ -10,10 +10,16 @@
 // active; Comm consults it at every collective (including split children,
 // which inherit the pointer), so chaos runs exercise exactly the code paths
 // a real MPI fault would hit.
+//
+// A plan may script a *sequence*: its head event can repeat (`repeat` firings
+// spaced `period` matching collectives apart) and `then` appends further
+// independent events, each with its own target rank and trigger counter.
+// Sequences are what elastic-recovery tests need — shrink, then fail again.
 #pragma once
 
 #include <atomic>
 #include <string>
+#include <vector>
 
 #include "parpp/mpsim/cost.hpp"
 #include "parpp/util/common.hpp"
@@ -42,39 +48,68 @@ enum class FaultKind : int {
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
 
-/// One scripted fault. Deterministic: the trigger is a collective count, the
-/// corrupted element index derives from `seed`.
-struct FaultPlan {
+/// One scripted fault. Deterministic: the trigger is a collective count
+/// (1-based, counted per target rank across world and sub-communicators from
+/// the start of the run, independently per event).
+struct FaultEvent {
   FaultKind kind = FaultKind::kNone;
   /// World rank that misbehaves.
   int rank = 0;
-  /// Fire at the Nth matching collective that rank participates in
-  /// (1-based, counted per rank across world and sub-communicators).
+  /// Fire at the Nth matching collective that rank participates in.
   int nth = 1;
   /// Restrict the trigger to one collective class; any class when false.
   bool filter_collective = false;
   Collective collective = Collective::kAllReduce;
   /// Sleep length for kDelay.
   double delay_seconds = 0.05;
+  /// Total firings of this event (default one-shot).
+  int repeat = 1;
+  /// Matching collectives between consecutive firings; required >= 1 when
+  /// repeat > 1. Firing k (0-based) triggers at match nth + k * period.
+  int period = 1;
+};
+
+/// A scripted fault sequence. The struct doubles as its own head event (the
+/// flat fields predate sequences and every existing call site sets them
+/// directly); `then` appends further events fired by the same run.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  int rank = 0;
+  int nth = 1;
+  bool filter_collective = false;
+  Collective collective = Collective::kAllReduce;
+  double delay_seconds = 0.05;
+  int repeat = 1;
+  int period = 1;
   /// kCorruption only fires on payloads of at least this many words, so
   /// scalar control values (stop flags, health verdicts) are never the
   /// corrupted element — corrupting a control word on one rank would
   /// desynchronize collective call sequences across ranks, which is a
-  /// different failure class than data corruption.
+  /// different failure class than data corruption. Plan-global.
   index_t min_corrupt_words = 8;
   std::uint64_t seed = 0;
+  /// Additional scripted events after the head.
+  std::vector<FaultEvent> then;
 
-  [[nodiscard]] bool active() const { return kind != FaultKind::kNone; }
+  [[nodiscard]] bool active() const {
+    if (kind != FaultKind::kNone) return true;
+    for (const auto& e : then)
+      if (e.kind != FaultKind::kNone) return true;
+    return false;
+  }
+
+  /// The flat head event (when set) followed by `then`, kNone entries
+  /// dropped.
+  [[nodiscard]] std::vector<FaultEvent> events() const;
 };
 
 /// Per-rank fault engine the communicator consults at collective entry/exit.
-/// Counts this rank's collectives deterministically; only the plan's target
-/// rank ever fires. Notices (delay, corruption) are recorded so drivers can
-/// surface even tolerated faults in their recovery logs.
+/// Counts this rank's collectives deterministically; only an event's target
+/// rank ever fires it. Notices (delay, corruption) are recorded so drivers
+/// can surface even tolerated faults in their recovery logs.
 class FaultyComm {
  public:
-  FaultyComm(const FaultPlan& plan, int world_rank)
-      : plan_(plan), world_rank_(world_rank) {}
+  FaultyComm(const FaultPlan& plan, int world_rank);
 
   /// Called on collective entry. `inout` is the in-place payload for
   /// allreduce/bcast (null for the gather-shaped collectives, whose own
@@ -96,12 +131,21 @@ class FaultyComm {
   }
 
  private:
-  [[nodiscard]] bool matches(Collective kind, index_t words) const;
+  struct EventState {
+    FaultEvent ev;
+    int matched = 0;  ///< matching collectives seen so far (this rank)
+    int fired = 0;    ///< firings so far (capped at ev.repeat)
+  };
 
-  FaultPlan plan_;
+  [[nodiscard]] bool matches(const FaultEvent& ev, Collective kind,
+                             index_t words) const;
+  void fire(const EventState& st, detail::Group& group, double* inout,
+            index_t words);
+
+  index_t min_corrupt_words_ = 8;
+  std::uint64_t seed_ = 0;
   int world_rank_ = 0;
-  int matched_ = 0;      ///< matching collectives seen so far (this rank)
-  bool fired_ = false;   ///< each plan fires exactly once
+  std::vector<EventState> events_;
   bool corrupt_output_pending_ = false;
   std::atomic<int> delay_notices_{0};
   std::atomic<int> corruption_notices_{0};

@@ -44,11 +44,15 @@ RunResult run(int nprocs, const std::function<void(Comm&)>& body,
   PARPP_CHECK(nprocs >= 1, "run: need at least one rank");
   const bool faulty = options.fault.active();
   if (faulty) {
-    PARPP_CHECK(options.fault.rank >= 0 && options.fault.rank < nprocs,
-                "run: fault plan targets rank ", options.fault.rank,
-                " outside [0, ", nprocs, ")");
-    PARPP_CHECK(options.fault.nth >= 1,
-                "run: fault plan nth must be >= 1");
+    for (const auto& ev : options.fault.events()) {
+      PARPP_CHECK(ev.rank >= 0 && ev.rank < nprocs,
+                  "run: fault event targets rank ", ev.rank, " outside [0, ",
+                  nprocs, ")");
+      PARPP_CHECK(ev.nth >= 1, "run: fault event nth must be >= 1");
+      PARPP_CHECK(ev.repeat >= 1, "run: fault event repeat must be >= 1");
+      PARPP_CHECK(ev.repeat == 1 || ev.period >= 1,
+                  "run: repeating fault event needs period >= 1");
+    }
   }
   RunResult result;
   result.costs.resize(static_cast<std::size_t>(nprocs));
@@ -58,6 +62,13 @@ RunResult run(int nprocs, const std::function<void(Comm&)>& body,
   group->timeout_seconds = options.comm_timeout_seconds > 0.0
                                ? options.comm_timeout_seconds
                                : (faulty ? 2.0 : 60.0);
+  group->barrier_retries = std::max(0, options.barrier_retries);
+  // Every world group carries a shrink board so elastic drivers can rebuild
+  // after a failure; it is pure idle state when nothing ever shrinks.
+  group->board = std::make_shared<detail::ShrinkBoard>(nprocs);
+  group->world_ranks.resize(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r)
+    group->world_ranks[static_cast<std::size_t>(r)] = r;
   bool verify = options.verify_collectives;
   if (const char* env = std::getenv("PARPP_VERIFY_COLLECTIVES"))
     verify = env[0] != '\0' && env[0] != '0';

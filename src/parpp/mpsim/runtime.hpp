@@ -18,6 +18,11 @@ struct RunOptions {
   /// Barrier timeout; <= 0 picks the default (60 s, or 2 s when a fault
   /// plan is active so timeout-class chaos tests fail fast).
   double comm_timeout_seconds = 0.0;
+  /// Bounded retry-with-backoff on the timed barrier: how many times a
+  /// waiter extends its deadline (by timeout * 1.5 each) before declaring
+  /// the group dead. Absorbs transient delay faults without poisoning;
+  /// 0 restores the strict single-timeout behaviour.
+  int barrier_retries = 1;
   /// Collective-matching verifier (see mpsim/verify.hpp): fingerprint every
   /// rendezvous (op kind, payload count, call-site tag, program-order
   /// sequence number) and cross-check the group before any payload moves,

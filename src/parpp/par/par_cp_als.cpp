@@ -10,6 +10,7 @@
 #include "parpp/core/solve_update.hpp"
 #include "parpp/dist/sparse_dist.hpp"
 #include "parpp/la/gemm.hpp"
+#include "parpp/par/elastic.hpp"
 #include "parpp/util/timer.hpp"
 
 namespace parpp::par {
@@ -289,6 +290,14 @@ std::vector<double> ParCpContext::global_sq_norms(
 void merge_abort_records(ParResult& result,
                          const std::vector<std::string>& reasons,
                          const std::vector<int>& sweeps) {
+  merge_abort_records(result, reasons, sweeps,
+                      std::vector<char>(reasons.size(), 0));
+}
+
+void merge_abort_records(ParResult& result,
+                         const std::vector<std::string>& reasons,
+                         const std::vector<int>& sweeps,
+                         const std::vector<char>& removed) {
   bool any = false;
   // Group identical reasons in first-rank order so the log is deterministic
   // and compact (a tree-wide poison gives every rank the same reason).
@@ -296,6 +305,10 @@ void merge_abort_records(ParResult& result,
   std::vector<int> group_sweep;
   for (std::size_t r = 0; r < reasons.size(); ++r) {
     if (reasons[r].empty()) continue;
+    // Ranks folded into a successful shrink are already covered by the
+    // recovery_log entry the survivors wrote; their unwind records must not
+    // flip a recovered-shrunk run into a comm-abort.
+    if (r < removed.size() && removed[r] != 0) continue;
     any = true;
     bool found = false;
     for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -368,6 +381,8 @@ ParResult par_cp_als(const dist::DistProblem& problem, int nprocs,
       static_cast<std::size_t>(nprocs));
   std::vector<std::string> abort_reasons(static_cast<std::size_t>(nprocs));
   std::vector<int> abort_sweeps(static_cast<std::size_t>(nprocs), 0);
+  BuddyStore store(nprocs);
+  std::vector<char> removed(static_cast<std::size_t>(nprocs), 0);
 
   mpsim::RunOptions ropt;
   ropt.threads_per_rank = options.threads_per_rank;
@@ -375,111 +390,120 @@ ParResult par_cp_als(const dist::DistProblem& problem, int nprocs,
   ropt.comm_timeout_seconds = options.comm_timeout_seconds;
   auto run_result = mpsim::run(
       nprocs,
-      [&](mpsim::Comm& comm) {
-        const auto me = static_cast<std::size_t>(comm.rank());
+      [&](mpsim::Comm& world) {
+        const auto me = static_cast<std::size_t>(world.rank());
         int cur_sweep = 0;
         try {
-          ParCpContext ctx(comm, problem, options, hooks.initial_factors);
-          if (comm.rank() == 0) result.nnz_imbalance = ctx.nnz_imbalance();
-          const int n = ctx.order();
-          WallTimer timer;
-          double fit = 0.0, fit_old = -1.0;
-          if (hooks.resume != nullptr) {
-            fit = hooks.resume->fitness;
-            fit_old = hooks.resume->prev_fitness;
-          }
-          int sweep = 0, rollbacks = 0;
-          while (sweep < options.base.max_sweeps &&
-                 std::abs(fit - fit_old) > options.base.tol) {
-            ctx.capture_state();
-            const double saved_fit = fit, saved_fit_old = fit_old;
-            const Profile before = Profile::thread_default();
-            for (int i = 0; i < n; ++i) ctx.update_mode(i);
-            ++sweep;
-            cur_sweep = sweep;
-            fit_old = fit;
-            const double r = ctx.residual();
-            fit = core::fitness_from_residual(r);
-            sweep_profiles[me].push_back(
-                Profile::thread_default().delta_since(before));
-            const ParCpContext::SweepHealth h = ctx.last_health();
-            if (comm.rank() == 0) record_health_events(result, sweep, h);
-            if (h.nonfinite > 0.0 || !std::isfinite(fit)) {
-              // Replicated verdict: every rank rolls back in lockstep to
-              // the pre-sweep iterate. The sweep counter keeps advancing,
-              // so termination stays bounded by max_sweeps.
-              ctx.restore_state();
-              fit = saved_fit;
-              fit_old = saved_fit_old;
-              if (rollbacks < kParRollbackBudget) {
-                ++rollbacks;
-                if (comm.rank() == 0) {
-                  result.recovery_log.push_back(
-                      {sweep, "non-finite iterate: rolled back to the last "
-                              "good sweep (rollback " +
-                                  std::to_string(rollbacks) + "/" +
-                                  std::to_string(kParRollbackBudget) + ")"});
-                  if (result.status == core::SolveStatus::kOk)
-                    result.status = core::SolveStatus::kRecovered;
+          run_with_elastic(
+              world, problem, options, hooks, store, result, removed,
+              [&](ElasticAttempt& at) {
+                mpsim::Comm& comm = at.comm;
+                ParCpContext ctx(comm, problem, at.options, at.init_factors);
+                at.begin_epoch(ctx);
+                const int n = ctx.order();
+                WallTimer timer;
+                double fit = at.fit, fit_old = at.fit_old;
+                int sweep = at.start_sweep, rollbacks = 0;
+                cur_sweep = sweep;
+                while (sweep < options.base.max_sweeps &&
+                       std::abs(fit - fit_old) > options.base.tol) {
+                  at.publish(ctx, sweep, fit, fit_old);
+                  ctx.capture_state();
+                  const double saved_fit = fit, saved_fit_old = fit_old;
+                  const Profile before = Profile::thread_default();
+                  for (int i = 0; i < n; ++i) ctx.update_mode(i);
+                  ++sweep;
+                  cur_sweep = sweep;
+                  fit_old = fit;
+                  const double r = ctx.residual();
+                  fit = core::fitness_from_residual(r);
+                  sweep_profiles[me].push_back(
+                      Profile::thread_default().delta_since(before));
+                  const ParCpContext::SweepHealth h = ctx.last_health();
+                  if (comm.rank() == 0) record_health_events(result, sweep, h);
+                  if (h.nonfinite > 0.0 || !std::isfinite(fit)) {
+                    // Replicated verdict: every rank rolls back in lockstep
+                    // to the pre-sweep iterate. The sweep counter keeps
+                    // advancing, so termination stays bounded by max_sweeps.
+                    ctx.restore_state();
+                    fit = saved_fit;
+                    fit_old = saved_fit_old;
+                    if (rollbacks < kParRollbackBudget) {
+                      ++rollbacks;
+                      if (comm.rank() == 0) {
+                        result.recovery_log.push_back(
+                            {sweep,
+                             "non-finite iterate: rolled back to the last "
+                             "good sweep (rollback " +
+                                 std::to_string(rollbacks) + "/" +
+                                 std::to_string(kParRollbackBudget) + ")"});
+                        if (result.status == core::SolveStatus::kOk)
+                          result.status = core::SolveStatus::kRecovered;
+                      }
+                      continue;
+                    }
+                    if (comm.rank() == 0) {
+                      result.recovery_log.push_back(
+                          {sweep,
+                           "non-finite iterate persisted past the rollback "
+                           "budget; aborting on the last good state"});
+                      result.status = core::SolveStatus::kNumericalAbort;
+                    }
+                    break;
+                  }
+                  if (comm.rank() == 0) {
+                    if (options.base.record_history)
+                      result.history.push_back({timer.seconds(), fit, "als"});
+                    result.residual = r;
+                    result.fitness = fit;
+                    result.sweeps = sweep;
+                    result.num_als_sweeps = sweep;
+                  }
+                  if (hooks.checkpoint_every > 0 && hooks.on_checkpoint &&
+                      sweep % hooks.checkpoint_every == 0) {
+                    // Collective assembly on the replicated sweep counter;
+                    // only rank 0 invokes the callback (and writes the file).
+                    std::vector<la::Matrix> ck_factors;
+                    ck_factors.reserve(static_cast<std::size_t>(n));
+                    for (int m = 0; m < n; ++m)
+                      ck_factors.push_back(ctx.assemble_factor(m));
+                    if (comm.rank() == 0)
+                      hooks.on_checkpoint(ck_factors, sweep, fit, fit_old);
+                  }
+                  if (!hooks_continue_collective(
+                          comm, hooks, {timer.seconds(), fit, "als"}))
+                    break;
                 }
-                continue;
-              }
-              if (comm.rank() == 0) {
-                result.recovery_log.push_back(
-                    {sweep, "non-finite iterate persisted past the rollback "
-                            "budget; aborting on the last good state"});
-                result.status = core::SolveStatus::kNumericalAbort;
-              }
-              break;
-            }
-            if (comm.rank() == 0) {
-              if (options.base.record_history)
-                result.history.push_back({timer.seconds(), fit, "als"});
-              result.residual = r;
-              result.fitness = fit;
-              result.sweeps = sweep;
-              result.num_als_sweeps = sweep;
-            }
-            if (hooks.checkpoint_every > 0 && hooks.on_checkpoint &&
-                sweep % hooks.checkpoint_every == 0) {
-              // Collective assembly on the replicated sweep counter; only
-              // rank 0 invokes the callback (and writes the file).
-              std::vector<la::Matrix> ck_factors;
-              ck_factors.reserve(static_cast<std::size_t>(n));
-              for (int m = 0; m < n; ++m)
-                ck_factors.push_back(ctx.assemble_factor(m));
-              if (comm.rank() == 0)
-                hooks.on_checkpoint(ck_factors, sweep, fit, fit_old);
-            }
-            if (!hooks_continue_collective(comm, hooks,
-                                           {timer.seconds(), fit, "als"}))
-              break;
-          }
-          // Assemble global factors (collective) and let rank 0 keep them.
-          std::vector<la::Matrix> assembled;
-          assembled.reserve(static_cast<std::size_t>(n));
-          for (int m = 0; m < n; ++m)
-            assembled.push_back(ctx.assemble_factor(m));
-          if (comm.rank() == 0) result.factors = std::move(assembled);
+                // Assemble global factors (collective); rank 0 keeps them.
+                std::vector<la::Matrix> assembled;
+                assembled.reserve(static_cast<std::size_t>(n));
+                for (int m = 0; m < n; ++m)
+                  assembled.push_back(ctx.assemble_factor(m));
+                if (comm.rank() == 0) result.factors = std::move(assembled);
+              });
         } catch (const mpsim::CommFailure& e) {
           abort_reasons[me] = e.what();
           abort_sweeps[me] = cur_sweep;
         } catch (const std::exception& e) {
           // Local failure: poison the communicator tree so peers unwind
-          // (they record the poison reason as their own CommFailure).
+          // (they record the poison reason as their own CommFailure). The
+          // elastic runner already poisoned the current epoch's tree.
           abort_reasons[me] = std::string("local exception: ") + e.what();
           abort_sweeps[me] = cur_sweep;
-          comm.poison("rank " + std::to_string(comm.rank()) +
-                      " failed: " + e.what());
+          world.poison("rank " + std::to_string(world.rank()) +
+                       " failed: " + e.what());
         }
       },
       ropt);
-  merge_abort_records(result, abort_reasons, abort_sweeps);
+  merge_abort_records(result, abort_reasons, abort_sweeps, removed);
 
-  // Per-sweep profile of the slowest rank.
-  const std::size_t sweeps = result.sweeps > 0
-                                 ? sweep_profiles[0].size()
-                                 : std::size_t{0};
+  // Per-sweep profile of the slowest rank. Sized by the longest per-rank
+  // record (post-shrink epochs leave survivors with more entries than the
+  // ranks that died early).
+  std::size_t sweeps = 0;
+  if (result.sweeps > 0)
+    for (const auto& per_rank : sweep_profiles)
+      sweeps = std::max(sweeps, per_rank.size());
   for (std::size_t s = 0; s < sweeps; ++s) {
     Profile worst;
     Profile cat_max;

@@ -21,6 +21,18 @@ enum class SolveMode {
   kReplicatedSequential,  ///< PLANC-style: gather M, replicated full solve
 };
 
+/// Elastic recovery policy after a communicator failure (ULFM-style).
+enum class ElasticMode {
+  kOff,     ///< legacy behaviour: CommFailure ends the run (clean abort)
+  kShrink,  ///< survivors shrink the communicator and continue the solve
+};
+
+struct ElasticOptions {
+  ElasticMode mode = ElasticMode::kOff;
+  /// Shrink rounds a single solve may attempt before giving up.
+  int max_shrinks = 3;
+};
+
 struct ParOptions {
   core::CpOptions base;
   std::vector<int> grid_dims;  ///< product must equal the rank count
@@ -37,6 +49,9 @@ struct ParOptions {
   /// Collective timeout; <= 0 picks the runtime default (60 s, or 2 s when
   /// a fault plan is active).
   double comm_timeout_seconds = 0.0;
+  /// Elastic shrink-and-continue policy (off by default: a CommFailure
+  /// remains a clean collective abort, bit-for-bit the legacy behaviour).
+  ElasticOptions elastic = {};
 };
 
 struct ParResult {
@@ -66,6 +81,12 @@ struct ParResult {
   /// least one recovery_log event.
   core::SolveStatus status = core::SolveStatus::kOk;
   std::vector<core::RecoveryEvent> recovery_log;
+  /// Ranks the solve finished on (== the launch count unless an elastic
+  /// shrink removed some; 0 for results that never ran a parallel epoch).
+  int final_ranks = 0;
+  /// nnz imbalance of the repartitioned grid after the last shrink (0.0
+  /// when no shrink happened or the storage reports no nnz).
+  double post_shrink_nnz_imbalance = 0.0;
 };
 
 /// Row-local HALS pass over the Q-distributed rows (see core::hals_update):
@@ -245,6 +266,14 @@ class ParCpContext {
 void merge_abort_records(ParResult& result,
                          const std::vector<std::string>& reasons,
                          const std::vector<int>& sweeps);
+
+/// Elastic-aware overload: slots of ranks in `removed` (world-rank indexed)
+/// were folded into a successful shrink's recovery_log entry already — their
+/// abort reasons are expected and must not flip the status to kCommAbort.
+void merge_abort_records(ParResult& result,
+                         const std::vector<std::string>& reasons,
+                         const std::vector<int>& sweeps,
+                         const std::vector<char>& removed);
 
 /// Rank-0 bookkeeping of a replicated health verdict: folds tolerated
 /// events (guardrail fires, injected delays/corruptions) into the recovery

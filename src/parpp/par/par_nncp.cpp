@@ -8,6 +8,7 @@
 #include "parpp/core/gram.hpp"
 #include "parpp/dist/sparse_dist.hpp"
 #include "parpp/la/gemm.hpp"
+#include "parpp/par/elastic.hpp"
 #include "parpp/util/timer.hpp"
 
 namespace parpp::par {
@@ -36,9 +37,12 @@ ParResult par_nncp_hals(const dist::DistProblem& problem, int nprocs,
                         const ParNncpOptions& options,
                         const core::DriverHooks& hooks) {
   ParResult result;
-  const ParOptions& par = options.par;
+  ParOptions par = options.par;
+  par.local_engine = options.nn.engine;
   std::vector<std::string> abort_reasons(static_cast<std::size_t>(nprocs));
   std::vector<int> abort_sweeps(static_cast<std::size_t>(nprocs), 0);
+  BuddyStore store(nprocs);
+  std::vector<char> removed(static_cast<std::size_t>(nprocs), 0);
 
   mpsim::RunOptions ropt;
   ropt.threads_per_rank = par.threads_per_rank;
@@ -46,100 +50,105 @@ ParResult par_nncp_hals(const dist::DistProblem& problem, int nprocs,
   ropt.comm_timeout_seconds = par.comm_timeout_seconds;
   auto run_result = mpsim::run(
       nprocs,
-      [&](mpsim::Comm& comm) {
-        const auto me = static_cast<std::size_t>(comm.rank());
+      [&](mpsim::Comm& world) {
+        const auto me = static_cast<std::size_t>(world.rank());
         int cur_sweep = 0;
         try {
-          ParOptions local = par;
-          local.local_engine = options.nn.engine;
-          ParCpContext ctx(comm, problem, local, hooks.initial_factors);
-          if (comm.rank() == 0) result.nnz_imbalance = ctx.nnz_imbalance();
-          // MTTKRP + Reduce-Scatter exactly as Algorithm 3, with the factor
-          // update swapped for the projected HALS passes (row-local, so zero
-          // extra communication) — the same hook the PP-NNCP driver uses.
-          ctx.enable_hals(options.nn.epsilon, options.nn.inner_iterations);
-          const int n = ctx.order();
-          WallTimer timer;
-          double fit = 0.0, fit_old = -1.0;
-          if (hooks.resume != nullptr) {
-            fit = hooks.resume->fitness;
-            fit_old = hooks.resume->prev_fitness;
-          }
-          int sweep = 0, rollbacks = 0;
-          while (sweep < par.base.max_sweeps &&
-                 std::abs(fit - fit_old) > par.base.tol) {
-            ctx.capture_state();
-            const double saved_fit = fit, saved_fit_old = fit_old;
-            for (int i = 0; i < n; ++i) ctx.update_mode(i);
-            ++sweep;
-            cur_sweep = sweep;
-            fit_old = fit;
-            const double r = ctx.measure_residual();
-            fit = core::fitness_from_residual(r);
-            const ParCpContext::SweepHealth h = ctx.last_health();
-            if (comm.rank() == 0) record_health_events(result, sweep, h);
-            if (h.nonfinite > 0.0 || !std::isfinite(fit)) {
-              ctx.restore_state();
-              fit = saved_fit;
-              fit_old = saved_fit_old;
-              if (rollbacks < kParRollbackBudget) {
-                ++rollbacks;
-                if (comm.rank() == 0) {
-                  result.recovery_log.push_back(
-                      {sweep, "non-finite iterate: rolled back to the last "
-                              "good sweep (rollback " +
-                                  std::to_string(rollbacks) + "/" +
-                                  std::to_string(kParRollbackBudget) + ")"});
-                  if (result.status == core::SolveStatus::kOk)
-                    result.status = core::SolveStatus::kRecovered;
+          run_with_elastic(
+              world, problem, par, hooks, store, result, removed,
+              [&](ElasticAttempt& at) {
+                mpsim::Comm& comm = at.comm;
+                ParCpContext ctx(comm, problem, at.options, at.init_factors);
+                at.begin_epoch(ctx);
+                // MTTKRP + Reduce-Scatter exactly as Algorithm 3, with the
+                // factor update swapped for the projected HALS passes
+                // (row-local, so zero extra communication) — the same hook
+                // the PP-NNCP driver uses.
+                ctx.enable_hals(options.nn.epsilon,
+                                options.nn.inner_iterations);
+                const int n = ctx.order();
+                WallTimer timer;
+                double fit = at.fit, fit_old = at.fit_old;
+                int sweep = at.start_sweep, rollbacks = 0;
+                cur_sweep = sweep;
+                while (sweep < par.base.max_sweeps &&
+                       std::abs(fit - fit_old) > par.base.tol) {
+                  at.publish(ctx, sweep, fit, fit_old);
+                  ctx.capture_state();
+                  const double saved_fit = fit, saved_fit_old = fit_old;
+                  for (int i = 0; i < n; ++i) ctx.update_mode(i);
+                  ++sweep;
+                  cur_sweep = sweep;
+                  fit_old = fit;
+                  const double r = ctx.measure_residual();
+                  fit = core::fitness_from_residual(r);
+                  const ParCpContext::SweepHealth h = ctx.last_health();
+                  if (comm.rank() == 0) record_health_events(result, sweep, h);
+                  if (h.nonfinite > 0.0 || !std::isfinite(fit)) {
+                    ctx.restore_state();
+                    fit = saved_fit;
+                    fit_old = saved_fit_old;
+                    if (rollbacks < kParRollbackBudget) {
+                      ++rollbacks;
+                      if (comm.rank() == 0) {
+                        result.recovery_log.push_back(
+                            {sweep,
+                             "non-finite iterate: rolled back to the last "
+                             "good sweep (rollback " +
+                                 std::to_string(rollbacks) + "/" +
+                                 std::to_string(kParRollbackBudget) + ")"});
+                        if (result.status == core::SolveStatus::kOk)
+                          result.status = core::SolveStatus::kRecovered;
+                      }
+                      continue;
+                    }
+                    if (comm.rank() == 0) {
+                      result.recovery_log.push_back(
+                          {sweep,
+                           "non-finite iterate persisted past the rollback "
+                           "budget; aborting on the last good state"});
+                      result.status = core::SolveStatus::kNumericalAbort;
+                    }
+                    break;
+                  }
+                  if (comm.rank() == 0) {
+                    result.residual = r;
+                    result.fitness = fit;
+                    result.sweeps = sweep;
+                    result.num_als_sweeps = sweep;
+                    if (par.base.record_history)
+                      result.history.push_back({timer.seconds(), fit, "nncp"});
+                  }
+                  if (hooks.checkpoint_every > 0 && hooks.on_checkpoint &&
+                      sweep % hooks.checkpoint_every == 0) {
+                    std::vector<la::Matrix> ck_factors;
+                    ck_factors.reserve(static_cast<std::size_t>(n));
+                    for (int m = 0; m < n; ++m)
+                      ck_factors.push_back(ctx.assemble_factor(m));
+                    if (comm.rank() == 0)
+                      hooks.on_checkpoint(ck_factors, sweep, fit, fit_old);
+                  }
+                  if (!hooks_continue_collective(
+                          comm, hooks, {timer.seconds(), fit, "nncp"}))
+                    break;
                 }
-                continue;
-              }
-              if (comm.rank() == 0) {
-                result.recovery_log.push_back(
-                    {sweep, "non-finite iterate persisted past the rollback "
-                            "budget; aborting on the last good state"});
-                result.status = core::SolveStatus::kNumericalAbort;
-              }
-              break;
-            }
-            if (comm.rank() == 0) {
-              result.residual = r;
-              result.fitness = fit;
-              result.sweeps = sweep;
-              result.num_als_sweeps = sweep;
-              if (par.base.record_history)
-                result.history.push_back({timer.seconds(), fit, "nncp"});
-            }
-            if (hooks.checkpoint_every > 0 && hooks.on_checkpoint &&
-                sweep % hooks.checkpoint_every == 0) {
-              std::vector<la::Matrix> ck_factors;
-              ck_factors.reserve(static_cast<std::size_t>(n));
-              for (int m = 0; m < n; ++m)
-                ck_factors.push_back(ctx.assemble_factor(m));
-              if (comm.rank() == 0)
-                hooks.on_checkpoint(ck_factors, sweep, fit, fit_old);
-            }
-            if (!hooks_continue_collective(comm, hooks,
-                                           {timer.seconds(), fit, "nncp"}))
-              break;
-          }
-          std::vector<la::Matrix> assembled;
-          for (int m = 0; m < n; ++m)
-            assembled.push_back(ctx.assemble_factor(m));
-          if (comm.rank() == 0) result.factors = std::move(assembled);
+                std::vector<la::Matrix> assembled;
+                for (int m = 0; m < n; ++m)
+                  assembled.push_back(ctx.assemble_factor(m));
+                if (comm.rank() == 0) result.factors = std::move(assembled);
+              });
         } catch (const mpsim::CommFailure& e) {
           abort_reasons[me] = e.what();
           abort_sweeps[me] = cur_sweep;
         } catch (const std::exception& e) {
           abort_reasons[me] = std::string("local exception: ") + e.what();
           abort_sweeps[me] = cur_sweep;
-          comm.poison("rank " + std::to_string(comm.rank()) +
-                      " failed: " + e.what());
+          world.poison("rank " + std::to_string(world.rank()) +
+                       " failed: " + e.what());
         }
       },
       ropt);
-  merge_abort_records(result, abort_reasons, abort_sweeps);
+  merge_abort_records(result, abort_reasons, abort_sweeps, removed);
 
   if (!result.history.empty() && result.sweeps > 0) {
     result.mean_sweep_seconds =

@@ -11,6 +11,7 @@
 #include "parpp/core/pp_operators.hpp"
 #include "parpp/dist/sparse_dist.hpp"
 #include "parpp/la/gemm.hpp"
+#include "parpp/par/elastic.hpp"
 #include "parpp/tensor/mttv.hpp"
 #include "parpp/util/timer.hpp"
 
@@ -163,6 +164,8 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
       static_cast<std::size_t>(nprocs));
   std::vector<std::string> abort_reasons(static_cast<std::size_t>(nprocs));
   std::vector<int> abort_sweeps(static_cast<std::size_t>(nprocs), 0);
+  BuddyStore store(nprocs);
+  std::vector<char> removed(static_cast<std::size_t>(nprocs), 0);
 
   ParOptions par = par_in;
   if (par.local_engine == core::EngineKind::kNaive)
@@ -175,19 +178,24 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
   ropt.comm_timeout_seconds = par.comm_timeout_seconds;
   auto run_result = mpsim::run(
       nprocs,
-      [&](mpsim::Comm& comm) {
-        const auto me = static_cast<std::size_t>(comm.rank());
+      [&](mpsim::Comm& world) {
+        const auto me = static_cast<std::size_t>(world.rank());
         int cur_sweep = 0;
         try {
-        ParCpContext ctx(comm, problem, par, hooks.initial_factors);
-        if (comm.rank() == 0) result.nnz_imbalance = ctx.nnz_imbalance();
+          run_with_elastic(
+              world, problem, par, hooks, store, result, removed,
+              [&](ElasticAttempt& at) {
+        mpsim::Comm& comm = at.comm;
+        ParCpContext ctx(comm, problem, at.options, at.init_factors);
+        at.begin_epoch(ctx);
         if (nn) ctx.enable_hals(nn->epsilon, nn->inner_iterations);
         const int n = ctx.order();
         LocalPp pp(comm, ctx);
         WallTimer timer;
 
         // dA across the latest regular sweep; seeded large so regular
-        // sweeps run first.
+        // sweeps run first (also after a shrink: the rebuilt epoch re-earns
+        // PP eligibility with an exact sweep before approximating again).
         std::vector<la::Matrix> prev_q;
         for (int m = 0; m < n; ++m)
           prev_q.emplace_back(ctx.factor_dist().q(m).rows(),
@@ -215,16 +223,13 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
           return rel;
         };
 
-        double fit = 0.0, fit_old = -1.0;
-        if (hooks.resume != nullptr) {
-          fit = hooks.resume->fitness;
-          fit_old = hooks.resume->prev_fitness;
-        }
-        int total = 0;
-        int last_checkpoint = 0;
+        double fit = at.fit, fit_old = at.fit_old;
+        int total = at.start_sweep;
+        int last_checkpoint = at.start_sweep;
         int rollbacks = 0;
         bool have_sweep = false;
         bool aborted = false;
+        cur_sweep = total;
         auto sweep_hook = [&](const char* phase, double f) {
           if (!hooks_continue_collective(comm, hooks,
                                          {timer.seconds(), f, phase}))
@@ -239,12 +244,13 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
             // Trust-guard snapshot: the whole phase is discarded back to
             // this iterate if an approximated sweep regresses the fitness
             // or goes non-finite.
+            at.publish(ctx, total, fit, fit_old);
             ctx.capture_state();
             const double fit_p = fit;
             pp.build();
             ++total;
             cur_sweep = total;
-            sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
+            sweep_profiles[me].push_back(
                 Profile::thread_default().delta_since(before_init));
             if (comm.rank() == 0) {
               ++result.num_pp_init;
@@ -267,7 +273,7 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
               ++pp_sweeps;
               ++total;
               cur_sweep = total;
-              sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
+              sweep_profiles[me].push_back(
                   Profile::thread_default().delta_since(before));
               // Approximate fitness doubles as the inner stopping
               // criterion (same role as in the sequential driver).
@@ -313,6 +319,7 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
           if (aborted || total >= par.base.max_sweeps) break;
 
           // ---- Regular sweep ---------------------------------------
+          at.publish(ctx, total, fit, fit_old);
           ctx.capture_state();
           const double saved_fit = fit, saved_fit_old = fit_old;
           for (int m = 0; m < n; ++m)
@@ -322,7 +329,7 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
           ++total;
           cur_sweep = total;
           have_sweep = true;
-          sweep_profiles[static_cast<std::size_t>(comm.rank())].push_back(
+          sweep_profiles[me].push_back(
               Profile::thread_default().delta_since(before));
           fit_old = fit;
           const double r = ctx.residual();
@@ -388,18 +395,19 @@ ParResult run_par_pp(const dist::DistProblem& problem, int nprocs,
           result.residual = r_final;
           result.fitness = core::fitness_from_residual(r_final);
         }
+              });
         } catch (const mpsim::CommFailure& e) {
           abort_reasons[me] = e.what();
           abort_sweeps[me] = cur_sweep;
         } catch (const std::exception& e) {
           abort_reasons[me] = std::string("local exception: ") + e.what();
           abort_sweeps[me] = cur_sweep;
-          comm.poison("rank " + std::to_string(comm.rank()) +
-                      " failed: " + e.what());
+          world.poison("rank " + std::to_string(world.rank()) +
+                       " failed: " + e.what());
         }
       },
       ropt);
-  merge_abort_records(result, abort_reasons, abort_sweeps);
+  merge_abort_records(result, abort_reasons, abort_sweeps, removed);
 
   for (std::size_t s = 0;; ++s) {
     Profile worst;

@@ -35,6 +35,7 @@ par::ParOptions par_options(const SolverSpec& spec, int order) {
   p.partition = spec.execution.partition;
   p.fault = spec.execution.fault;
   p.comm_timeout_seconds = spec.execution.comm_timeout_seconds;
+  p.elastic = spec.execution.elastic;
   return p;
 }
 

@@ -54,6 +54,8 @@ SolveReport from_par_result(par::ParResult&& r) {
   report.sweep_profiles = std::move(r.sweep_profiles);
   report.critical_path_profile = r.critical_path_profile;
   report.nnz_imbalance = r.nnz_imbalance;
+  report.final_ranks = r.final_ranks;
+  report.post_shrink_nnz_imbalance = r.post_shrink_nnz_imbalance;
   // The parallel cores report per-sweep slices of the slowest rank;
   // aggregate them so report.profile is populated for both executions.
   for (const Profile& p : report.sweep_profiles) report.profile.accumulate(p);
@@ -154,6 +156,7 @@ solver::SolveReport solve(const solver::TensorSource& t,
       ck.residual = 1.0 - fitness;
       ck.seed = spec.seed;
       ck.rng_state = Rng(spec.seed).state();
+      ck.written_ranks = spec.execution.nprocs;
       io::save_checkpoint_file(spec.checkpoint.path, ck);
     };
   }

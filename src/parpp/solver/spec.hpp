@@ -79,6 +79,12 @@ struct Execution {
   /// Collective timeout in seconds; <= 0 picks the runtime default (60 s,
   /// or 2 s when a fault plan is active).
   double comm_timeout_seconds = 0.0;
+  /// Elastic fault recovery: with ElasticMode::kShrink, a rank failure
+  /// shrinks the communicator to the survivors, repartitions the tensor,
+  /// and resumes from the buddy-replicated snapshot instead of aborting
+  /// (SolveReport::status reports kRecoveredShrunk). kOff keeps the abort
+  /// semantics. Sequential executions ignore it.
+  par::ElasticOptions elastic = {};
 
   [[nodiscard]] bool is_parallel() const { return nprocs > 1; }
 
@@ -214,6 +220,12 @@ struct SolveReport {
   /// Per-rank nonzero load imbalance, max / mean (1.0 = perfectly even;
   /// 0.0 for dense or sequential runs, whose blocks report no nnz).
   double nnz_imbalance = 0.0;
+  /// Ranks the run finished on (== execution.nprocs unless an elastic
+  /// shrink removed some; 0 for sequential runs).
+  int final_ranks = 0;
+  /// nnz_imbalance of the repartitioned grid after the last shrink
+  /// (0.0 when no shrink happened or the blocks report no nnz).
+  double post_shrink_nnz_imbalance = 0.0;
 };
 
 }  // namespace parpp::solver

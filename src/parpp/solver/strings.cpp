@@ -80,6 +80,7 @@ std::string_view to_string(core::SolveStatus status) {
   switch (status) {
     case core::SolveStatus::kOk: return "ok";
     case core::SolveStatus::kRecovered: return "recovered";
+    case core::SolveStatus::kRecoveredShrunk: return "recovered-shrunk";
     case core::SolveStatus::kNumericalAbort: return "numerical-abort";
     case core::SolveStatus::kCommAbort: return "comm-abort";
   }
@@ -88,6 +89,14 @@ std::string_view to_string(core::SolveStatus status) {
 
 std::string_view to_string(mpsim::FaultKind kind) {
   return mpsim::fault_kind_name(kind);
+}
+
+std::string_view to_string(par::ElasticMode mode) {
+  switch (mode) {
+    case par::ElasticMode::kOff: return "off";
+    case par::ElasticMode::kShrink: return "shrink";
+  }
+  return "?";
 }
 
 std::optional<Method> method_from_string(std::string_view s) {
@@ -144,6 +153,13 @@ std::optional<mpsim::FaultKind> fault_kind_from_string(std::string_view s) {
   if (t == "timeout") return mpsim::FaultKind::kTimeout;
   if (t == "rank-abort") return mpsim::FaultKind::kRankAbort;
   if (t == "corruption") return mpsim::FaultKind::kCorruption;
+  return std::nullopt;
+}
+
+std::optional<par::ElasticMode> elastic_mode_from_string(std::string_view s) {
+  const std::string t = lower(s);
+  if (t == "off") return par::ElasticMode::kOff;
+  if (t == "shrink") return par::ElasticMode::kShrink;
   return std::nullopt;
 }
 

@@ -25,8 +25,11 @@ namespace parpp::solver {
 /// "converged" | "max-sweeps" | "time-budget" | "predicate" | "observer" |
 /// "fault".
 [[nodiscard]] std::string_view to_string(StopReason reason);
-/// "ok" | "recovered" | "numerical-abort" | "comm-abort".
+/// "ok" | "recovered" | "recovered-shrunk" | "numerical-abort" |
+/// "comm-abort".
 [[nodiscard]] std::string_view to_string(core::SolveStatus status);
+/// "off" | "shrink" — elastic fault recovery (Execution::elastic.mode).
+[[nodiscard]] std::string_view to_string(par::ElasticMode mode);
 /// "none" | "delay" | "timeout" | "rank-abort" | "corruption" (same tokens
 /// as mpsim::fault_kind_name).
 [[nodiscard]] std::string_view to_string(mpsim::FaultKind kind);
@@ -44,6 +47,8 @@ namespace parpp::solver {
 [[nodiscard]] std::optional<dist::PartitionKind> partition_from_string(
     std::string_view s);
 [[nodiscard]] std::optional<mpsim::FaultKind> fault_kind_from_string(
+    std::string_view s);
+[[nodiscard]] std::optional<par::ElasticMode> elastic_mode_from_string(
     std::string_view s);
 
 }  // namespace parpp::solver

@@ -114,9 +114,16 @@ std::vector<la::Matrix> load_factors(std::istream& is) {
 }
 
 void save_checkpoint(std::ostream& os, const CheckpointState& ck) {
-  write_magic(os, kCheckpointMagic);
+  // Checkpoints carry their own version (2 adds the writer's rank count as
+  // provenance); the magic bytes stay 'parppCv1' so older files are still
+  // recognized and newer readers branch on the version field.
+  write_raw(os, kCheckpointMagic, 8);
+  const std::uint32_t version = 2;
+  write_raw(os, &version, sizeof(version));
   const std::int32_t sweep = ck.sweep;
   write_raw(os, &sweep, sizeof(sweep));
+  const std::int32_t ranks = ck.written_ranks;
+  write_raw(os, &ranks, sizeof(ranks));
   write_raw(os, &ck.fitness, sizeof(ck.fitness));
   write_raw(os, &ck.prev_fitness, sizeof(ck.prev_fitness));
   write_raw(os, &ck.residual, sizeof(ck.residual));
@@ -126,12 +133,27 @@ void save_checkpoint(std::ostream& os, const CheckpointState& ck) {
 }
 
 CheckpointState load_checkpoint(std::istream& is) {
-  check_magic(is, kCheckpointMagic);
+  char got[8];
+  read_raw(is, got, 8);
+  PARPP_CHECK(std::memcmp(got, kCheckpointMagic, 8) == 0,
+              "serialize: magic mismatch (wrong file type?)");
+  std::uint32_t version = 0;
+  read_raw(is, &version, sizeof(version));
+  PARPP_CHECK(version == 1 || version == 2,
+              "load_checkpoint: unsupported version ", version);
   CheckpointState ck;
   std::int32_t sweep = 0;
   read_raw(is, &sweep, sizeof(sweep));
   PARPP_CHECK(sweep >= 0, "load_checkpoint: negative sweep counter");
   ck.sweep = sweep;
+  if (version >= 2) {
+    std::int32_t ranks = 0;
+    read_raw(is, &ranks, sizeof(ranks));
+    PARPP_CHECK(ranks >= 0, "load_checkpoint: negative writer rank count");
+    // Provenance only — the factors are global, so resuming on any rank
+    // count (including after losing nodes) just repartitions them.
+    ck.written_ranks = ranks;
+  }
   read_raw(is, &ck.fitness, sizeof(ck.fitness));
   read_raw(is, &ck.prev_fitness, sizeof(ck.prev_fitness));
   read_raw(is, &ck.residual, sizeof(ck.residual));

@@ -39,6 +39,13 @@ void save_factors_file(const std::string& path,
 /// counter, the stopping-rule state (current and previous fitness, so the
 /// resumed run makes exactly the stopping decision the uninterrupted run
 /// would have), and the RNG provenance (seed + raw xoshiro state).
+///
+/// The factors are stored GLOBAL (assembled), never per-rank, which makes
+/// a checkpoint rank-count-agnostic by construction: a run may resume on
+/// any --ranks value — including fewer ranks than wrote it, the cold-path
+/// complement of elastic shrink recovery — and the drivers repartition on
+/// load. `written_ranks` records the writer's world size as provenance
+/// only (0 = unknown: a sequential writer or a pre-v2 file).
 struct CheckpointState {
   std::vector<la::Matrix> factors;
   int sweep = 0;
@@ -47,6 +54,7 @@ struct CheckpointState {
   double residual = 1.0;
   std::uint64_t seed = 0;
   std::array<std::uint64_t, 4> rng_state = {0, 0, 0, 0};
+  int written_ranks = 0;
 };
 
 void save_checkpoint(std::ostream& os, const CheckpointState& ck);

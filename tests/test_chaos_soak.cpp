@@ -1,0 +1,152 @@
+// Chaos soak: seeded randomized fault plans across the full method ×
+// storage × fault-kind × elastic matrix. Every trial must end in a
+// structured outcome — ok, recovered, recovered-shrunk, or a clean abort —
+// with a finite or absent fitness, never a hang (the short communicator
+// timeout bounds every collective), and a same-seed rerun must reproduce
+// the report bitwise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "parpp/data/sparse_synthetic.hpp"
+#include "parpp/solver/solver.hpp"
+#include "parpp/tensor/csf_tensor.hpp"
+#include "test_util.hpp"
+
+namespace parpp {
+namespace {
+
+constexpr int kTrials = 12;
+
+[[nodiscard]] const tensor::DenseTensor& dense_input() {
+  static const tensor::DenseTensor t = test::low_rank_tensor({14, 12, 10}, 3, 51);
+  return t;
+}
+
+[[nodiscard]] const tensor::CsfTensor& sparse_input() {
+  static const tensor::CsfTensor t(
+      data::make_sparse_lowrank({14, 12, 10}, 3, 0.25, 52).tensor);
+  return t;
+}
+
+struct Trial {
+  solver::SolverSpec spec;
+  bool sparse = false;
+};
+
+/// Derive a full trial deterministically from its index: same index, same
+/// plan, byte for byte. The mt19937 draw order below is part of the test's
+/// determinism contract — append new draws, never reorder.
+[[nodiscard]] Trial make_trial(int index) {
+  std::mt19937 gen(0xC0FFEEu + static_cast<unsigned>(index));
+  const auto draw = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(gen);
+  };
+
+  static const solver::Method kMethods[] = {
+      solver::Method::kAls, solver::Method::kPp, solver::Method::kNncpHals};
+  static const mpsim::FaultKind kKinds[] = {
+      mpsim::FaultKind::kDelay, mpsim::FaultKind::kTimeout,
+      mpsim::FaultKind::kRankAbort, mpsim::FaultKind::kCorruption};
+
+  Trial t;
+  t.sparse = draw(0, 1) == 1;
+  t.spec.method = kMethods[draw(0, 2)];
+  t.spec.rank = 3;
+  t.spec.seed = 100 + static_cast<std::uint64_t>(index);
+  t.spec.stopping.max_sweeps = 6;
+  t.spec.stopping.fitness_tol = 1e-14;
+  if (t.sparse) t.spec.engine = core::EngineKind::kSparse;
+
+  const int ranks = draw(4, 8);
+  t.spec.execution = solver::Execution::simulated_parallel(ranks);
+  t.spec.execution.comm_timeout_seconds = 0.3;
+  t.spec.execution.elastic.mode =
+      draw(0, 1) == 1 ? par::ElasticMode::kShrink : par::ElasticMode::kOff;
+
+  t.spec.execution.fault.kind = kKinds[draw(0, 3)];
+  t.spec.execution.fault.rank = draw(0, ranks - 1);
+  t.spec.execution.fault.nth = draw(4, 50);
+  t.spec.execution.fault.delay_seconds = 0.01 * draw(1, 4);
+  t.spec.execution.fault.seed = t.spec.seed;
+  // Some trials fire a follow-up fault a while later (the sequence axis).
+  if (draw(0, 2) == 0) {
+    mpsim::FaultEvent ev;
+    ev.kind = t.spec.execution.fault.kind == mpsim::FaultKind::kRankAbort
+                  ? mpsim::FaultKind::kDelay
+                  : t.spec.execution.fault.kind;
+    ev.rank = draw(0, ranks - 1);
+    ev.nth = t.spec.execution.fault.nth + draw(20, 40);
+    ev.delay_seconds = t.spec.execution.fault.delay_seconds;
+    t.spec.execution.fault.then.push_back(ev);
+  }
+  return t;
+}
+
+[[nodiscard]] solver::SolveReport run_trial(const Trial& t) {
+  return t.sparse ? parpp::solve(sparse_input(), t.spec)
+                  : parpp::solve(dense_input(), t.spec);
+}
+
+void expect_identical_reports(const solver::SolveReport& a,
+                              const solver::SolveReport& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  EXPECT_EQ(a.sweeps, b.sweeps);
+  EXPECT_EQ(a.fitness, b.fitness);  // bitwise
+  EXPECT_EQ(a.final_ranks, b.final_ranks);
+  ASSERT_EQ(a.recovery_log.size(), b.recovery_log.size());
+  for (std::size_t i = 0; i < a.recovery_log.size(); ++i) {
+    EXPECT_EQ(a.recovery_log[i].sweep, b.recovery_log[i].sweep);
+    EXPECT_EQ(a.recovery_log[i].what, b.recovery_log[i].what);
+  }
+}
+
+TEST(ChaosSoak, EveryTrialEndsStructuredAndDeterministic) {
+  for (int i = 0; i < kTrials; ++i) {
+    const Trial t = make_trial(i);
+    SCOPED_TRACE("trial " + std::to_string(i) + ": method " +
+                 std::string(solver::to_string(t.spec.method)) +
+                 (t.sparse ? ", sparse" : ", dense") + ", fault " +
+                 std::string(solver::to_string(t.spec.execution.fault.kind)) +
+                 " on rank " +
+                 std::to_string(t.spec.execution.fault.rank) + "/" +
+                 std::to_string(t.spec.execution.nprocs) + " nth " +
+                 std::to_string(t.spec.execution.fault.nth) + ", elastic " +
+                 std::string(solver::to_string(t.spec.execution.elastic.mode)));
+
+    const solver::SolveReport r = run_trial(t);
+
+    // Structured outcome, never an unclassified state.
+    const core::SolveStatus s = r.status;
+    EXPECT_TRUE(s == core::SolveStatus::kOk ||
+                s == core::SolveStatus::kRecovered ||
+                s == core::SolveStatus::kRecoveredShrunk ||
+                s == core::SolveStatus::kNumericalAbort ||
+                s == core::SolveStatus::kCommAbort)
+        << "unexpected status " << solver::to_string(s);
+    if (s == core::SolveStatus::kOk || s == core::SolveStatus::kRecovered ||
+        s == core::SolveStatus::kRecoveredShrunk) {
+      EXPECT_TRUE(std::isfinite(r.fitness));
+    }
+    if (s == core::SolveStatus::kRecoveredShrunk) {
+      EXPECT_EQ(t.spec.execution.elastic.mode, par::ElasticMode::kShrink);
+      EXPECT_LT(r.final_ranks, t.spec.execution.nprocs);
+      EXPECT_GE(r.final_ranks, 1);
+    }
+    // Aborts must say why.
+    if (s == core::SolveStatus::kNumericalAbort ||
+        s == core::SolveStatus::kCommAbort) {
+      EXPECT_FALSE(r.recovery_log.empty());
+    }
+
+    // Same seed, same plan, same report — bitwise.
+    expect_identical_reports(r, run_trial(t));
+  }
+}
+
+}  // namespace
+}  // namespace parpp

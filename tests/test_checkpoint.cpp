@@ -2,6 +2,7 @@
 // resume parity with the uninterrupted run through the solve() facade.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -25,6 +26,7 @@ namespace {
   ck.residual = 0.125;
   ck.seed = 99;
   ck.rng_state = Rng(99).state();
+  ck.written_ranks = 4;
   return ck;
 }
 
@@ -39,6 +41,7 @@ void expect_state_eq(const io::CheckpointState& a,
   EXPECT_EQ(a.residual, b.residual);
   EXPECT_EQ(a.seed, b.seed);
   EXPECT_EQ(a.rng_state, b.rng_state);
+  EXPECT_EQ(a.written_ranks, b.written_ranks);
 }
 
 [[nodiscard]] std::string temp_path(const std::string& name) {
@@ -92,6 +95,23 @@ TEST(Checkpoint, TruncatedFileRejected) {
 TEST(Checkpoint, MissingFileRejected) {
   EXPECT_THROW((void)io::load_checkpoint_file("/nonexistent/parpp_ck.bin"),
                parpp::error);
+}
+
+// A version-1 stream (no written_ranks field) must still load: splice the
+// 4-byte rank count out of a fresh v2 stream and patch the version field.
+TEST(Checkpoint, V1StreamStillLoads) {
+  io::CheckpointState ck = sample_state();
+  std::stringstream v2;
+  io::save_checkpoint(v2, ck);
+  std::string bytes = v2.str();
+  // Layout: magic[8], u32 version, i32 sweep, i32 written_ranks, ...
+  const std::uint32_t v1 = 1;
+  bytes.replace(8, 4, reinterpret_cast<const char*>(&v1), 4);
+  bytes.erase(16, 4);  // drop written_ranks
+  std::stringstream is(bytes);
+  io::CheckpointState loaded = io::load_checkpoint(is);
+  ck.written_ranks = 0;  // pre-v2 files report "unknown"
+  expect_state_eq(ck, loaded);
 }
 
 // --- facade resume ---------------------------------------------------------
@@ -159,6 +179,41 @@ TEST(Checkpoint, ParallelResumeMatchesUninterrupted) {
   ASSERT_EQ(resumed.factors.size(), whole.factors.size());
   for (std::size_t m = 0; m < whole.factors.size(); ++m)
     EXPECT_LE(resumed.factors[m].max_abs_diff(whole.factors[m]), 1e-12);
+  std::remove(path.c_str());
+}
+
+// The checkpoint stores GLOBAL factors, so it is rank-count-agnostic: a
+// run checkpointed at 4 ranks resumes on fewer (the cold-path complement
+// of elastic shrink: the machine came back smaller) or more ranks, and
+// every resume reaches the uninterrupted run's fitness.
+TEST(Checkpoint, CrossRankResumeRepartitions) {
+  const tensor::DenseTensor t = test::random_tensor({12, 12, 8}, 4);
+  const std::string path = temp_path("parpp_ck_xrank.bin");
+  std::remove(path.c_str());
+
+  solver::SolverSpec whole_spec = base_spec(8);
+  whole_spec.execution = solver::Execution::simulated_parallel(4);
+  const solver::SolveReport whole = parpp::solve(t, whole_spec);
+
+  solver::SolverSpec first = base_spec(4);
+  first.execution = solver::Execution::simulated_parallel(4);
+  first.checkpoint.path = path;
+  first.checkpoint.every = 2;
+  (void)parpp::solve(t, first);
+
+  // The file records who wrote it.
+  EXPECT_EQ(io::load_checkpoint_file(path).written_ranks, 4);
+
+  for (const int resume_ranks : {2, 6, 7}) {
+    SCOPED_TRACE("resume on " + std::to_string(resume_ranks) + " ranks");
+    solver::SolverSpec second = base_spec(8);
+    second.execution = solver::Execution::simulated_parallel(resume_ranks);
+    second.checkpoint.path = path;
+    second.checkpoint.resume = true;
+    const solver::SolveReport resumed = parpp::solve(t, second);
+    EXPECT_EQ(resumed.sweeps, whole.sweeps);
+    EXPECT_NEAR(resumed.fitness, whole.fitness, 1e-12);
+  }
   std::remove(path.c_str());
 }
 

@@ -70,7 +70,10 @@ struct Cli {
   int fault_nth = 1;
   std::string fault_collective;  ///< empty: any collective class
   double fault_delay = 0.05;
+  int fault_repeat = 1;
+  int fault_period = 1;
   double comm_timeout = 0.0;
+  std::string elastic = "off";
   std::string checkpoint_path;
   int checkpoint_every = 0;
   bool resume = false;
@@ -120,7 +123,10 @@ Cli parse(int argc, char** argv) {
     else if (flag == "--fault-nth") cli.fault_nth = std::atoi(next());
     else if (flag == "--fault-collective") cli.fault_collective = next();
     else if (flag == "--fault-delay") cli.fault_delay = std::atof(next());
+    else if (flag == "--fault-repeat") cli.fault_repeat = std::atoi(next());
+    else if (flag == "--fault-period") cli.fault_period = std::atoi(next());
     else if (flag == "--comm-timeout") cli.comm_timeout = std::atof(next());
+    else if (flag == "--elastic") cli.elastic = next();
     else if (flag == "--checkpoint") cli.checkpoint_path = next();
     else if (flag == "--checkpoint-every")
       cli.checkpoint_every = std::atoi(next());
@@ -181,7 +187,13 @@ void usage() {
       "                  allgather | reduce-scatter | allreduce | bcast |\n"
       "                  alltoall (default: any)\n"
       "  --fault-delay S sleep length for --fault delay (default 0.05)\n"
+      "  --fault-repeat N  fire the fault N times (default 1)\n"
+      "  --fault-period P  matching collectives between repeats (default 1)\n"
       "  --comm-timeout S  collective timeout; 0 = runtime default\n"
+      "  --elastic M     off | shrink — shrink-and-continue recovery:\n"
+      "                  survivors rebuild a smaller communicator,\n"
+      "                  repartition, and resume from the replicated\n"
+      "                  snapshot (status recovered-shrunk; default off)\n"
       "  --checkpoint FILE  crash-consistent checkpoint file\n"
       "  --checkpoint-every K  checkpoint period in sweeps (default 0 = "
       "off)\n"
@@ -380,6 +392,22 @@ int run(const Cli& cli) {
                  "--checkpoint-every/--resume need --checkpoint FILE\n");
     return 2;
   }
+  if (cli.fault_repeat < 1 || cli.fault_period < 1) {
+    std::fprintf(stderr, "--fault-repeat/--fault-period must be >= 1\n");
+    return 2;
+  }
+  const auto elastic_mode = solver::elastic_mode_from_string(cli.elastic);
+  if (!elastic_mode) {
+    std::fprintf(stderr, "unknown elastic mode %s (off | shrink)\n",
+                 cli.elastic.c_str());
+    return 2;
+  }
+  if (*elastic_mode != par::ElasticMode::kOff && cli.procs <= 1) {
+    std::fprintf(stderr,
+                 "--elastic shrink recovers from rank loss; pass --ranks "
+                 "N > 1\n");
+    return 2;
+  }
 
   solver::SolverSpec spec;
   spec.method = method;
@@ -407,6 +435,8 @@ int run(const Cli& cli) {
     spec.execution.fault.rank = cli.fault_rank;
     spec.execution.fault.nth = cli.fault_nth;
     spec.execution.fault.delay_seconds = cli.fault_delay;
+    spec.execution.fault.repeat = cli.fault_repeat;
+    spec.execution.fault.period = cli.fault_period;
     spec.execution.fault.seed = cli.seed;
     if (fault_coll) {
       spec.execution.fault.filter_collective = true;
@@ -414,6 +444,7 @@ int run(const Cli& cli) {
     }
   }
   spec.execution.comm_timeout_seconds = cli.comm_timeout;
+  spec.execution.elastic.mode = *elastic_mode;
   spec.checkpoint.path = cli.checkpoint_path;
   spec.checkpoint.every = cli.checkpoint_every;
   spec.checkpoint.resume = cli.resume;
@@ -465,6 +496,14 @@ int run(const Cli& cli) {
       std::printf("partition %s: nnz imbalance (max/mean) %.3f\n",
                   std::string(solver::to_string(*partition)).c_str(),
                   report.nnz_imbalance);
+    }
+    if (report.final_ranks > 0 && report.final_ranks != cli.procs) {
+      std::printf("elastic shrink: finished on %d of %d ranks",
+                  report.final_ranks, cli.procs);
+      if (report.post_shrink_nnz_imbalance > 0.0)
+        std::printf(" (post-shrink nnz imbalance %.3f)",
+                    report.post_shrink_nnz_imbalance);
+      std::printf("\n");
     }
   }
   if (report.num_pp_init > 0 || report.num_pp_approx > 0) {

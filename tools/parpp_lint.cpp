@@ -264,9 +264,13 @@ void check_alloc(const fs::path& file, const std::string& rel,
 void check_tags(const fs::path& file, const std::string& rel,
                 const std::string& stripped) {
   if (in_dir(rel, "src/parpp/mpsim/")) return;  // the implementation layer
+  // `shrink` is not a data collective, but its closing rendezvous on the
+  // rebuilt communicator goes through the verifier, so call sites must
+  // carry a tag like any other collective.
   static const std::vector<std::string> kCollectives = {
       "allreduce_sum", "allgather", "reduce_scatter_sum",
-      "bcast",         "alltoall",  "barrier"};
+      "bcast",         "alltoall",  "barrier",
+      "shrink"};
   for (std::size_t i = 1; i < stripped.size(); ++i) {
     for (const auto& name : kCollectives) {
       if (!word_at(stripped, i, name)) continue;
